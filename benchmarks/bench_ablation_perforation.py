@@ -1,0 +1,59 @@
+"""Ablation: perforation schemes and skipped-row handling.
+
+Two design knobs of the baseline (DESIGN.md §6):
+
+* interleaved vs truncated vs modulo iteration selection;
+* zero-fill vs replicate-fill for Sobel's skipped rows.
+
+Interleaving spreads the damage; replication patches it — both improve
+the baseline, neither closes the gap to the significance-driven version.
+"""
+
+import pytest
+
+from repro.kernels.sobel import sobel_perforated, sobel_reference, sobel_significance
+from repro.metrics import psnr
+from repro.perforation import interleaved, modulo, truncated
+
+
+def test_ablation_sobel_fill_modes(benchmark, bench_image):
+    ref = sobel_reference(bench_image)
+
+    def run():
+        zero = sobel_perforated(bench_image, 0.5, fill="zero")
+        replicate = sobel_perforated(bench_image, 0.5, fill="replicate")
+        sig = sobel_significance(bench_image, 0.5)
+        return (
+            psnr(ref, zero.output),
+            psnr(ref, replicate.output),
+            psnr(ref, sig.output),
+        )
+
+    q_zero, q_replicate, q_sig = benchmark(run)
+
+    assert q_replicate > q_zero  # patching helps the baseline
+    assert q_sig > q_zero  # but significance still wins vs plain perforation
+    benchmark.extra_info["psnr"] = {
+        "perforation_zero_fill": round(q_zero, 2),
+        "perforation_replicate": round(q_replicate, 2),
+        "significance": round(q_sig, 2),
+    }
+
+
+def test_ablation_schemes(benchmark):
+    def run():
+        return {
+            "interleaved": interleaved(1000, 0.37),
+            "truncated": truncated(1000, 0.37),
+            "modulo": modulo(1000, 0.37),
+        }
+
+    picks = benchmark(run)
+
+    # Interleaved spreads evenly: max gap close to 1/ratio.
+    gaps = [b - a for a, b in zip(picks["interleaved"], picks["interleaved"][1:])]
+    assert max(gaps) <= 4
+    # Truncated leaves the tail completely unprocessed.
+    assert max(picks["truncated"]) == len(picks["truncated"]) - 1
+    # Modulo realises the nearest 1/k ratio.
+    assert len(picks["modulo"]) == pytest.approx(1000 / 3, abs=1)

@@ -1,0 +1,68 @@
+"""Ablation: the Eq. 11 significance definition vs alternatives.
+
+DESIGN.md §6: why the paper multiplies the value interval by the
+derivative interval.  On the Maclaurin example we score every term under
+four definitions and check which ones recover the expected ranking
+(term1 > term2 > ... and term0 = 0).  Pure interval width and pure
+derivative magnitude both fail; the combined definitions succeed — the
+argument for pairing IA with AD.
+"""
+
+import pytest
+
+from repro.ad import ADouble, Tape
+from repro.intervals import Interval
+from repro.scorpio import SIGNIFICANCE_VARIANTS, score_tape
+
+
+def maclaurin_tape(x_hat=0.49, n=5):
+    tape = Tape()
+    with tape:
+        x = ADouble.input(Interval(x_hat - 0.5, x_hat + 0.5), label="x", tape=tape)
+        acc = ADouble.constant(0.0)
+        term_ids = []
+        for i in range(n):
+            t = x**i
+            term_ids.append(t.node.index)
+            acc = acc + t
+        tape.adjoint({acc.node.index: Interval(1.0)})
+    return tape, term_ids
+
+
+def _ranking_ok(scores, term_ids):
+    values = [scores[t] for t in term_ids]
+    return (
+        values[0] == pytest.approx(0.0, abs=1e-9)
+        and all(a > b for a, b in zip(values[1:], values[2:]))
+    )
+
+
+def test_ablation_significance_definitions(benchmark):
+    tape, term_ids = maclaurin_tape()
+
+    def run_all():
+        return {
+            name: score_tape(tape, name) for name in SIGNIFICANCE_VARIANTS
+        }
+
+    scored = benchmark(run_all)
+
+    # The paper's definition and the first-order variant both recover the
+    # Figure 3 ranking.
+    assert _ranking_ok(scored["width_product"], term_ids)
+    assert _ranking_ok(scored["first_order"], term_ids)
+
+    # Derivative magnitude alone cannot: every term's adjoint is 1.
+    deriv = [scored["derivative_mag"][t] for t in term_ids[1:]]
+    assert max(deriv) == pytest.approx(min(deriv), rel=1e-9)
+
+    benchmark.extra_info["per_variant_term_scores"] = {
+        name: [round(scored[name][t], 4) for t in term_ids]
+        for name in SIGNIFICANCE_VARIANTS
+    }
+
+
+def test_ablation_unknown_variant_rejected():
+    tape, _ = maclaurin_tape(n=3)
+    with pytest.raises(KeyError):
+        score_tape(tape, "made_up")

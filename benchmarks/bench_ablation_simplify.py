@@ -1,0 +1,61 @@
+"""Ablation: the S4 simplify pass (aggregation-chain elimination).
+
+DESIGN.md §6: without simplify, the accumulation chain of the Maclaurin
+series puts one term per BFS level; the variance scan then sees levels of
+1-2 nodes and the partition degenerates.  With simplify, every term lands
+on level 1 and the scan finds the paper's partition immediately.
+"""
+
+import pytest
+
+from repro.ad import ADouble, Tape
+from repro.intervals import Interval
+from repro.scorpio import (
+    DynDFG,
+    find_significance_variance,
+    significance_map,
+    simplify,
+)
+
+
+def build_graph(n=8):
+    tape = Tape()
+    with tape:
+        x = ADouble.input(Interval(-0.01, 0.99), label="x", tape=tape)
+        acc = ADouble.constant(0.0)
+        terms = []
+        for i in range(n):
+            t = x**i
+            terms.append(t.node.index)
+            acc = acc + t
+        tape.adjoint({acc.node.index: Interval(1.0)})
+    sig = significance_map(tape)
+    return DynDFG.from_tape(tape, [acc.node.index], sig), terms
+
+
+def test_ablation_simplify(benchmark):
+    raw, terms = build_graph()
+
+    def run_both():
+        simplified = simplify(raw)
+        return (
+            find_significance_variance(raw.copy(), delta=1e-4),
+            find_significance_variance(simplified, delta=1e-4),
+            simplified,
+        )
+
+    scan_raw, scan_simplified, simplified = benchmark(run_both)
+
+    # With simplify: all terms on level 1, partition found there, and the
+    # task nodes are exactly the terms (+ the shared input path).
+    assert scan_simplified.found_level == 1
+    assert {simplified[t].level for t in terms} == {1}
+
+    # Without simplify: the chain stretches the graph; terms sit on many
+    # different levels, so no single level exposes the term ranking.
+    raw_levels = {raw[t].level for t in terms}
+    assert len(raw_levels) > 3
+
+    benchmark.extra_info["raw_height"] = raw.height
+    benchmark.extra_info["simplified_height"] = simplified.height
+    benchmark.extra_info["raw_term_levels"] = sorted(raw_levels)

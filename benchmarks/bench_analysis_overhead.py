@@ -1,0 +1,29 @@
+"""Analysis-cost benchmark: what does a dco/scorpio profile run cost?
+
+Not a paper figure — the engineering number behind the paper's "single
+analysis run" pitch: the slowdown of an interval-adjoint taped run over a
+plain float evaluation, and of the full ANALYSE pipeline on the Maclaurin
+example.  The absolute factor is large in pure Python (every elementary
+op becomes an object + tape node), but it is paid once offline per
+kernel, not at execution time.
+"""
+
+import pytest
+
+from repro.kernels.maclaurin import analyse_maclaurin, maclaurin_series
+
+N = 24
+
+
+def test_plain_float_evaluation(benchmark):
+    value = benchmark(maclaurin_series, 0.49, N)
+    assert value == pytest.approx((1 - 0.49**N) / (1 - 0.49))
+
+
+def test_full_analysis_pipeline(benchmark):
+    result = benchmark(analyse_maclaurin, 0.49, 1.0, N)
+    assert result.partition_level == 1
+    benchmark.extra_info["note"] = (
+        "profile run + reverse sweep + simplify + variance scan, "
+        f"n={N} terms"
+    )

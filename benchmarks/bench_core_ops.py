@@ -1,0 +1,86 @@
+"""Microbenchmarks of the analysis substrate itself.
+
+Not a paper figure — engineering numbers for the README: cost of interval
+arithmetic, of taping, and of the reverse sweeps, so users can size their
+profile runs.
+"""
+
+import pytest
+
+from repro.ad import ADouble, Tape
+from repro.ad import intrinsics as op
+from repro.intervals import Interval, rounded_mode
+
+
+def paper_fn(x):
+    return op.cos(op.exp(op.sin(x) + x) - x)
+
+
+def test_interval_arithmetic_kernel(benchmark):
+    a = Interval(1.0, 2.0)
+    b = Interval(-0.5, 0.7)
+
+    def body():
+        total = a
+        for _ in range(100):
+            total = total * b + a / 3.0 - b
+        return total
+
+    result = benchmark(body)
+    assert result.lo <= result.hi
+
+
+def test_interval_arithmetic_unrounded(benchmark):
+    a = Interval(1.0, 2.0)
+    b = Interval(-0.5, 0.7)
+
+    def body():
+        with rounded_mode(False):
+            total = a
+            for _ in range(100):
+                total = total * b + a / 3.0 - b
+            return total
+
+    result = benchmark(body)
+    assert result.lo <= result.hi
+
+
+def test_tape_recording(benchmark):
+    def record():
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.2, 0.4), tape=tape)
+            y = x
+            for _ in range(50):
+                y = paper_fn(y)
+        return tape
+
+    tape = benchmark(record)
+    assert len(tape) == 1 + 50 * 5
+
+
+def test_adjoint_sweep(benchmark):
+    with Tape() as tape:
+        x = ADouble.input(Interval(0.2, 0.4), tape=tape)
+        y = x
+        for _ in range(50):
+            y = paper_fn(y)
+
+    def sweep():
+        return tape.adjoint({y.node.index: Interval(1.0)})
+
+    adjoints = benchmark(sweep)
+    assert isinstance(adjoints[x.node.index], Interval)
+
+
+def test_vector_adjoint_sweep(benchmark):
+    with Tape() as tape:
+        x = ADouble.input(Interval(0.2, 0.4), tape=tape)
+        outputs = [paper_fn(x * float(k)) for k in range(1, 17)]
+
+    indices = [o.node.index for o in outputs]
+
+    def sweep():
+        return tape.adjoint_vector(indices)
+
+    lo, hi = benchmark(sweep)
+    assert lo.shape == (len(tape), 16)

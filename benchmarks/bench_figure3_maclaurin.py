@@ -1,0 +1,44 @@
+"""Figure 3: Maclaurin-series significance analysis benchmark.
+
+Regenerates the per-term significances of Figure 3b and times the full
+dco/scorpio pipeline (profile run + reverse sweep + simplify + variance
+scan) on the running example.
+"""
+
+import pytest
+
+from repro.experiments import figure3
+from repro.kernels.maclaurin import analyse_maclaurin
+
+PAPER_VALUES = {
+    "term0": 0.0,
+    "term1": 0.259,
+    "term2": 0.254,
+    "term3": 0.245,
+    "term4": 0.241,
+}
+
+
+def test_figure3_analysis(benchmark):
+    result = benchmark(analyse_maclaurin)
+
+    assert result.partition_level == 1
+    for term, expected in PAPER_VALUES.items():
+        assert result.normalised[term] == pytest.approx(expected, abs=0.012)
+    benchmark.extra_info["measured"] = {
+        k: round(v, 4) for k, v in sorted(result.normalised.items())
+    }
+    benchmark.extra_info["paper"] = PAPER_VALUES
+
+
+def test_figure3_full_rendering(benchmark):
+    fig = benchmark(figure3)
+    assert "term1" in fig.to_text()
+    assert fig.simplified_dot.count("->") < fig.raw_dot.count("->")
+
+
+def test_figure3_larger_series(benchmark):
+    """Scaling check: the monotone decay holds for longer series too."""
+    result = benchmark(analyse_maclaurin, n=24)
+    values = [result.normalised[f"term{i}"] for i in range(1, 24)]
+    assert all(a > b for a, b in zip(values, values[1:]))

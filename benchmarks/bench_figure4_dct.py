@@ -1,0 +1,33 @@
+"""Figure 4: DCT coefficient significance map benchmark.
+
+Regenerates the 8x8 wave-pattern significance map (DC corner highest,
+decay along the zig-zag) and times the vector-adjoint analysis of one
+block and of the averaged map.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dct import analyse_dct, analyse_dct_block, blockify, zigzag_order
+
+
+def test_figure4_single_block(benchmark, bench_image):
+    block = blockify(bench_image)[5]
+    sig_map = benchmark(analyse_dct_block, block)
+    assert sig_map[0, 0] == sig_map.max()
+
+
+def test_figure4_averaged_map(benchmark, bench_image):
+    analysis = benchmark.pedantic(
+        analyse_dct, args=(bench_image,), kwargs={"samples": 4}, rounds=1, iterations=1
+    )
+    means = analysis.diagonal_means()
+
+    # The paper's wave pattern: DC diagonal dominates, low-frequency
+    # diagonals clearly above high-frequency ones.
+    assert means[0] == max(means)
+    assert np.mean(means[:4]) > 2.0 * np.mean(means[-4:])
+
+    profile = analysis.zigzag_profile()
+    assert np.mean(profile[:16]) > np.mean(profile[-16:])
+    benchmark.extra_info["diagonal_means"] = [round(m, 4) for m in means]

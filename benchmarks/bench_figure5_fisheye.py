@@ -1,0 +1,32 @@
+"""Figure 5: InverseMapping significance map benchmark.
+
+Regenerates the radial significance pattern (border > centre) over a grid
+of output pixels and times the per-pixel interval-adjoint analyses.
+"""
+
+import pytest
+
+from repro.kernels.fisheye import (
+    analyse_inverse_mapping,
+    default_config,
+    make_fisheye_input,
+)
+
+
+def test_figure5_radial_pattern(benchmark, bench_scene):
+    config = default_config(128, 96)
+    input_image = make_fisheye_input(bench_scene, config)
+
+    analysis = benchmark.pedantic(
+        analyse_inverse_mapping,
+        args=(input_image, config),
+        kwargs={"grid": (8, 10), "jitter_samples": 8},
+        rounds=1,
+        iterations=1,
+    )
+    profile = analysis.radial_profile(config, bins=4)
+
+    # Paper: significance rises toward the image border.
+    assert profile[-1] > 1.2 * profile[0]
+    assert profile[-1] == max(profile)
+    benchmark.extra_info["radial_profile"] = [round(p, 4) for p in profile]

@@ -1,0 +1,31 @@
+"""Figure 6: bicubic pixel-pair significance benchmark.
+
+Regenerates the eight pair significances over the fractional-position
+grid; the inner 2x2 pairs (c, e) must dominate — the basis for the
+bilinear approximate task version.
+"""
+
+import pytest
+
+from repro.kernels.fisheye import analyse_bicubic
+
+
+def test_figure6_pair_ranking(benchmark):
+    analysis = benchmark(analyse_bicubic, positions=5)
+    ranking = analysis.ranking()
+
+    assert set(ranking[:2]) == {"c", "e"}  # inner 2x2 pairs on top
+    assert set(ranking[-2:]) == {"b", "h"}  # outer corner pairs at the bottom
+    benchmark.extra_info["pair_significance"] = {
+        k: round(v, 4) for k, v in sorted(analysis.pair_significance.items())
+    }
+
+
+def test_figure6_content_independence(benchmark):
+    """The pattern is a property of the weights, not the image content."""
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    window = rng.uniform(0, 255, (4, 4))
+    analysis = benchmark(analyse_bicubic, window=window, positions=3)
+    assert set(analysis.ranking()[:2]) == {"c", "e"}

@@ -1,0 +1,29 @@
+"""Figure 7 (BlackScholes panel): relative error + energy vs ratio.
+
+Loop perforation is not applicable to BlackScholes (Section 4.2) — the
+panel has only the significance-driven series, like the paper's plot.
+"""
+
+import pytest
+
+from repro.experiments import figure7_blackscholes
+from repro.experiments.sweep import format_sweep
+
+
+def test_figure7_blackscholes(benchmark):
+    sweep = benchmark.pedantic(
+        figure7_blackscholes, kwargs={"count": 8192}, rounds=1, iterations=1
+    )
+
+    errors = [p.quality for p in sweep.series("significance")]
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] == pytest.approx(0.0, abs=1e-15)
+
+    # Paper scale: a few percent error at full approximation, monotone
+    # decay to zero; C/D-block approximation is visible but graceful.
+    assert 0.005 < sweep.quality_at(0.0) < 0.15
+
+    assert sweep.series("perforation") == []  # not applicable
+
+    benchmark.extra_info["errors_pct"] = [round(100 * e, 3) for e in errors]
+    benchmark.extra_info["table"] = format_sweep(sweep)

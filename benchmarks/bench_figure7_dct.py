@@ -1,0 +1,27 @@
+"""Figure 7 (DCT panel): quality + energy vs accurate-task ratio."""
+
+import pytest
+
+from repro.experiments import figure7_dct
+from repro.experiments.sweep import format_sweep
+
+
+def test_figure7_dct(benchmark):
+    sweep = benchmark.pedantic(
+        figure7_dct, kwargs={"size": 128}, rounds=1, iterations=1
+    )
+
+    sig_quality = [p.quality for p in sweep.series("significance")]
+    assert sig_quality == sorted(sig_quality)
+
+    # "DCT produces high-quality output even for relatively low accurate
+    # task ratios" — already > 25 dB at ratio 0 (DC diagonal pinned).
+    assert sweep.quality_at(0.0) > 25.0
+
+    # The paper's headline DCT gap: significance-ordered diagonals beat
+    # raster-order perforation decisively at interior ratios.
+    for ratio in (0.0, 0.2, 0.5, 0.8):
+        assert sweep.quality_at(ratio) >= sweep.quality_at(ratio, "perforation")
+    assert sweep.quality_at(0.2) - sweep.quality_at(0.2, "perforation") > 1.5
+
+    benchmark.extra_info["table"] = format_sweep(sweep)

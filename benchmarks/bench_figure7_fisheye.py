@@ -1,0 +1,31 @@
+"""Figure 7 (Fisheye panel): quality + energy vs accurate-task ratio."""
+
+import pytest
+
+from repro.experiments import figure7_fisheye
+from repro.experiments.sweep import format_sweep
+
+
+def test_figure7_fisheye(benchmark):
+    sweep = benchmark.pedantic(
+        figure7_fisheye,
+        kwargs={"width": 128, "height": 96},
+        rounds=1,
+        iterations=1,
+    )
+
+    sig_quality = [p.quality for p in sweep.series("significance")]
+    assert sig_quality == sorted(sig_quality)
+
+    # The interpolated-coordinates + bilinear approximation keeps quality
+    # high while row perforation collapses (paper: +6.9 dB on average).
+    for ratio in (0.0, 0.2, 0.5, 0.8):
+        assert (
+            sweep.quality_at(ratio) - sweep.quality_at(ratio, "perforation")
+            > 5.0
+        )
+
+    # Perforation remains the cheaper execution (no task runtime).
+    assert sweep.energy_at(1.0, "perforation") < sweep.energy_at(1.0)
+
+    benchmark.extra_info["table"] = format_sweep(sweep)

@@ -1,0 +1,29 @@
+"""Figure 7 (N-Body panel): relative error + energy vs ratio."""
+
+import pytest
+
+from repro.experiments import figure7_nbody
+from repro.experiments.sweep import format_sweep
+
+
+def test_figure7_nbody(benchmark):
+    sweep = benchmark.pedantic(
+        figure7_nbody, kwargs={"side": 7, "steps": 2}, rounds=1, iterations=1
+    )
+
+    sig_error = [p.quality for p in sweep.series("significance")]
+    assert sig_error == sorted(sig_error, reverse=True)  # error shrinks
+    assert sig_error[-1] == pytest.approx(0.0, abs=1e-12)  # exact at ratio 1
+
+    # The paper's headline N-Body result: the fully approximate
+    # significance run is *far* more accurate than perforation, because
+    # dropped work is distance-selected rather than index-selected.
+    assert sweep.quality_at(0.0) < 1e-3
+    for ratio in (0.0, 0.2, 0.5):
+        assert sweep.quality_at(ratio, "perforation") > sweep.quality_at(ratio)
+
+    # And the energy saving at full approximation is large (paper ~91%).
+    assert sweep.energy_reduction > 0.5
+
+    benchmark.extra_info["energy_reduction"] = round(sweep.energy_reduction, 3)
+    benchmark.extra_info["table"] = format_sweep(sweep)

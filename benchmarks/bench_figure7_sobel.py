@@ -1,0 +1,32 @@
+"""Figure 7 (Sobel panel): quality + energy vs accurate-task ratio."""
+
+import pytest
+
+from repro.experiments import figure7_sobel
+from repro.experiments.sweep import format_sweep
+
+
+def _series(sweep, variant):
+    return {p.ratio: (round(p.quality, 2), round(p.joules, 1)) for p in sweep.series(variant)}
+
+
+def test_figure7_sobel(benchmark):
+    sweep = benchmark.pedantic(
+        figure7_sobel, kwargs={"size": 128}, rounds=1, iterations=1
+    )
+
+    sig_quality = [p.quality for p in sweep.series("significance")]
+    assert sig_quality == sorted(sig_quality)  # graceful degradation
+
+    # Significance beats perforation on quality at every interior ratio.
+    for ratio in (0.0, 0.2, 0.5, 0.8):
+        assert sweep.quality_at(ratio, "significance") > sweep.quality_at(
+            ratio, "perforation"
+        )
+
+    # Perforation is slightly cheaper at equal ratio (no task overhead).
+    assert sweep.energy_at(1.0, "perforation") < sweep.energy_at(1.0)
+
+    benchmark.extra_info["significance"] = _series(sweep, "significance")
+    benchmark.extra_info["perforation"] = _series(sweep, "perforation")
+    benchmark.extra_info["table"] = format_sweep(sweep)

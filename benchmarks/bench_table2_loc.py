@@ -1,0 +1,36 @@
+"""Table 2: per-benchmark lines-of-code accounting benchmark."""
+
+import pytest
+
+from repro.experiments import format_table2, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+
+    assert len(rows) == 5
+    for row in rows:
+        # Structure of the paper's table: the task-based version adds
+        # code over sequential; approximation + significance overhead is
+        # a modest fraction of the parallel version.
+        assert row.parallel > row.sequential
+        assert 0.0 <= row.overhead_percent < 40.0
+
+    dct_row = next(r for r in rows if r.benchmark == "DCT")
+    assert dct_row.overhead_percent < 5.0  # paper reports ≈ 0%
+
+    benchmark.extra_info["rows"] = {
+        r.benchmark: {
+            "sequential": r.sequential,
+            "parallel": r.parallel,
+            "approx": r.approx,
+            "significance": r.significance,
+            "overhead_pct": round(r.overhead_percent, 1),
+        }
+        for r in rows
+    }
+
+
+def test_table2_formatting(benchmark):
+    text = benchmark(format_table2)
+    assert "Overhead" in text

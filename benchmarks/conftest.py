@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper (see
+DESIGN.md §3).  Benchmarks assert the paper's *shape* claims as they run,
+so a green ``pytest benchmarks/ --benchmark-only`` doubles as an
+end-to-end reproduction check; measured-vs-paper numbers are recorded in
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.images import natural_image, radial_scene
+
+
+@pytest.fixture(scope="session")
+def bench_image():
+    """Shared 128x128 natural image for the image-kernel benches."""
+    return natural_image(128, 128, seed=5)
+
+
+@pytest.fixture(scope="session")
+def bench_scene():
+    """Shared radial scene for the fisheye benches."""
+    return radial_scene(128, 96, seed=11)

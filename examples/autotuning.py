@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Autotuning the quality knob across benchmarks.
+
+The paper's runtime exposes a single knob — ``taskwait(ratio=…)`` — "to
+enforce a minimum quality in the quality / performance-energy
+optimization space".  This example closes the loop the way a deployment
+would: give the tuner a quality target (or an energy budget) and let it
+find the knob setting, per benchmark.
+
+Run:  python examples/autotuning.py [--size 128]
+"""
+
+import argparse
+
+from repro.images import natural_image, radial_scene
+from repro.kernels.dct import dct_roundtrip_reference, dct_significance
+from repro.kernels.fisheye import (
+    default_config,
+    fisheye_reference,
+    fisheye_significance,
+    make_fisheye_input,
+)
+from repro.kernels.sobel import sobel_reference, sobel_significance
+from repro.metrics import psnr
+from repro.runtime import best_quality_under_energy, min_ratio_for_quality
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--target-psnr", type=float, default=35.0)
+    args = parser.parse_args()
+
+    image = natural_image(args.size, args.size, seed=5)
+    config = default_config(args.size, max(args.size * 3 // 4, 32))
+    scene = radial_scene(config.out_width, config.out_height, seed=11)
+    fisheye_input = make_fisheye_input(scene, config)
+
+    benchmarks = {
+        "sobel": (
+            sobel_reference(image),
+            lambda ratio: sobel_significance(image, ratio),
+        ),
+        "dct": (
+            dct_roundtrip_reference(image),
+            lambda ratio: dct_significance(image, ratio),
+        ),
+        "fisheye": (
+            fisheye_reference(fisheye_input, config),
+            lambda ratio: fisheye_significance(fisheye_input, config, ratio),
+        ),
+    }
+
+    print(f"== minimum ratio for >= {args.target_psnr:.0f} dB ==")
+    evaluators = {}
+    for name, (reference, run_fn) in benchmarks.items():
+        def evaluate(ratio, run_fn=run_fn, reference=reference):
+            run = run_fn(ratio)
+            return min(psnr(reference, run.output), 99.0), run.joules
+
+        evaluators[name] = evaluate
+        result = min_ratio_for_quality(evaluate, args.target_psnr)
+        flag = "" if result.satisfied else "  (best effort)"
+        print(
+            f"  {name:<8} ratio={result.ratio:5.3f}  "
+            f"quality={result.quality:6.2f} dB  "
+            f"energy={result.energy:7.1f} J  probes={len(result.probes)}{flag}"
+        )
+
+    print("\n== best quality under 60% of full energy ==")
+    for name, evaluate in evaluators.items():
+        full_energy = evaluate(1.0)[1]
+        result = best_quality_under_energy(evaluate, 0.6 * full_energy)
+        flag = "" if result.satisfied else "  (over budget: cheapest point)"
+        print(
+            f"  {name:<8} ratio={result.ratio:5.3f}  "
+            f"quality={result.quality:6.2f} dB  "
+            f"energy={result.energy:7.1f} J "
+            f"(budget {0.6 * full_energy:.0f} J){flag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Significance explorer: analyse *your own* Python function.
+
+Demonstrates the library as a general tool rather than a benchmark rig:
+write any differentiable function against ``repro.ad.intrinsics``, give
+input ranges, and get the Eq. 11 significance ranking, the DynDFG in DOT,
+and a Monte-Carlo cross-check of the ranking.
+
+Run:  python examples/significance_explorer.py
+"""
+
+import math
+
+from repro.ad import intrinsics as op
+from repro.intervals import Box, Interval
+from repro.scorpio import (
+    Analysis,
+    perturbation_significance,
+    rank_correlation,
+)
+
+
+def damped_oscillator(t, amplitude, decay, frequency, phase):
+    """A little signal model: A·e^{-λt}·sin(ωt + φ)."""
+    return amplitude * op.exp(-decay * t) * op.sin(frequency * t + phase)
+
+
+def main() -> None:
+    ranges = {
+        "t": Interval(1.8, 2.2),
+        "amplitude": Interval(0.9, 1.1),
+        "decay": Interval(0.45, 0.55),
+        "frequency": Interval(2.9, 3.1),
+        "phase": Interval(-0.1, 0.1),
+    }
+
+    # IA + AD analysis (one profile run, Eq. 11 for every variable).
+    an = Analysis()
+    with an:
+        taped = {name: an.input(iv, name=name) for name, iv in ranges.items()}
+        envelope = taped["amplitude"] * op.exp(-taped["decay"] * taped["t"])
+        an.intermediate(envelope, "envelope")
+        carrier = op.sin(taped["frequency"] * taped["t"] + taped["phase"])
+        an.intermediate(carrier, "carrier")
+        an.output(envelope * carrier, name="signal")
+    report = an.analyse()
+
+    print("significance ranking (inputs + tagged intermediates):")
+    for label, value in report.ranking():
+        print(f"  {label:<10} {value:.4f}")
+
+    # Monte-Carlo cross-check of the *input* ranking (ASAC-style).
+    def plain(args):
+        t, a, lam, w, phi = args
+        return a * math.exp(-lam * t) * math.sin(w * t + phi)
+
+    names = list(ranges)
+    box = Box([ranges[n] for n in names])
+    mc_scores = perturbation_significance(plain, box, samples=256)
+    ia_scores = [report.input_significances()[n] for n in names]
+    rho = rank_correlation(ia_scores, mc_scores)
+    print("\nMonte-Carlo perturbation cross-check:")
+    for name, score in zip(names, mc_scores):
+        print(f"  {name:<10} {score:.4f}")
+    print(f"rank correlation IA+AD vs Monte-Carlo: {rho:+.3f}")
+
+    print("\nDynDFG (DOT, paste into graphviz):")
+    print(report.to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment's setuptools predates reliable
+PEP 660 editable installs (no `wheel` available offline), so `pip install
+-e . --no-use-pep517 --no-build-isolation` uses this file. All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reproduction of "Towards Automatic Significance Analysis for Approximate
+Computing" (CGO 2016).
+
+Subpackages:
+
+* :mod:`repro.intervals` — rigorous interval arithmetic.
+* :mod:`repro.ad`        — tape-based algorithmic differentiation.
+* :mod:`repro.scorpio`   — the significance-analysis framework (DynDFG,
+  Eq. 11 significance, Algorithm 1 workflow).
+* :mod:`repro.runtime`   — significance-aware task runtime with the
+  ``taskwait(ratio=…)`` quality knob and energy accounting.
+* :mod:`repro.perforation` — loop-perforation baseline.
+* :mod:`repro.fastmath`  — fast approximate math (fastapprox-style).
+* :mod:`repro.metrics`   — PSNR / relative-error quality metrics.
+* :mod:`repro.images`    — synthetic images and PGM/PPM I/O.
+* :mod:`repro.kernels`   — the paper's benchmarks (Sobel, DCT, Fisheye,
+  N-Body, BlackScholes, Maclaurin).
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "intervals",
+    "ad",
+    "scorpio",
+    "runtime",
+    "perforation",
+    "fastmath",
+    "metrics",
+    "images",
+    "kernels",
+    "experiments",
+]

@@ -1,0 +1,151 @@
+"""Tangent-linear (forward) mode AD — the ``dco::t1s``/``dco::it1s`` analogue.
+
+A :class:`Tangent` carries a value and a directional derivative (``dot``)
+and propagates both forward through arithmetic.  Like
+:class:`~repro.ad.adouble.ADouble` it is generic over the value algebra:
+floats give classic tangent-linear AD, :class:`~repro.intervals.Interval`
+values give interval tangents.
+
+In this repository tangent mode exists to *validate* the adjoint engine:
+for a function with n inputs, n tangent runs must reproduce the gradient a
+single adjoint run harvests (a standard AD consistency check), and the
+tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.intervals import Interval
+
+__all__ = ["Tangent"]
+
+_Operand = Union["Tangent", Interval, int, float]
+
+
+def _zero_like(value: Any) -> Any:
+    return Interval(0.0) if isinstance(value, Interval) else 0.0
+
+
+class Tangent:
+    """A value/derivative pair propagated in forward mode."""
+
+    __slots__ = ("value", "dot")
+
+    def __init__(self, value: Any, dot: Any | None = None):
+        self.value = value
+        self.dot = _zero_like(value) if dot is None else dot
+
+    @classmethod
+    def seed(cls, value: Any) -> "Tangent":
+        """Input with derivative seeded to 1 (differentiate w.r.t. it)."""
+        one = Interval(1.0) if isinstance(value, Interval) else 1.0
+        return cls(value, one)
+
+    @classmethod
+    def lift(cls, operand: _Operand) -> "Tangent":
+        """Coerce a passive operand to a zero-derivative tangent."""
+        if isinstance(operand, Tangent):
+            return operand
+        if isinstance(operand, Interval):
+            return cls(operand, Interval(0.0))
+        return cls(float(operand), 0.0)
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: _Operand) -> "Tangent":
+        o = Tangent.lift(other)
+        return Tangent(self.value + o.value, self.dot + o.dot)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Operand) -> "Tangent":
+        o = Tangent.lift(other)
+        return Tangent(self.value - o.value, self.dot - o.dot)
+
+    def __rsub__(self, other: _Operand) -> "Tangent":
+        o = Tangent.lift(other)
+        return Tangent(o.value - self.value, o.dot - self.dot)
+
+    def __mul__(self, other: _Operand) -> "Tangent":
+        if other is self:
+            # Same-object square: sharp interval square (see Interval).
+            from repro.intervals import functions as ifn
+
+            return Tangent(ifn.pow(self.value, 2), 2.0 * self.value * self.dot)
+        o = Tangent.lift(other)
+        return Tangent(
+            self.value * o.value, self.dot * o.value + self.value * o.dot
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Operand) -> "Tangent":
+        o = Tangent.lift(other)
+        value = self.value / o.value
+        dot = (self.dot - value * o.dot) / o.value
+        return Tangent(value, dot)
+
+    def __rtruediv__(self, other: _Operand) -> "Tangent":
+        return Tangent.lift(other).__truediv__(self)
+
+    def __neg__(self) -> "Tangent":
+        return Tangent(-self.value, -self.dot)
+
+    def __pos__(self) -> "Tangent":
+        return self
+
+    def __abs__(self) -> "Tangent":
+        if isinstance(self.value, Interval):
+            iv = self.value
+            if iv.lo >= 0:
+                sign: Any = 1.0
+            elif iv.hi <= 0:
+                sign = -1.0
+            else:
+                sign = Interval(-1.0, 1.0)
+        else:
+            sign = 1.0 if self.value >= 0 else -1.0
+        return Tangent(abs(self.value), sign * self.dot)
+
+    def __pow__(self, exponent: _Operand) -> "Tangent":
+        from . import intrinsics as _in
+
+        if isinstance(exponent, (int, float)) and float(exponent).is_integer():
+            n = int(exponent)
+            from repro.intervals import functions as ifn
+
+            if n == 0:
+                one = (
+                    Interval(1.0)
+                    if isinstance(self.value, Interval)
+                    else 1.0
+                )
+                return Tangent(one, _zero_like(self.value))
+            value = ifn.pow(self.value, n)
+            partial = float(n) * ifn.pow(self.value, n - 1)
+            return Tangent(value, partial * self.dot)
+        return _in.exp(Tangent.lift(exponent) * _in.log(self))
+
+    def __rpow__(self, base: _Operand) -> "Tangent":
+        from . import intrinsics as _in
+        from repro.intervals import functions as ifn
+
+        lifted = Tangent.lift(base)
+        return _in.exp(self * ifn.log(lifted.value))
+
+    # Comparisons delegate to the underlying algebra (interval semantics
+    # raise AmbiguousComparisonError exactly as in adjoint mode).
+    def __lt__(self, other: _Operand) -> bool:
+        return self.value < Tangent.lift(other).value
+
+    def __le__(self, other: _Operand) -> bool:
+        return self.value <= Tangent.lift(other).value
+
+    def __gt__(self, other: _Operand) -> bool:
+        return self.value > Tangent.lift(other).value
+
+    def __ge__(self, other: _Operand) -> bool:
+        return self.value >= Tangent.lift(other).value
+
+    def __repr__(self) -> str:
+        return f"Tangent({self.value}, dot={self.dot})"

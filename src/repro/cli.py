@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers plus a few utility
+actions:
+
+* ``figure3`` / ``figure4`` / ``figure5`` / ``figure6`` — regenerate the
+  significance-analysis figures as text;
+* ``figure7 [--benchmark NAME] [--fast]`` — the quality/energy sweeps;
+* ``table2`` — the LoC table;
+* ``headline [--fast]`` — the 31-91% energy summary;
+* ``tune --benchmark NAME --target-psnr DB`` — demonstrate the ratio
+  autotuner on an image benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Towards Automatic Significance Analysis for "
+            "Approximate Computing' (CGO 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure3", help="Maclaurin term significances")
+
+    p4 = sub.add_parser("figure4", help="DCT coefficient significance map")
+    p4.add_argument("--size", type=int, default=64)
+    p4.add_argument("--samples", type=int, default=6)
+
+    p5 = sub.add_parser("figure5", help="InverseMapping significance map")
+    p5.add_argument("--width", type=int, default=192)
+    p5.add_argument("--height", type=int, default=144)
+
+    sub.add_parser("figure6", help="bicubic pixel-pair significances")
+
+    p7 = sub.add_parser("figure7", help="quality/energy ratio sweeps")
+    p7.add_argument(
+        "--benchmark",
+        choices=["sobel", "dct", "fisheye", "nbody", "blackscholes", "all"],
+        default="all",
+    )
+    p7.add_argument("--fast", action="store_true", help="reduced workloads")
+    p7.add_argument(
+        "--plot", action="store_true", help="ASCII chart instead of a table"
+    )
+
+    sub.add_parser("table2", help="lines-of-code accounting")
+
+    ph = sub.add_parser("headline", help="energy-reduction summary")
+    ph.add_argument("--fast", action="store_true")
+
+    pa = sub.add_parser(
+        "artifacts", help="export significance maps as PGM images"
+    )
+    pa.add_argument("--out-dir", default="artifacts")
+
+    pr = sub.add_parser(
+        "record", help="run every experiment and save JSON + markdown"
+    )
+    pr.add_argument("--out-dir", default="results")
+    pr.add_argument(
+        "--full", action="store_true", help="full workload sizes (slow)"
+    )
+
+    pt = sub.add_parser("tune", help="autotune the ratio knob")
+    pt.add_argument("--benchmark", choices=["sobel", "dct"], default="dct")
+    pt.add_argument("--target-psnr", type=float, default=35.0)
+    pt.add_argument("--size", type=int, default=128)
+    return parser
+
+
+def _cmd_figure3(_args: argparse.Namespace) -> str:
+    from repro.experiments.figure3 import figure3
+
+    return figure3().to_text()
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    from repro.experiments.figure4 import figure4
+
+    return figure4(size=args.size, samples=args.samples).to_text()
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    from repro.experiments.figure5 import figure5
+
+    return figure5(width=args.width, height=args.height).to_text()
+
+
+def _cmd_figure6(_args: argparse.Namespace) -> str:
+    from repro.experiments.figure6 import figure6
+
+    return figure6().to_text()
+
+
+def _cmd_figure7(args: argparse.Namespace) -> str:
+    from repro.experiments import figure7
+    from repro.experiments.plots import render_panel
+    from repro.experiments.sweep import format_sweep
+
+    renderer = render_panel if args.plot else format_sweep
+    if args.benchmark == "all":
+        sweeps = figure7.figure7_all(fast=args.fast)
+        return "\n\n".join(renderer(s) for s in sweeps.values())
+    fn = getattr(figure7, f"figure7_{args.benchmark}")
+    return renderer(fn())
+
+
+def _cmd_artifacts(args: argparse.Namespace) -> str:
+    from repro.experiments.artifacts import save_all_artifacts
+
+    paths = save_all_artifacts(args.out_dir)
+    return "\n".join(f"wrote {p}" for p in paths)
+
+
+def _cmd_table2(_args: argparse.Namespace) -> str:
+    from repro.experiments.table2 import format_table2
+
+    return format_table2()
+
+
+def _cmd_headline(args: argparse.Namespace) -> str:
+    from repro.experiments.headline import format_headline, headline
+
+    return format_headline(headline(fast=args.fast))
+
+
+def _cmd_record(args: argparse.Namespace) -> str:
+    from repro.experiments.record import save_record
+
+    json_path, md_path = save_record(args.out_dir, fast=not args.full)
+    return f"wrote {json_path}\nwrote {md_path}"
+
+
+def _cmd_tune(args: argparse.Namespace) -> str:
+    from repro.images import natural_image
+    from repro.metrics import psnr
+    from repro.runtime import min_ratio_for_quality
+
+    image = natural_image(args.size, args.size, seed=5)
+    if args.benchmark == "sobel":
+        from repro.kernels.sobel import sobel_reference as ref_fn
+        from repro.kernels.sobel import sobel_significance as run_fn
+    else:
+        from repro.kernels.dct import dct_roundtrip_reference as ref_fn
+        from repro.kernels.dct import dct_significance as run_fn
+
+    reference = ref_fn(image)
+
+    def evaluate(ratio: float) -> tuple[float, float]:
+        run = run_fn(image, ratio)
+        return min(psnr(reference, run.output), 99.0), run.joules
+
+    result = min_ratio_for_quality(evaluate, args.target_psnr)
+    lines = [
+        f"benchmark: {args.benchmark} ({args.size}x{args.size})",
+        f"target quality: {args.target_psnr:.1f} dB",
+        f"chosen ratio:  {result.ratio:.4f}"
+        + ("" if result.satisfied else "  (UNSATISFIABLE - best effort)"),
+        f"quality: {result.quality:.2f} dB   energy: {result.energy:.1f} J",
+        f"probes: {len(result.probes)}",
+    ]
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+    "figure7": _cmd_figure7,
+    "artifacts": _cmd_artifacts,
+    "table2": _cmd_table2,
+    "headline": _cmd_headline,
+    "record": _cmd_record,
+    "tune": _cmd_tune,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Run any module directly (``python -m repro.experiments.figure7``) or use
+the functions programmatically.  The experiment index lives in DESIGN.md
+§3; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from .figure3 import Figure3, figure3
+from .figure4 import Figure4, figure4
+from .figure5 import Figure5, figure5
+from .figure6 import Figure6, figure6
+from .figure7 import (
+    figure7_all,
+    figure7_blackscholes,
+    figure7_dct,
+    figure7_fisheye,
+    figure7_nbody,
+    figure7_sobel,
+)
+from .artifacts import save_all_artifacts, save_figure4, save_figure5
+from .headline import HeadlineResult, format_headline, headline
+from .plots import render_all_panels, render_panel
+from .record import record_all, save_record
+from .sweep import RATIOS, SweepPoint, SweepResult, format_sweep, run_sweep
+from .table2 import Table2Row, count_loc, format_table2, table2
+
+__all__ = [
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7_sobel",
+    "figure7_dct",
+    "figure7_fisheye",
+    "figure7_nbody",
+    "figure7_blackscholes",
+    "figure7_all",
+    "headline",
+    "format_headline",
+    "HeadlineResult",
+    "table2",
+    "format_table2",
+    "count_loc",
+    "Table2Row",
+    "Figure3",
+    "Figure4",
+    "Figure5",
+    "Figure6",
+    "SweepResult",
+    "SweepPoint",
+    "run_sweep",
+    "format_sweep",
+    "RATIOS",
+    "render_panel",
+    "render_all_panels",
+    "save_figure4",
+    "save_figure5",
+    "save_all_artifacts",
+    "record_all",
+    "save_record",
+]

@@ -1,0 +1,71 @@
+"""Visual artifacts: export the figure data as viewable PGM images.
+
+The paper's Figures 4 and 5 are grayscale significance heat maps; this
+module renders our measured maps (and the benchmark input/output images)
+to PGM files so the reproduction can be inspected visually, not just
+numerically.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.images import write_pgm
+
+from .figure4 import Figure4, figure4
+from .figure5 import Figure5, figure5
+
+__all__ = [
+    "heatmap_to_image",
+    "save_figure4",
+    "save_figure5",
+    "save_all_artifacts",
+]
+
+
+def heatmap_to_image(
+    values: np.ndarray, scale: int = 16, gamma: float = 0.5
+) -> np.ndarray:
+    """Upsample a small heat map to a viewable 8-bit image.
+
+    ``gamma`` < 1 brightens the low end so the wave/radial patterns are
+    visible despite the dominant peak cell (the paper's figures do the
+    same implicitly via their colour map).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    peak = values.max()
+    normalised = values / peak if peak > 0 else values
+    shaped = np.power(np.clip(normalised, 0.0, 1.0), gamma)
+    enlarged = np.repeat(np.repeat(shaped, scale, axis=0), scale, axis=1)
+    return 255.0 * enlarged
+
+
+def save_figure4(
+    directory: str | pathlib.Path, fig: Figure4 | None = None
+) -> pathlib.Path:
+    """Write the DCT significance map as ``figure4_dct_map.pgm``."""
+    fig = fig or figure4()
+    path = pathlib.Path(directory) / "figure4_dct_map.pgm"
+    write_pgm(path, heatmap_to_image(fig.significance_map, scale=32))
+    return path
+
+
+def save_figure5(
+    directory: str | pathlib.Path, fig: Figure5 | None = None
+) -> pathlib.Path:
+    """Write the InverseMapping map as ``figure5_invmap.pgm``."""
+    fig = fig or figure5()
+    path = pathlib.Path(directory) / "figure5_invmap.pgm"
+    write_pgm(path, heatmap_to_image(fig.analysis.significance, scale=16))
+    return path
+
+
+def save_all_artifacts(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Render every image artifact into ``directory`` (created if needed)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [save_figure4(directory), save_figure5(directory)]

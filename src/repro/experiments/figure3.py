@@ -1,0 +1,56 @@
+"""Figure 3: Maclaurin-series DynDFG with significance values.
+
+Regenerates both halves of the figure: (a) the raw DynDFG produced by the
+analysis (with the aggregation chain), (b) the simplified graph after S4
+with the normalised per-term significances — term0 = 0, term1 highest,
+monotone decay (the paper reports 0 / 0.259 / 0.254 / 0.245 / 0.241).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.maclaurin import MaclaurinAnalysis, analyse_maclaurin
+
+__all__ = ["Figure3", "figure3", "main"]
+
+
+@dataclass
+class Figure3:
+    """The figure's data plus renderings."""
+
+    analysis: MaclaurinAnalysis
+    raw_dot: str
+    simplified_dot: str
+
+    def to_text(self) -> str:
+        """Table of normalised term significances (Figure 3b labels)."""
+        lines = [
+            "Figure 3 — Maclaurin series term significances (normalised)",
+            f"variance found at level L = {self.analysis.partition_level}",
+        ]
+        for term in sorted(self.analysis.normalised):
+            lines.append(f"  {term}: {self.analysis.normalised[term]:.3f}")
+        return "\n".join(lines)
+
+
+def figure3(x_hat: float = 0.49, n: int = 5) -> Figure3:
+    """Run the Figure 3 analysis and build its renderings."""
+    analysis = analyse_maclaurin(x_hat=x_hat, n=n)
+    return Figure3(
+        analysis=analysis,
+        raw_dot=analysis.report.raw_graph.to_dot("Figure3a"),
+        simplified_dot=analysis.report.simplified_graph.to_dot("Figure3b"),
+    )
+
+
+def main() -> None:
+    """Print the Figure 3 table and the simplified DynDFG in DOT."""
+    fig = figure3()
+    print(fig.to_text())
+    print()
+    print(fig.simplified_dot)
+
+
+if __name__ == "__main__":
+    main()

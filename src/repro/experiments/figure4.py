@@ -1,0 +1,57 @@
+"""Figure 4: DCT coefficient significance mapped on the 8x8 block.
+
+"The top left corner has the highest value and drops in a wave-like
+pattern towards the opposite corner", matching the zig-zag wisdom of
+compression experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.images import natural_image
+from repro.kernels.dct import DctAnalysis, analyse_dct
+
+__all__ = ["Figure4", "figure4", "main"]
+
+
+@dataclass
+class Figure4:
+    """The significance map plus derived profiles."""
+
+    analysis: DctAnalysis
+
+    @property
+    def significance_map(self) -> np.ndarray:
+        """(8, 8) max-normalised coefficient significances."""
+        return self.analysis.significance_map
+
+    def to_text(self) -> str:
+        """ASCII heat table of the 8x8 map plus the diagonal profile."""
+        lines = ["Figure 4 — DCT coefficient significance (normalised)"]
+        for row in self.significance_map:
+            lines.append("  " + " ".join(f"{v:5.3f}" for v in row))
+        means = self.analysis.diagonal_means()
+        lines.append(
+            "diagonal means: " + " ".join(f"{m:.3f}" for m in means)
+        )
+        return "\n".join(lines)
+
+
+def figure4(
+    size: int = 64, samples: int = 6, seed: int = 7
+) -> Figure4:
+    """Run the Figure 4 analysis on sampled blocks of a natural image."""
+    image = natural_image(size, size, seed=seed)
+    return Figure4(analysis=analyse_dct(image, samples=samples))
+
+
+def main() -> None:
+    """Print the Figure 4 map."""
+    print(figure4().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Figure 6: significance of the bicubic 4x4 neighbourhood pixel pairs.
+
+The interpolated pixel lies in the centre cell; the eight symmetric pixel
+pairs (a-h) get their significance from the analysis, and the two inner
+2x2 pairs (c and e) dominate — the basis for the approximate (bilinear)
+task version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.fisheye import BicubicAnalysis, analyse_bicubic
+from repro.kernels.fisheye.bicubic import PIXEL_PAIRS
+
+__all__ = ["Figure6", "figure6", "main"]
+
+
+@dataclass
+class Figure6:
+    """Pair significances plus the pixel map."""
+
+    analysis: BicubicAnalysis
+
+    def to_text(self) -> str:
+        """Pair table (letters as in the paper's subfigures)."""
+        lines = ["Figure 6 — bicubic pixel-pair significances (normalised)"]
+        for letter in sorted(PIXEL_PAIRS):
+            pair = PIXEL_PAIRS[letter]
+            value = self.analysis.pair_significance[letter]
+            lines.append(f"  ({letter}) pixels {pair[0]} and {pair[1]}: {value:.3f}")
+        lines.append("ranking: " + " > ".join(self.analysis.ranking()))
+        lines.append("4x4 pixel map:")
+        for row in self.analysis.pixel_significance:
+            lines.append("  " + " ".join(f"{v:5.3f}" for v in row))
+        return "\n".join(lines)
+
+
+def figure6(positions: int = 5) -> Figure6:
+    """Run the Figure 6 analysis over a grid of fractional positions."""
+    return Figure6(analysis=analyse_bicubic(positions=positions))
+
+
+def main() -> None:
+    """Print the Figure 6 table."""
+    print(figure6().to_text())
+
+
+if __name__ == "__main__":
+    main()

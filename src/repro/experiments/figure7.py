@@ -1,0 +1,174 @@
+"""Figure 7: quality and energy vs accurate-task ratio, all five panels.
+
+Each ``figure7_<benchmark>()`` regenerates one panel (significance-driven
+vs loop-perforated series); :func:`figure7_all` produces the whole figure
+as text tables.  Workload sizes are the benchmark defaults documented in
+DESIGN.md §3 (scaled from the paper's testbed to laptop scale; the energy
+models are calibrated so the fully-accurate points land near the paper's
+Joule readings).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.images import natural_image, radial_scene
+from repro.kernels.blackscholes import (
+    blackscholes_significance,
+    make_portfolio,
+    price_portfolio,
+)
+from repro.kernels.common import QUALITY_PSNR, QUALITY_REL_ERR
+from repro.kernels.dct import (
+    dct_perforated,
+    dct_roundtrip_reference,
+    dct_significance,
+)
+from repro.kernels.fisheye import (
+    default_config,
+    fisheye_perforated,
+    fisheye_reference,
+    fisheye_significance,
+    make_fisheye_input,
+)
+from repro.kernels.nbody import (
+    lattice_system,
+    nbody_perforated,
+    nbody_significance,
+    simulate_reference,
+)
+from repro.kernels.sobel import sobel_perforated, sobel_reference, sobel_significance
+from repro.metrics import aggregate_relative_error, psnr
+
+from .sweep import SweepResult, format_sweep, run_sweep
+
+__all__ = [
+    "figure7_sobel",
+    "figure7_dct",
+    "figure7_fisheye",
+    "figure7_nbody",
+    "figure7_blackscholes",
+    "figure7_all",
+]
+
+
+def figure7_sobel(size: int = 256, seed: int = 5) -> SweepResult:
+    """Sobel panel: PSNR + energy vs ratio."""
+    image = natural_image(size, size, seed=seed)
+    reference = sobel_reference(image)
+    return run_sweep(
+        "Sobel Filter",
+        QUALITY_PSNR,
+        reference,
+        partial(sobel_significance, image),
+        partial(sobel_perforated, image),
+        psnr,
+    )
+
+
+def figure7_dct(size: int = 256, seed: int = 7) -> SweepResult:
+    """DCT panel: PSNR + energy vs ratio."""
+    image = natural_image(size, size, seed=seed)
+    reference = dct_roundtrip_reference(image)
+    return run_sweep(
+        "DCT",
+        QUALITY_PSNR,
+        reference,
+        partial(dct_significance, image),
+        partial(dct_perforated, image),
+        psnr,
+    )
+
+
+def figure7_fisheye(
+    width: int = 256, height: int = 192, seed: int = 11
+) -> SweepResult:
+    """Fisheye panel: PSNR + energy vs ratio."""
+    config = default_config(width, height)
+    scene = radial_scene(width, height, seed=seed)
+    input_image = make_fisheye_input(scene, config)
+    reference = fisheye_reference(input_image, config)
+    return run_sweep(
+        "Fisheye",
+        QUALITY_PSNR,
+        reference,
+        lambda ratio: fisheye_significance(input_image, config, ratio),
+        lambda ratio: fisheye_perforated(input_image, config, ratio),
+        psnr,
+    )
+
+
+def figure7_nbody(side: int = 9, steps: int = 3, seed: int = 42) -> SweepResult:
+    """N-Body panel: relative error + energy vs ratio."""
+    system = lattice_system(side=side, seed=seed)
+    reference = simulate_reference(system, steps=steps).positions
+
+    def sig(ratio: float):
+        run, _ = nbody_significance(system, ratio, steps=steps)
+        return run
+
+    def perf(ratio: float):
+        run, _ = nbody_perforated(system, ratio, steps=steps)
+        return run
+
+    return run_sweep(
+        "N-Body",
+        QUALITY_REL_ERR,
+        reference,
+        sig,
+        perf,
+        aggregate_relative_error,
+    )
+
+
+def figure7_blackscholes(count: int = 16384, seed: int = 23) -> SweepResult:
+    """BlackScholes panel (no perforation series — not applicable)."""
+    portfolio = make_portfolio(count=count, seed=seed)
+    reference = price_portfolio(
+        portfolio.spots,
+        portfolio.strikes,
+        portfolio.rates,
+        portfolio.volatilities,
+        portfolio.expiries,
+        portfolio.puts,
+    )
+    return run_sweep(
+        "BlackScholes",
+        QUALITY_REL_ERR,
+        reference,
+        partial(blackscholes_significance, portfolio),
+        None,
+        aggregate_relative_error,
+    )
+
+
+def figure7_all(fast: bool = False) -> dict[str, SweepResult]:
+    """All five panels.  ``fast=True`` shrinks workloads (for tests)."""
+    if fast:
+        return {
+            "sobel": figure7_sobel(size=96),
+            "dct": figure7_dct(size=64),
+            "fisheye": figure7_fisheye(width=96, height=64),
+            "nbody": figure7_nbody(side=5, steps=2),
+            "blackscholes": figure7_blackscholes(count=2048),
+        }
+    return {
+        "sobel": figure7_sobel(),
+        "dct": figure7_dct(),
+        "fisheye": figure7_fisheye(),
+        "nbody": figure7_nbody(),
+        "blackscholes": figure7_blackscholes(),
+    }
+
+
+def main() -> None:
+    """Print every Figure 7 panel as a table."""
+    for result in figure7_all().values():
+        print(format_sweep(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The paper's headline result (§4.3 / abstract).
+
+"Our framework achieves energy reduction from 31% up to 91% with a mean
+of 56% when executing on a multicore x86 platform, by exploiting
+significance and approximations to produce acceptable results."
+
+Per benchmark: energy reduction of the fully-approximate execution
+relative to the fully-accurate one, plus the min/max/mean summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .figure7 import figure7_all
+from .sweep import SweepResult
+
+__all__ = ["HeadlineResult", "headline", "format_headline", "main"]
+
+
+@dataclass
+class HeadlineResult:
+    """Per-benchmark and summary energy reductions (fractions)."""
+
+    per_benchmark: dict[str, float]
+
+    @property
+    def minimum(self) -> float:
+        """Smallest reduction (paper: 31%)."""
+        return min(self.per_benchmark.values())
+
+    @property
+    def maximum(self) -> float:
+        """Largest reduction (paper: 91%)."""
+        return max(self.per_benchmark.values())
+
+    @property
+    def mean(self) -> float:
+        """Mean reduction (paper: 56%)."""
+        values = list(self.per_benchmark.values())
+        return sum(values) / len(values)
+
+
+def headline(
+    sweeps: dict[str, SweepResult] | None = None, fast: bool = False
+) -> HeadlineResult:
+    """Compute the headline from Figure 7 sweeps (reusing them if given)."""
+    sweeps = sweeps or figure7_all(fast=fast)
+    return HeadlineResult(
+        per_benchmark={
+            name: sweep.energy_reduction for name, sweep in sweeps.items()
+        }
+    )
+
+
+def format_headline(result: HeadlineResult) -> str:
+    """Render the summary sentence plus the per-benchmark table."""
+    lines = ["Headline — energy reduction of full-approximate vs full-accurate"]
+    for name, reduction in result.per_benchmark.items():
+        lines.append(f"  {name:<14} {reduction * 100:5.1f}%")
+    lines.append(
+        f"range {result.minimum * 100:.0f}%..{result.maximum * 100:.0f}%, "
+        f"mean {result.mean * 100:.0f}%  (paper: 31%..91%, mean 56%)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the headline summary."""
+    print(format_headline(headline()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""ASCII rendering of the Figure 7 panels.
+
+The paper's Figure 7 plots quality bars (left axis) against energy lines
+(right axis) per ratio.  :func:`render_panel` reproduces that layout in
+plain text so the reproduction can be *seen* in a terminal::
+
+    Sobel Filter                      quality ▇ sig / ░ perf   energy * sig / . perf
+    23.4|▇░            ...
+        |▇░ ▇░ ▇▇░ ...
+
+Bars are normalised to the panel's maximum quality, energy markers to the
+maximum energy; exact values are printed underneath (the numeric table is
+:func:`repro.experiments.sweep.format_sweep`).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.common import QUALITY_PSNR
+
+from .sweep import SweepResult
+
+__all__ = ["render_panel", "render_all_panels"]
+
+_BAR_SIG = "█"
+_BAR_PERF = "░"
+_DOT_SIG = "*"
+_DOT_PERF = "o"
+
+
+def _scaled(value: float, maximum: float, height: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(height, round(height * value / maximum)))
+
+
+def render_panel(sweep: SweepResult, height: int = 10) -> str:
+    """One Figure 7 panel as an ASCII chart."""
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    sig = sweep.series("significance")
+    perf = {p.ratio: p for p in sweep.series("perforation")}
+
+    # For PSNR higher is better; for relative error plot "goodness" as
+    # 1/(1+err) so taller still means better, like the paper's bars.
+    def goodness(quality: float) -> float:
+        if sweep.quality_kind == QUALITY_PSNR:
+            return quality
+        return 1.0 / (1.0 + 100.0 * quality)
+
+    max_quality = max(
+        [goodness(p.quality) for p in sig]
+        + [goodness(p.quality) for p in perf.values()],
+        default=1.0,
+    )
+    max_energy = max(
+        [p.joules for p in sig] + [p.joules for p in perf.values()],
+        default=1.0,
+    )
+
+    # Each ratio occupies a 6-char column: two bars + energy markers.
+    columns = []
+    for point in sig:
+        perf_point = perf.get(point.ratio)
+        col = {
+            "ratio": point.ratio,
+            "sig_bar": _scaled(goodness(point.quality), max_quality, height),
+            "sig_dot": _scaled(point.joules, max_energy, height),
+            "perf_bar": (
+                _scaled(goodness(perf_point.quality), max_quality, height)
+                if perf_point
+                else None
+            ),
+            "perf_dot": (
+                _scaled(perf_point.joules, max_energy, height)
+                if perf_point
+                else None
+            ),
+        }
+        columns.append(col)
+
+    if perf:
+        legend = (
+            f"quality {_BAR_SIG} sig / {_BAR_PERF} perf"
+            f"   energy {_DOT_SIG} sig / {_DOT_PERF} perf"
+        )
+    else:
+        legend = f"quality {_BAR_SIG} sig   energy {_DOT_SIG} sig"
+    lines = [f"{sweep.benchmark:<28} {legend}"]
+    for level in range(height, 0, -1):
+        row = ["    |"]
+        for col in columns:
+            cell = [" "] * 5
+            if col["sig_bar"] >= level:
+                cell[0] = _BAR_SIG
+            if col["perf_bar"] is not None and col["perf_bar"] >= level:
+                cell[1] = _BAR_PERF
+            if col["sig_dot"] == level:
+                cell[3] = _DOT_SIG
+            if col["perf_dot"] is not None and col["perf_dot"] == level:
+                cell[4] = _DOT_PERF
+            row.append("".join(cell) + " ")
+        lines.append("".join(row))
+    axis = ["    +"]
+    labels = ["     "]
+    for col in columns:
+        axis.append("-" * 6)
+        labels.append(f"{col['ratio']:<6.2f}")
+    lines.append("".join(axis))
+    lines.append("".join(labels) + " (accurate ratio)")
+    return "\n".join(lines)
+
+
+def render_all_panels(sweeps: dict[str, SweepResult], height: int = 10) -> str:
+    """Render every panel, separated by blank lines (the full Figure 7)."""
+    return "\n\n".join(
+        render_panel(sweep, height=height) for sweep in sweeps.values()
+    )

@@ -1,0 +1,131 @@
+"""Record every experiment's measured numbers to disk.
+
+One command regenerates the data behind EXPERIMENTS.md: all five Figure 7
+sweeps, the headline summary, Table 2, and the Figure 3–6 analyses, as a
+single JSON document plus a markdown digest.  Intended for CI: archive
+the JSON per commit and diff it to catch reproduction regressions.
+
+    python -m repro record --out-dir results [--fast]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from .figure3 import figure3
+from .figure4 import figure4
+from .figure5 import figure5
+from .figure6 import figure6
+from .figure7 import figure7_all
+from .headline import format_headline, headline
+from .sweep import SweepResult, format_sweep
+from .table2 import table2
+
+__all__ = ["record_all", "save_record"]
+
+
+def _sweep_payload(sweep: SweepResult) -> dict:
+    return {
+        "benchmark": sweep.benchmark,
+        "quality_kind": sweep.quality_kind,
+        "energy_reduction": sweep.energy_reduction,
+        "points": [
+            {
+                "ratio": p.ratio,
+                "variant": p.variant,
+                "quality": p.quality,
+                "joules": p.joules,
+            }
+            for p in sweep.points
+        ],
+    }
+
+
+def record_all(fast: bool = True) -> dict[str, Any]:
+    """Run every experiment and collect the measurements.
+
+    ``fast=True`` (default) uses the reduced workloads — suitable for CI;
+    pass ``False`` for the full EXPERIMENTS.md-scale numbers.
+    """
+    sweeps = figure7_all(fast=fast)
+    head = headline(sweeps)
+
+    fig3 = figure3()
+    fig4 = figure4(size=48 if fast else 64, samples=2 if fast else 6)
+    fig5 = figure5(
+        width=96 if fast else 192,
+        height=64 if fast else 144,
+        grid=(6, 8) if fast else (9, 12),
+        jitter_samples=4 if fast else 10,
+    )
+    fig6 = figure6(positions=3 if fast else 5)
+
+    return {
+        "fast": fast,
+        "figure3": {
+            "normalised_terms": fig3.analysis.normalised,
+            "partition_level": fig3.analysis.partition_level,
+        },
+        "figure4": {
+            "diagonal_means": fig4.analysis.diagonal_means(),
+        },
+        "figure5": {
+            "radial_profile": fig5.radial_profile(),
+        },
+        "figure6": {
+            "pair_significance": fig6.analysis.pair_significance,
+            "ranking": fig6.analysis.ranking(),
+        },
+        "figure7": {name: _sweep_payload(s) for name, s in sweeps.items()},
+        "headline": {
+            "per_benchmark": head.per_benchmark,
+            "min": head.minimum,
+            "max": head.maximum,
+            "mean": head.mean,
+        },
+        "table2": [
+            {
+                "benchmark": row.benchmark,
+                "sequential": row.sequential,
+                "parallel": row.parallel,
+                "approx": row.approx,
+                "significance": row.significance,
+                "overhead_percent": row.overhead_percent,
+            }
+            for row in table2()
+        ],
+        "_sweep_tables": {
+            name: format_sweep(s) for name, s in sweeps.items()
+        },
+        "_headline_text": format_headline(head),
+    }
+
+
+def save_record(
+    directory: str | pathlib.Path, fast: bool = True
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Run :func:`record_all` and write JSON + markdown digests."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    data = record_all(fast=fast)
+
+    json_path = directory / "experiments.json"
+    json_path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+    md_lines = [
+        "# Measured experiment digest",
+        "",
+        f"workload scale: {'fast (CI)' if data['fast'] else 'full'}",
+        "",
+        "```",
+        data["_headline_text"],
+        "```",
+        "",
+    ]
+    for name, table in data["_sweep_tables"].items():
+        md_lines += [f"## {name}", "", "```", table, "```", ""]
+    md_path = directory / "experiments.md"
+    md_path.write_text("\n".join(md_lines), encoding="utf-8")
+    return json_path, md_path

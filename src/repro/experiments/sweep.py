@@ -1,0 +1,148 @@
+"""Ratio-sweep harness for Figure 7.
+
+For each benchmark, runs the significance-driven version and (where
+applicable) the loop-perforated baseline at the paper's ratio grid
+{0, 0.2, 0.5, 0.8, 1.0}, scoring output quality against the fully
+accurate execution and recording modelled energy.  The result rows are
+exactly the series of one Figure 7 panel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.kernels.common import KernelRun, QUALITY_PSNR, QUALITY_REL_ERR
+
+__all__ = ["RATIOS", "SweepPoint", "SweepResult", "run_sweep", "format_sweep"]
+
+RATIOS = (0.0, 0.2, 0.5, 0.8, 1.0)
+
+# PSNR is capped for display: identical outputs give infinite PSNR, which
+# the paper's finite axes simply do not show.
+PSNR_CAP = 99.0
+
+
+@dataclass
+class SweepPoint:
+    """One (ratio, variant) measurement."""
+
+    ratio: float
+    variant: str
+    quality: float
+    joules: float
+
+
+@dataclass
+class SweepResult:
+    """One Figure 7 panel."""
+
+    benchmark: str
+    quality_kind: str  # QUALITY_PSNR or QUALITY_REL_ERR
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, variant: str) -> list[SweepPoint]:
+        """Points of one variant, by ascending ratio."""
+        return sorted(
+            (p for p in self.points if p.variant == variant),
+            key=lambda p: p.ratio,
+        )
+
+    def quality_at(self, ratio: float, variant: str = "significance") -> float:
+        """Quality of a variant at a ratio."""
+        for p in self.series(variant):
+            if math.isclose(p.ratio, ratio):
+                return p.quality
+        raise KeyError(f"no {variant} point at ratio {ratio}")
+
+    def energy_at(self, ratio: float, variant: str = "significance") -> float:
+        """Energy of a variant at a ratio."""
+        for p in self.series(variant):
+            if math.isclose(p.ratio, ratio):
+                return p.joules
+        raise KeyError(f"no {variant} point at ratio {ratio}")
+
+    @property
+    def energy_reduction(self) -> float:
+        """Fractional energy saving of full-approx vs full-accurate."""
+        full = self.energy_at(1.0)
+        approx = self.energy_at(0.0)
+        return (full - approx) / full if full > 0 else 0.0
+
+    def mean_quality_gap(self) -> float | None:
+        """Mean sig-minus-perforation quality gap over interior ratios.
+
+        dB for PSNR benchmarks (positive = significance better); for
+        relative-error benchmarks returns the mean ratio perf/sig
+        (values > 1 = significance better).  ``None`` when there is no
+        perforation series (BlackScholes).
+        """
+        perf = self.series("perforation")
+        if not perf:
+            return None
+        gaps = []
+        for p in perf:
+            if p.ratio in (1.0,):
+                continue
+            sig_q = self.quality_at(p.ratio)
+            if self.quality_kind == QUALITY_PSNR:
+                gaps.append(sig_q - p.quality)
+            else:
+                gaps.append(p.quality / max(sig_q, 1e-30))
+        return sum(gaps) / len(gaps) if gaps else None
+
+
+def run_sweep(
+    benchmark: str,
+    quality_kind: str,
+    reference_output,
+    significance_fn: Callable[[float], KernelRun],
+    perforation_fn: Callable[[float], KernelRun] | None,
+    quality_fn: Callable[[object, object], float],
+    ratios: tuple[float, ...] = RATIOS,
+) -> SweepResult:
+    """Run both variants over the ratio grid and score them."""
+    result = SweepResult(benchmark=benchmark, quality_kind=quality_kind)
+    for ratio in ratios:
+        sig_run = significance_fn(ratio)
+        quality = quality_fn(reference_output, sig_run.output)
+        if quality_kind == QUALITY_PSNR:
+            quality = min(quality, PSNR_CAP)
+        result.points.append(
+            SweepPoint(ratio, "significance", quality, sig_run.joules)
+        )
+        if perforation_fn is not None:
+            perf_run = perforation_fn(ratio)
+            quality = quality_fn(reference_output, perf_run.output)
+            if quality_kind == QUALITY_PSNR:
+                quality = min(quality, PSNR_CAP)
+            result.points.append(
+                SweepPoint(ratio, "perforation", quality, perf_run.joules)
+            )
+    return result
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Render one panel as the table the paper's plot encodes."""
+    unit = "PSNR dB" if result.quality_kind == QUALITY_PSNR else "rel.err"
+    lines = [
+        f"{result.benchmark} — quality ({unit}) and energy (J) vs accurate ratio",
+        f"{'ratio':>6} | {'sig quality':>12} {'sig energy':>11} | "
+        f"{'perf quality':>12} {'perf energy':>11}",
+        "-" * 62,
+    ]
+    perf = {p.ratio: p for p in result.series("perforation")}
+    for p in result.series("significance"):
+        pp = perf.get(p.ratio)
+        if result.quality_kind == QUALITY_PSNR:
+            fmt = lambda q: f"{q:12.2f}"
+        else:
+            fmt = lambda q: f"{q * 100:11.4f}%"
+        row = f"{p.ratio:>6.2f} | {fmt(p.quality)} {p.joules:11.1f} | "
+        if pp:
+            row += f"{fmt(pp.quality)} {pp.joules:11.1f}"
+        else:
+            row += f"{'n/a':>12} {'n/a':>11}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Fast approximate math — the paper's fastapprox [22] substitute.
+
+BlackScholes (Section 4.1.5) approximates its least-significant blocks with
+"less accurate but faster implementations of mathematical functions such as
+exp and sqrt" from Mineiro's fastapprox library.  These are the classic
+float32 bit-twiddling approximations, reimplemented here both as scalars
+(struct-based) and as NumPy-vectorised versions for the kernels.
+
+Accuracy is a few percent relative error over moderate ranges — exactly
+the "cheap but rough" profile the approximate task versions need.  The
+abstract cost of each function (for the energy model) is a small fraction
+of its accurate counterpart; see ``COSTS``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+__all__ = [
+    "fast_log2",
+    "fast_log",
+    "fast_pow2",
+    "fast_exp",
+    "fast_pow",
+    "fast_sqrt",
+    "fast_rsqrt",
+    "fast_erf",
+    "fast_cndf",
+    "logistic_cndf",
+    "np_logistic_cndf",
+    "fast_sin",
+    "fast_cos",
+    "np_fast_exp",
+    "np_fast_log",
+    "np_fast_sqrt",
+    "np_fast_cndf",
+    "COSTS",
+]
+
+# Abstract op-cost of each approximate function relative to one scalar
+# multiply (the accurate libm versions cost ~20-50 multiplies' worth).
+COSTS = {
+    "fast_exp": 4.0,
+    "fast_log": 4.0,
+    "fast_pow": 8.0,
+    "fast_sqrt": 3.0,
+    "fast_rsqrt": 3.0,
+    "fast_erf": 6.0,
+    "fast_cndf": 8.0,
+    "fast_sin": 4.0,
+    "fast_cos": 4.0,
+    "exp": 40.0,
+    "log": 40.0,
+    "pow": 80.0,
+    "sqrt": 20.0,
+    "erf": 60.0,
+    "cndf": 80.0,
+    "sin": 40.0,
+    "cos": 40.0,
+}
+
+
+def _float_to_bits(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def _bits_to_float(i: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", i & 0xFFFFFFFF))[0]
+
+
+def fast_log2(x: float) -> float:
+    """Mineiro's fastlog2: exponent extraction + mantissa correction."""
+    if x <= 0.0:
+        raise ValueError(f"fast_log2 domain error: {x}")
+    bits = _float_to_bits(x)
+    mantissa_bits = _bits_to_float((bits & 0x007FFFFF) | 0x3F000000)
+    y = bits * 1.1920928955078125e-7
+    return (
+        y
+        - 124.22551499
+        - 1.498030302 * mantissa_bits
+        - 1.72587999 / (0.3520887068 + mantissa_bits)
+    )
+
+
+def fast_log(x: float) -> float:
+    """Natural log via :func:`fast_log2`."""
+    return 0.69314718 * fast_log2(x)
+
+
+def fast_pow2(p: float) -> float:
+    """Mineiro's fastpow2: bit-trick 2**p with mantissa correction."""
+    offset = 1.0 if p < 0 else 0.0
+    clipp = -126.0 if p < -126.0 else p
+    w = int(clipp)
+    z = clipp - w + offset
+    bits = int(
+        (1 << 23)
+        * (
+            clipp
+            + 121.2740575
+            + 27.7280233 / (4.84252568 - z)
+            - 1.49012907 * z
+        )
+    )
+    return _bits_to_float(bits)
+
+
+def fast_exp(x: float) -> float:
+    """exp(x) ≈ 2**(x·log2 e)."""
+    return fast_pow2(1.442695040 * x)
+
+
+def fast_pow(x: float, p: float) -> float:
+    """x**p for positive x via pow2(p · log2 x)."""
+    if x <= 0.0:
+        raise ValueError(f"fast_pow domain error: base {x}")
+    return fast_pow2(p * fast_log2(x))
+
+
+def fast_sqrt(x: float) -> float:
+    """Single-Newton-step bit-hack square root."""
+    if x < 0.0:
+        raise ValueError(f"fast_sqrt domain error: {x}")
+    if x == 0.0:
+        return 0.0
+    return x * fast_rsqrt(x)
+
+
+def fast_rsqrt(x: float) -> float:
+    """Quake-style inverse square root (one Newton refinement)."""
+    if x <= 0.0:
+        raise ValueError(f"fast_rsqrt domain error: {x}")
+    i = _float_to_bits(x)
+    i = 0x5F3759DF - (i >> 1)
+    y = _bits_to_float(i)
+    return y * (1.5 - 0.5 * x * y * y)
+
+
+def fast_erf(x: float) -> float:
+    """Abramowitz-Stegun 7.1.27-style rational erf (|err| < 3e-3)."""
+    sign = 1.0 if x >= 0 else -1.0
+    ax = abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t
+        * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * fast_exp(-ax * ax))
+
+
+def fast_cndf(x: float) -> float:
+    """Approximate standard normal CDF via :func:`fast_erf`."""
+    return 0.5 * (1.0 + fast_erf(x * 0.7071067811865476))
+
+
+def logistic_cndf(x: float) -> float:
+    """Logistic approximation of the normal CDF: 1/(1+e^{-1.702x}).
+
+    The classic item-response-theory constant 1.702 gives |err| < 0.0095 —
+    much rougher than :func:`fast_cndf`, and the right accuracy class for
+    a "least significant block" approximation (one fast_exp per call).
+    """
+    return 1.0 / (1.0 + fast_exp(-1.702 * x))
+
+
+def np_logistic_cndf(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`logistic_cndf`."""
+    return 1.0 / (1.0 + np_fast_exp(-1.702 * np.asarray(x, dtype=np.float64)))
+
+
+_FOUR_OVER_PI = 4.0 / math.pi
+_FOUR_OVER_PI2 = 4.0 / (math.pi * math.pi)
+
+
+def fast_sin(x: float) -> float:
+    """Parabolic sine approximation on wrapped input (|err| ≲ 1e-3)."""
+    # Wrap to [-pi, pi).
+    x = (x + math.pi) % (2.0 * math.pi) - math.pi
+    y = _FOUR_OVER_PI * x - _FOUR_OVER_PI2 * x * abs(x)
+    # Extra precision pass (standard "P = 0.225" refinement).
+    return 0.775 * y + 0.225 * y * abs(y)
+
+
+def fast_cos(x: float) -> float:
+    """Cosine via shifted :func:`fast_sin`."""
+    return fast_sin(x + 0.5 * math.pi)
+
+
+# ----------------------------------------------------------------------
+# NumPy-vectorised versions (used by the execution-scale kernels)
+# ----------------------------------------------------------------------
+def np_fast_exp(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`fast_exp` (float32 bit trick, returns float64)."""
+    p = 1.442695040 * np.asarray(x, dtype=np.float64)
+    offset = np.where(p < 0, 1.0, 0.0)
+    clipp = np.maximum(p, -126.0)
+    # Match the scalar version: truncation toward zero, not floor.
+    w = np.trunc(clipp)
+    z = clipp - w + offset
+    bits = (
+        (1 << 23)
+        * (clipp + 121.2740575 + 27.7280233 / (4.84252568 - z) - 1.49012907 * z)
+    ).astype(np.int64)
+    return (
+        bits.clip(0, 0xFFFFFFFF)
+        .astype(np.uint32)
+        .view(np.float32)
+        .astype(np.float64)
+    )
+
+
+def np_fast_log(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`fast_log`."""
+    xf = np.asarray(x, dtype=np.float32)
+    if np.any(xf <= 0):
+        raise ValueError("np_fast_log domain error: non-positive input")
+    bits = xf.view(np.uint32).astype(np.float64)
+    mantissa = ((xf.view(np.uint32) & 0x007FFFFF) | 0x3F000000).view(
+        np.float32
+    ).astype(np.float64)
+    y = bits * 1.1920928955078125e-7
+    log2_val = (
+        y
+        - 124.22551499
+        - 1.498030302 * mantissa
+        - 1.72587999 / (0.3520887068 + mantissa)
+    )
+    return 0.69314718 * log2_val
+
+
+def np_fast_sqrt(x: np.ndarray) -> np.ndarray:
+    """Vectorised bit-hack sqrt with one Newton step."""
+    xf = np.asarray(x, dtype=np.float32)
+    if np.any(xf < 0):
+        raise ValueError("np_fast_sqrt domain error: negative input")
+    i = xf.view(np.uint32)
+    y = (np.uint32(0x5F3759DF) - (i >> np.uint32(1))).view(np.float32).astype(
+        np.float64
+    )
+    xd = xf.astype(np.float64)
+    y = y * (1.5 - 0.5 * xd * y * y)
+    out = xd * y
+    return np.where(xd == 0.0, 0.0, out)
+
+
+def np_fast_cndf(x: np.ndarray) -> np.ndarray:
+    """Vectorised approximate normal CDF."""
+    xd = np.asarray(x, dtype=np.float64) * 0.7071067811865476
+    sign = np.where(xd >= 0, 1.0, -1.0)
+    ax = np.abs(xd)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t
+        * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    erf_val = sign * (1.0 - poly * np_fast_exp(-ax * ax))
+    return 0.5 * (1.0 + erf_val)

@@ -1,0 +1,20 @@
+"""Synthetic images and PGM I/O (image substrate for the benchmarks)."""
+
+from .pgm import read_pgm, write_pgm
+from .synth import (
+    checkerboard,
+    gradient_image,
+    natural_image,
+    radial_scene,
+    to_uint8,
+)
+
+__all__ = [
+    "natural_image",
+    "checkerboard",
+    "radial_scene",
+    "gradient_image",
+    "to_uint8",
+    "read_pgm",
+    "write_pgm",
+]

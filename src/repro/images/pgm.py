@@ -1,0 +1,71 @@
+"""Minimal PGM (P2/P5) image I/O.
+
+Lets examples write their inputs/outputs to files viewable anywhere,
+without any imaging dependency.  Only 8-bit grayscale is supported — all
+the paper's image benchmarks operate on luma.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["write_pgm", "read_pgm"]
+
+
+def write_pgm(
+    path: str | pathlib.Path, image: np.ndarray, binary: bool = True
+) -> None:
+    """Write a (H, W) array as an 8-bit PGM file (clipped/rounded)."""
+    arr = np.clip(np.rint(np.asarray(image, dtype=np.float64)), 0, 255).astype(
+        np.uint8
+    )
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D grayscale image, got shape {arr.shape}")
+    height, width = arr.shape
+    path = pathlib.Path(path)
+    if binary:
+        header = f"P5\n{width} {height}\n255\n".encode("ascii")
+        path.write_bytes(header + arr.tobytes())
+    else:
+        lines = [f"P2", f"{width} {height}", "255"]
+        for row in arr:
+            lines.append(" ".join(str(int(v)) for v in row))
+        path.write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_pgm(path: str | pathlib.Path) -> np.ndarray:
+    """Read a P2 or P5 PGM file into a float64 array in [0, 255]."""
+    data = pathlib.Path(path).read_bytes()
+    if data[:2] not in (b"P2", b"P5"):
+        raise ValueError(f"not a PGM file: magic {data[:2]!r}")
+    binary = data[:2] == b"P5"
+
+    # Parse header tokens (magic, width, height, maxval), skipping comments.
+    tokens: list[bytes] = []
+    pos = 0
+    while len(tokens) < 4:
+        # Skip whitespace.
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(data[start:pos])
+    width, height, maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+    if maxval != 255:
+        raise ValueError(f"only 8-bit PGM supported, maxval={maxval}")
+    if binary:
+        pos += 1  # single whitespace after maxval
+        pixels = np.frombuffer(
+            data, dtype=np.uint8, count=width * height, offset=pos
+        )
+    else:
+        values = data[pos:].split()
+        pixels = np.array([int(v) for v in values[: width * height]], dtype=np.uint8)
+    return pixels.reshape(height, width).astype(np.float64)

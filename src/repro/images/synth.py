@@ -1,0 +1,120 @@
+"""Deterministic synthetic test images (DESIGN.md §4 substitution).
+
+The paper's image benchmarks use a public image-compression test set [5];
+offline we synthesise comparable content: smooth illumination gradients,
+hard edges (rectangles/disks), and band-limited texture.  What the
+analysis and the quality metrics actually depend on is the *mix* of
+smooth regions, edges and texture — all present here — not specific
+photographs.
+
+All generators return ``float64`` arrays in ``[0, 255]`` with shape
+``(height, width)`` and are fully determined by their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "natural_image",
+    "checkerboard",
+    "radial_scene",
+    "gradient_image",
+    "to_uint8",
+]
+
+
+def _coords(width: int, height: int) -> tuple[np.ndarray, np.ndarray]:
+    if width <= 0 or height <= 0:
+        raise ValueError(f"invalid image size {width}x{height}")
+    ys, xs = np.mgrid[0:height, 0:width]
+    return xs.astype(np.float64), ys.astype(np.float64)
+
+
+def gradient_image(width: int, height: int, horizontal: bool = True) -> np.ndarray:
+    """Linear ramp 0..255 (pure smooth content)."""
+    xs, ys = _coords(width, height)
+    ramp = xs / max(width - 1, 1) if horizontal else ys / max(height - 1, 1)
+    return 255.0 * ramp
+
+
+def checkerboard(width: int, height: int, cell: int = 8) -> np.ndarray:
+    """Binary checkerboard (pure edge content)."""
+    if cell <= 0:
+        raise ValueError("cell size must be positive")
+    xs, ys = _coords(width, height)
+    board = ((xs // cell + ys // cell) % 2).astype(np.float64)
+    return 255.0 * board
+
+
+def natural_image(width: int, height: int, seed: int = 7) -> np.ndarray:
+    """A 'natural-looking' composite: gradient + blobs + edges + texture.
+
+    Spectral content decays with frequency like photographs do, which is
+    what gives DCT blocks their characteristic large-low-frequency
+    coefficient profile (needed for Figure 4).
+    """
+    rng = np.random.default_rng(seed)
+    xs, ys = _coords(width, height)
+    nx, ny = xs / width, ys / height
+
+    image = 110.0 + 70.0 * nx + 40.0 * ny  # illumination gradient
+
+    # A few smooth Gaussian blobs (objects).
+    for _ in range(6):
+        cx, cy = rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)
+        sigma = rng.uniform(0.05, 0.25)
+        amp = rng.uniform(-60.0, 60.0)
+        image += amp * np.exp(
+            -(((nx - cx) ** 2 + (ny - cy) ** 2) / (2 * sigma**2))
+        )
+
+    # Hard-edged rectangles (architecture).
+    for _ in range(4):
+        x0, y0 = rng.uniform(0.0, 0.7), rng.uniform(0.0, 0.7)
+        w, h = rng.uniform(0.1, 0.3), rng.uniform(0.1, 0.3)
+        amp = rng.uniform(-50.0, 50.0)
+        mask = (nx >= x0) & (nx < x0 + w) & (ny >= y0) & (ny < y0 + h)
+        image += amp * mask
+
+    # Band-limited sinusoidal texture with decaying amplitude.
+    for k in range(1, 5):
+        fx, fy = rng.uniform(2.0, 6.0) * k, rng.uniform(2.0, 6.0) * k
+        phase = rng.uniform(0, 2 * np.pi)
+        image += (18.0 / k) * np.sin(2 * np.pi * (fx * nx + fy * ny) + phase)
+
+    # Mild pixel noise (sensor grain).
+    image += rng.normal(0.0, 2.0, size=image.shape)
+
+    return np.clip(image, 0.0, 255.0)
+
+
+def radial_scene(width: int, height: int, seed: int = 11) -> np.ndarray:
+    """Scene with statistically uniform gradient content (fisheye input).
+
+    Concentric rings dominate: their radial gradient magnitude, averaged
+    over phase, is radius-independent, so the fisheye significance map
+    (Figure 5) is driven purely by the lens geometry and not by uneven
+    scene content.  A faint fixed-phase diagonal texture breaks the exact
+    symmetry.  Frequencies are kept low so that a fisheye compressing the
+    periphery by ~4-7x leaves the content above Nyquist in the distorted
+    image (otherwise gradients saturate and the Figure 5 pattern
+    flattens).  ``seed`` only perturbs the ring phase.
+    """
+    rng = np.random.default_rng(seed)
+    xs, ys = _coords(width, height)
+    cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+    r = np.hypot(xs - cx, ys - cy) / max(cx, cy)
+
+    phase = rng.uniform(0, 2 * np.pi)
+    # 5 ring cycles: enough cycles that every radial bin of the Figure 5
+    # analysis averages over full phases, low enough frequency to stay
+    # above Nyquist after ~2.5x peripheral compression.
+    image = 128.0 + 70.0 * np.sin(10.0 * np.pi * r + phase)  # rings
+    image += 15.0 * np.sin(2 * np.pi * (2.0 * xs / width + 1.5 * ys / height))
+    return np.clip(image, 0.0, 255.0)
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Clip and round a float image to uint8 pixels."""
+    return np.clip(np.rint(np.asarray(image)), 0, 255).astype(np.uint8)

@@ -1,0 +1,92 @@
+"""Interval arithmetic substrate (the paper's filib++-style base type).
+
+Public surface:
+
+* :class:`Interval`, :class:`Box` — interval scalars and vectors.
+* :mod:`repro.intervals.functions` — interval intrinsics (also re-exported
+  here under their usual names).
+* :class:`AmbiguousComparisonError` — raised on undecidable branch
+  conditions (paper Section 2.2).
+* :func:`split_until_decidable` — automatic interval splitting (the paper's
+  "ongoing research" extension).
+* :func:`rounded_mode` / :func:`set_rounding` — toggle rigorous outward
+  rounding.
+"""
+
+from .boxes import Box
+from .functions import (
+    acos,
+    asin,
+    atan,
+    atan2,
+    cbrt,
+    ceil,
+    clip,
+    cos,
+    cosh,
+    erf,
+    erfc,
+    exp,
+    expm1,
+    floor,
+    hypot,
+    log,
+    log1p,
+    log2,
+    log10,
+    maximum,
+    minimum,
+    pow,
+    round_st,
+    sin,
+    sinh,
+    sqrt,
+    tan,
+    tanh,
+)
+from .interval import AmbiguousComparisonError, EmptyIntervalError, Interval, as_interval
+from .rounding import rounded_mode, rounding_enabled, set_rounding
+from .splitting import SplitResult, evaluate_with_splitting, split_until_decidable
+
+__all__ = [
+    "Interval",
+    "Box",
+    "as_interval",
+    "AmbiguousComparisonError",
+    "EmptyIntervalError",
+    "SplitResult",
+    "split_until_decidable",
+    "evaluate_with_splitting",
+    "rounded_mode",
+    "rounding_enabled",
+    "set_rounding",
+    # intrinsics
+    "sqrt",
+    "cbrt",
+    "exp",
+    "expm1",
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "erf",
+    "erfc",
+    "pow",
+    "hypot",
+    "floor",
+    "ceil",
+    "round_st",
+    "minimum",
+    "maximum",
+    "clip",
+]

@@ -1,0 +1,120 @@
+"""Interval vectors (boxes) — the paper's ``[x] = [x̲, x̄] ⊂ IR^n``.
+
+A :class:`Box` is an axis-aligned product of intervals.  It is the input
+object of a significance analysis run: the user registers each input
+variable with its range, and the box records the full input domain (used by
+the splitting machinery and the Monte-Carlo cross-check).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from .interval import Interval, as_interval
+
+__all__ = ["Box"]
+
+
+class Box:
+    """An n-dimensional interval vector."""
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[Interval | float]):
+        self._components: tuple[Interval, ...] = tuple(
+            as_interval(c) for c in components
+        )
+
+    @classmethod
+    def from_bounds(
+        cls, lower: Sequence[float], upper: Sequence[float]
+    ) -> "Box":
+        """Build a box from parallel lower/upper bound sequences."""
+        if len(lower) != len(upper):
+            raise ValueError(
+                f"bound lengths differ: {len(lower)} vs {len(upper)}"
+            )
+        return cls(Interval(lo, hi) for lo, hi in zip(lower, upper))
+
+    @classmethod
+    def from_point(cls, point: Sequence[float], radius: float = 0.0) -> "Box":
+        """Box centred at ``point`` with uniform ``radius`` per component."""
+        return cls(Interval.centered(p, radius) for p in point)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of components."""
+        return len(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._components)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self._components[index]
+
+    @property
+    def widths(self) -> tuple[float, ...]:
+        """Per-component widths."""
+        return tuple(c.width for c in self._components)
+
+    @property
+    def max_width(self) -> float:
+        """Largest component width (0 for an empty box)."""
+        return max(self.widths, default=0.0)
+
+    @property
+    def midpoint(self) -> tuple[float, ...]:
+        """Component-wise midpoint vector."""
+        return tuple(c.midpoint for c in self._components)
+
+    @property
+    def volume(self) -> float:
+        """Product of widths (0 if any component is degenerate)."""
+        return math.prod(self.widths)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Membership test for a point vector."""
+        if len(point) != len(self._components):
+            return False
+        return all(c.contains(p) for c, p in zip(self._components, point))
+
+    def widest_dimension(self) -> int:
+        """Index of the component with the largest width."""
+        if not self._components:
+            raise ValueError("empty box has no widest dimension")
+        return max(range(len(self)), key=lambda i: self._components[i].width)
+
+    def split(self, dimension: int | None = None) -> tuple["Box", "Box"]:
+        """Bisect along ``dimension`` (default: the widest one)."""
+        if dimension is None:
+            dimension = self.widest_dimension()
+        left, right = self._components[dimension].split()
+        comps = list(self._components)
+        comps_l, comps_r = comps.copy(), comps.copy()
+        comps_l[dimension] = left
+        comps_r[dimension] = right
+        return Box(comps_l), Box(comps_r)
+
+    def sample(self, rng, count: int) -> list[tuple[float, ...]]:
+        """Draw ``count`` uniform sample points (for Monte-Carlo checks)."""
+        return [
+            tuple(rng.uniform(c.lo, c.hi) for c in self._components)
+            for _ in range(count)
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(c) for c in self._components)
+        return f"Box([{inner}])"

@@ -1,0 +1,342 @@
+"""Interval versions of the C++ intrinsic functions used by the paper.
+
+Each function maps intervals to an enclosure of the true range.  Monotone
+functions evaluate at the endpoints (rounded outward); periodic functions
+(`sin`, `cos`) additionally check for enclosed extrema; `round`/`floor` use
+the straight-through enclosure discussed in DESIGN.md §4 (needed by the DCT
+quantisation chain).
+
+All functions accept plain scalars as well, returning scalar results, so
+kernels can be written once and run in either mode (the dispatch layer in
+:mod:`repro.ad.intrinsics` builds on this).
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import rounding as _rnd
+from .interval import Interval, as_interval
+
+__all__ = [
+    "sqrt",
+    "cbrt",
+    "exp",
+    "expm1",
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "erf",
+    "erfc",
+    "pow",
+    "hypot",
+    "floor",
+    "ceil",
+    "round_st",
+    "minimum",
+    "maximum",
+    "clip",
+]
+
+_TWO_PI = 2.0 * math.pi
+_HALF_PI = 0.5 * math.pi
+
+
+def _monotone_inc(fn, x: Interval) -> Interval:
+    lo, hi = _rnd.outward(fn(x.lo), fn(x.hi))
+    return Interval(lo, hi)
+
+
+def _monotone_dec(fn, x: Interval) -> Interval:
+    lo, hi = _rnd.outward(fn(x.hi), fn(x.lo))
+    return Interval(lo, hi)
+
+
+def sqrt(x):
+    """Interval square root; domain error if the interval dips below 0."""
+    if not isinstance(x, Interval):
+        return math.sqrt(x)
+    if x.lo < 0:
+        raise ValueError(f"sqrt domain error: {x!r} extends below zero")
+    return _monotone_inc(math.sqrt, x)
+
+
+def cbrt(x):
+    """Interval cube root (monotone on all of R)."""
+    if not isinstance(x, Interval):
+        return math.cbrt(x)
+    return _monotone_inc(math.cbrt, x)
+
+
+def exp(x):
+    """Interval exponential."""
+    if not isinstance(x, Interval):
+        return math.exp(x)
+    return _monotone_inc(math.exp, x)
+
+
+def expm1(x):
+    """Interval ``exp(x) - 1``."""
+    if not isinstance(x, Interval):
+        return math.expm1(x)
+    return _monotone_inc(math.expm1, x)
+
+
+def log(x):
+    """Interval natural logarithm; domain error if the interval reaches 0."""
+    if not isinstance(x, Interval):
+        return math.log(x)
+    if x.lo <= 0:
+        raise ValueError(f"log domain error: {x!r} reaches zero or below")
+    return _monotone_inc(math.log, x)
+
+
+def log1p(x):
+    """Interval ``log(1 + x)``."""
+    if not isinstance(x, Interval):
+        return math.log1p(x)
+    if x.lo <= -1:
+        raise ValueError(f"log1p domain error: {x!r} reaches -1 or below")
+    return _monotone_inc(math.log1p, x)
+
+
+def log2(x):
+    """Interval base-2 logarithm."""
+    if not isinstance(x, Interval):
+        return math.log2(x)
+    if x.lo <= 0:
+        raise ValueError(f"log2 domain error: {x!r} reaches zero or below")
+    return _monotone_inc(math.log2, x)
+
+
+def log10(x):
+    """Interval base-10 logarithm."""
+    if not isinstance(x, Interval):
+        return math.log10(x)
+    if x.lo <= 0:
+        raise ValueError(f"log10 domain error: {x!r} reaches zero or below")
+    return _monotone_inc(math.log10, x)
+
+
+def _trig_range(x: Interval, fn, crit_offset: float) -> Interval:
+    """Range of sin/cos over ``x``.
+
+    ``crit_offset`` positions the critical points: maxima of ``fn`` occur at
+    ``crit_offset + 2k*pi`` and minima at ``crit_offset + (2k+1)*pi``.
+    """
+    if x.width >= _TWO_PI:
+        return Interval(-1.0, 1.0)
+    lo_val, hi_val = fn(x.lo), fn(x.hi)
+    lo, hi = min(lo_val, hi_val), max(lo_val, hi_val)
+    # Smallest critical point >= x.lo of the form crit_offset + k*pi.
+    k = math.ceil((x.lo - crit_offset) / math.pi)
+    crit = crit_offset + k * math.pi
+    while crit <= x.hi:
+        # Even multiples of pi from crit_offset are maxima (+1), odd minima.
+        if k % 2 == 0:
+            hi = 1.0
+        else:
+            lo = -1.0
+        k += 1
+        crit += math.pi
+    lo, hi = _rnd.outward(lo, hi)
+    return Interval(max(lo, -1.0), min(hi, 1.0))
+
+
+def sin(x):
+    """Interval sine with extremum detection."""
+    if not isinstance(x, Interval):
+        return math.sin(x)
+    return _trig_range(x, math.sin, _HALF_PI)
+
+
+def cos(x):
+    """Interval cosine with extremum detection."""
+    if not isinstance(x, Interval):
+        return math.cos(x)
+    return _trig_range(x, math.cos, 0.0)
+
+
+def tan(x):
+    """Interval tangent; domain error when a pole lies inside the interval."""
+    if not isinstance(x, Interval):
+        return math.tan(x)
+    # Poles at pi/2 + k*pi.
+    k = math.ceil((x.lo - _HALF_PI) / math.pi)
+    pole = _HALF_PI + k * math.pi
+    if pole <= x.hi:
+        raise ValueError(f"tan domain error: pole at {pole} inside {x!r}")
+    return _monotone_inc(math.tan, x)
+
+
+def asin(x):
+    """Interval arcsine on [-1, 1]."""
+    if not isinstance(x, Interval):
+        return math.asin(x)
+    if x.lo < -1 or x.hi > 1:
+        raise ValueError(f"asin domain error: {x!r} not within [-1, 1]")
+    return _monotone_inc(math.asin, x)
+
+
+def acos(x):
+    """Interval arccosine on [-1, 1] (monotone decreasing)."""
+    if not isinstance(x, Interval):
+        return math.acos(x)
+    if x.lo < -1 or x.hi > 1:
+        raise ValueError(f"acos domain error: {x!r} not within [-1, 1]")
+    return _monotone_dec(math.acos, x)
+
+
+def atan(x):
+    """Interval arctangent."""
+    if not isinstance(x, Interval):
+        return math.atan(x)
+    return _monotone_inc(math.atan, x)
+
+
+def atan2(y, x):
+    """Interval two-argument arctangent, restricted to the right half plane.
+
+    Full interval atan2 needs branch-cut handling; the kernels in this
+    repository only evaluate it for ``x > 0`` (fisheye radial geometry), so
+    anything touching the cut raises a domain error rather than silently
+    returning a wrong enclosure.
+    """
+    if not isinstance(y, Interval) and not isinstance(x, Interval):
+        return math.atan2(y, x)
+    y, x = as_interval(y), as_interval(x)
+    if x.lo <= 0:
+        raise ValueError(
+            f"interval atan2 restricted to x > 0, got x = {x!r}"
+        )
+    return atan(y / x)
+
+
+def sinh(x):
+    """Interval hyperbolic sine."""
+    if not isinstance(x, Interval):
+        return math.sinh(x)
+    return _monotone_inc(math.sinh, x)
+
+
+def cosh(x):
+    """Interval hyperbolic cosine (minimum at 0)."""
+    if not isinstance(x, Interval):
+        return math.cosh(x)
+    vals = (math.cosh(x.lo), math.cosh(x.hi))
+    lo = 1.0 if x.contains(0.0) else min(vals)
+    lo, hi = _rnd.outward(lo, max(vals))
+    return Interval(max(lo, 1.0), hi)
+
+
+def tanh(x):
+    """Interval hyperbolic tangent."""
+    if not isinstance(x, Interval):
+        return math.tanh(x)
+    return _monotone_inc(math.tanh, x)
+
+
+def erf(x):
+    """Interval error function (monotone increasing)."""
+    if not isinstance(x, Interval):
+        return math.erf(x)
+    return _monotone_inc(math.erf, x)
+
+
+def erfc(x):
+    """Interval complementary error function (monotone decreasing)."""
+    if not isinstance(x, Interval):
+        return math.erfc(x)
+    return _monotone_dec(math.erfc, x)
+
+
+def pow(x, y):
+    """Interval power.
+
+    Integer exponents use the sharp sign-aware rule in
+    :meth:`Interval._int_pow`; real exponents require a positive base and
+    evaluate through ``exp(y * log(x))``.
+    """
+    if not isinstance(x, Interval) and not isinstance(y, Interval):
+        return math.pow(x, y)
+    x = as_interval(x)
+    if isinstance(y, (int, float)) and float(y).is_integer():
+        return x._int_pow(int(y))
+    y = as_interval(y)
+    if y.is_point() and y.lo.is_integer():
+        return x._int_pow(int(y.lo))
+    if x.lo <= 0:
+        raise ValueError(
+            f"pow domain error: non-integer exponent {y!r} with base {x!r} "
+            "not strictly positive"
+        )
+    return exp(y * log(x))
+
+
+def hypot(x, y):
+    """Interval ``sqrt(x^2 + y^2)``."""
+    if not isinstance(x, Interval) and not isinstance(y, Interval):
+        return math.hypot(x, y)
+    x, y = as_interval(x), as_interval(y)
+    return sqrt(x * x + y * y)
+
+
+def floor(x):
+    """Interval floor: ``[floor(lo), floor(hi)]`` (exact range enclosure)."""
+    if not isinstance(x, Interval):
+        return math.floor(x)
+    return Interval(math.floor(x.lo), math.floor(x.hi))
+
+
+def ceil(x):
+    """Interval ceiling: ``[ceil(lo), ceil(hi)]``."""
+    if not isinstance(x, Interval):
+        return math.ceil(x)
+    return Interval(math.ceil(x.lo), math.ceil(x.hi))
+
+
+def round_st(x):
+    """Straight-through rounding enclosure (used by DCT quantisation).
+
+    For a scalar this is plain ``round``.  For an interval ``[a, b]`` it
+    returns ``[a - 0.5, b + 0.5]``, which encloses ``round(t)`` for every
+    ``t`` in ``[a, b]``; the matching derivative enclosure ``[0, 1]`` lives
+    in the AD layer (see DESIGN.md §4 for the justification).
+    """
+    if not isinstance(x, Interval):
+        return float(round(x))
+    return Interval(x.lo - 0.5, x.hi + 0.5)
+
+
+def minimum(x, y):
+    """Pointwise interval minimum (exact range of ``min`` over the box)."""
+    if not isinstance(x, Interval) and not isinstance(y, Interval):
+        return min(x, y)
+    x, y = as_interval(x), as_interval(y)
+    return Interval(min(x.lo, y.lo), min(x.hi, y.hi))
+
+
+def maximum(x, y):
+    """Pointwise interval maximum."""
+    if not isinstance(x, Interval) and not isinstance(y, Interval):
+        return max(x, y)
+    x, y = as_interval(x), as_interval(y)
+    return Interval(max(x.lo, y.lo), max(x.hi, y.hi))
+
+
+def clip(x, lo: float, hi: float):
+    """Clamp to ``[lo, hi]`` (exact range of the pointwise clamp)."""
+    if not isinstance(x, Interval):
+        return min(max(x, lo), hi)
+    return Interval(min(max(x.lo, lo), hi), min(max(x.hi, lo), hi))

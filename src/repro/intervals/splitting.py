@@ -1,0 +1,132 @@
+"""Automatic interval splitting for ambiguous branch conditions.
+
+Section 2.2 of the paper: when a comparison such as ``c < [x]`` is
+ambiguous, the analysis terminates and reports the condition; circumventing
+this "by an automatic interval splitting approach is part of ongoing
+research".  This module implements that ongoing-research feature: it
+re-runs an interval computation on recursively bisected sub-boxes until
+every branch condition is decidable on each sub-box, then hulls the
+partial results.
+
+This turns programs with data-dependent control flow (e.g. the clipping
+branch of Sobel) into analysable ones at the cost of multiple profile runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .boxes import Box
+from .interval import AmbiguousComparisonError, Interval
+
+__all__ = ["SplitResult", "split_until_decidable", "evaluate_with_splitting"]
+
+
+@dataclass
+class SplitResult:
+    """Outcome of a splitting evaluation.
+
+    Attributes:
+        value: hull of the per-sub-box result intervals.
+        boxes: the decidable sub-boxes actually evaluated.
+        splits: number of bisections performed.
+        point_sampled: slivers thinner than the point tolerance whose
+            branch condition stayed ambiguous (ties at a comparison
+            boundary, e.g. ``x >= 0`` on ``[-ε, 0]``); these were
+            evaluated at their midpoint trace — a non-rigorous but
+            measure-tiny contribution to ``value``.
+        failures: sub-boxes abandoned entirely (ambiguous even as points);
+            non-empty means ``value`` under-covers the true range.
+    """
+
+    value: Interval
+    boxes: list[Box] = field(default_factory=list)
+    splits: int = 0
+    point_sampled: list[Box] = field(default_factory=list)
+    failures: list[Box] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no sub-box was abandoned."""
+        return not self.failures
+
+
+def split_until_decidable(
+    fn: Callable[[Box], Interval],
+    box: Box,
+    max_depth: int = 12,
+    point_tolerance: float = 1e-6,
+) -> SplitResult:
+    """Evaluate ``fn`` over ``box``, bisecting on ambiguous comparisons.
+
+    ``fn`` receives a :class:`Box` and returns an :class:`Interval`; if it
+    raises :class:`AmbiguousComparisonError` the box is bisected along its
+    widest dimension and both halves are retried, up to ``max_depth``
+    levels of recursion per branch of the split tree.
+
+    Bisection alone cannot resolve a condition whose tie point lies *on* a
+    sub-box boundary (``x >= 0`` over ``[-ε, 0]`` is ambiguous at every
+    depth).  Sub-boxes thinner than ``point_tolerance`` in every dimension
+    are therefore evaluated at their midpoint — fixing the control flow
+    from a point trace, exactly what a profile run does — and recorded in
+    ``point_sampled``.
+    """
+    result_hull: Interval | None = None
+    evaluated: list[Box] = []
+    point_sampled: list[Box] = []
+    failures: list[Box] = []
+    splits = 0
+
+    stack: list[tuple[Box, int]] = [(box, 0)]
+    while stack:
+        current, depth = stack.pop()
+        try:
+            value = fn(current)
+        except AmbiguousComparisonError:
+            if current.max_width <= point_tolerance or depth >= max_depth:
+                # Sliver (or depth exhausted): sample the midpoint trace.
+                point_box = Box.from_point(current.midpoint)
+                try:
+                    value = fn(point_box)
+                except AmbiguousComparisonError:
+                    failures.append(current)
+                    continue
+                point_sampled.append(current)
+                result_hull = (
+                    value if result_hull is None else result_hull.hull(value)
+                )
+                continue
+            left, right = current.split()
+            splits += 1
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+            continue
+        evaluated.append(current)
+        result_hull = value if result_hull is None else result_hull.hull(value)
+
+    if result_hull is None:
+        raise AmbiguousComparisonError(
+            "<unresolved>", Interval.entire(), Interval.entire()
+        )
+    return SplitResult(
+        value=result_hull,
+        boxes=evaluated,
+        splits=splits,
+        point_sampled=point_sampled,
+        failures=failures,
+    )
+
+
+def evaluate_with_splitting(
+    fn: Callable[..., Interval],
+    inputs: Sequence[Interval],
+    max_depth: int = 12,
+) -> SplitResult:
+    """Convenience wrapper: ``fn`` takes one interval per input component."""
+    box = Box(inputs)
+
+    def on_box(b: Box) -> Interval:
+        return fn(*list(b))
+
+    return split_until_decidable(on_box, box, max_depth=max_depth)

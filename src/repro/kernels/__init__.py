@@ -1,0 +1,23 @@
+"""The paper's benchmark kernels.
+
+Each sub-package mirrors the structure of Section 4: a sequential
+reference, a dco/scorpio significance analysis, a task-based
+significance-driven version, and (where applicable) a loop-perforated
+baseline.  :mod:`repro.kernels.maclaurin` is the Section 3 running
+example.
+"""
+
+from . import blackscholes, dct, fisheye, maclaurin, nbody, sobel
+from .common import KernelRun, QUALITY_PSNR, QUALITY_REL_ERR
+
+__all__ = [
+    "maclaurin",
+    "sobel",
+    "dct",
+    "fisheye",
+    "nbody",
+    "blackscholes",
+    "KernelRun",
+    "QUALITY_PSNR",
+    "QUALITY_REL_ERR",
+]

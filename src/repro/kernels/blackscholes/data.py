@@ -1,0 +1,64 @@
+"""Synthetic option portfolios (the PARSEC input substitute, DESIGN.md §4).
+
+Parameters are drawn from the ranges of the PARSEC blackscholes input
+files: spots and strikes around 100, short-term rates of a few percent,
+volatilities 10-60%, expiries up to two years, a mix of calls and puts.
+Fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Portfolio", "make_portfolio"]
+
+
+@dataclass
+class Portfolio:
+    """Arrays of option parameters, all shaped (n,)."""
+
+    spots: np.ndarray
+    strikes: np.ndarray
+    rates: np.ndarray
+    volatilities: np.ndarray
+    expiries: np.ndarray
+    puts: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of options."""
+        return len(self.spots)
+
+    def slice(self, start: int, stop: int) -> "Portfolio":
+        """Contiguous sub-portfolio [start, stop)."""
+        return Portfolio(
+            self.spots[start:stop],
+            self.strikes[start:stop],
+            self.rates[start:stop],
+            self.volatilities[start:stop],
+            self.expiries[start:stop],
+            self.puts[start:stop],
+        )
+
+
+def make_portfolio(count: int = 16384, seed: int = 23) -> Portfolio:
+    """Deterministic synthetic portfolio of ``count`` options."""
+    if count <= 0:
+        raise ValueError(f"portfolio needs at least one option, got {count}")
+    rng = np.random.default_rng(seed)
+    spots = rng.uniform(40.0, 160.0, size=count)
+    strikes = spots * rng.uniform(0.6, 1.4, size=count)
+    rates = rng.uniform(0.005, 0.08, size=count)
+    volatilities = rng.uniform(0.10, 0.60, size=count)
+    expiries = rng.uniform(0.1, 2.0, size=count)
+    puts = rng.random(count) < 0.5
+    return Portfolio(
+        spots=spots,
+        strikes=strikes,
+        rates=rates,
+        volatilities=volatilities,
+        expiries=expiries,
+        puts=puts,
+    )

@@ -1,0 +1,118 @@
+"""Black-Scholes option pricing — reference implementation (Section 4.1.5).
+
+European option pricing under the Black-Scholes model (the PARSEC
+benchmark's kernel)::
+
+    d1 = (ln(S/K) + (r + v²/2)·T) / (v·√T)
+    d2 = d1 − v·√T
+    call = S·N(d1) − K·e^{−rT}·N(d2)
+    put  = K·e^{−rT}·N(−d2) − S·N(−d1)
+
+with N the standard normal CDF.  The computation decomposes into the four
+blocks the paper's analysis ranks ``sig(A) > sig(B) ≫ sig(C) > sig(D)``:
+
+* **A** — d1/d2 (log, divide, sqrt);
+* **B** — N(d1), the spot-side CDF;
+* **C** — N(d2), the strike-side CDF;
+* **D** — the discount factor e^{−rT}.
+
+Generic scalar functions feed the significance analysis; NumPy versions
+price whole portfolios.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.ad import intrinsics as op
+
+__all__ = [
+    "cndf",
+    "black_scholes_blocks",
+    "black_scholes_price",
+    "price_portfolio",
+    "OPS_PER_OPTION_ACCURATE",
+    "OPS_PER_OPTION_APPROX",
+]
+
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+
+# Abstract per-option op counts (accurate uses libm erf/exp/log/sqrt).
+OPS_PER_OPTION_ACCURATE = 260.0
+OPS_PER_OPTION_APPROX = 90.0
+
+
+def cndf(x: Any) -> Any:
+    """Standard normal CDF via the error function (generic numerics)."""
+    return 0.5 * (1.0 + op.erf(x * _INV_SQRT2))
+
+
+def black_scholes_blocks(
+    spot: Any, strike: Any, rate: Any, volatility: Any, expiry: Any
+) -> dict[str, Any]:
+    """The four analysis blocks A-D plus the final call price."""
+    sqrt_t = op.sqrt(expiry)
+    vol_sqrt_t = volatility * sqrt_t
+    d1 = (op.log(spot / strike) + (rate + 0.5 * volatility * volatility) * expiry) / vol_sqrt_t
+    d2 = d1 - vol_sqrt_t
+    n_d1 = cndf(d1)
+    discount = op.exp(-rate * expiry)
+    n_d2 = cndf(d2)
+    call = spot * n_d1 - strike * discount * n_d2
+    return {"A": d1, "B": n_d1, "C": n_d2, "D": discount, "call": call}
+
+
+def black_scholes_price(
+    spot: Any,
+    strike: Any,
+    rate: Any,
+    volatility: Any,
+    expiry: Any,
+    put: bool = False,
+) -> Any:
+    """Price one option in generic numerics."""
+    blocks = black_scholes_blocks(spot, strike, rate, volatility, expiry)
+    if not put:
+        return blocks["call"]
+    # Put-call parity: P = C - S + K·e^{-rT}.
+    return blocks["call"] - spot + strike * blocks["D"]
+
+
+def price_portfolio(
+    spots: np.ndarray,
+    strikes: np.ndarray,
+    rates: np.ndarray,
+    volatilities: np.ndarray,
+    expiries: np.ndarray,
+    puts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised accurate pricing of a whole portfolio."""
+    s = np.asarray(spots, dtype=np.float64)
+    k = np.asarray(strikes, dtype=np.float64)
+    r = np.asarray(rates, dtype=np.float64)
+    v = np.asarray(volatilities, dtype=np.float64)
+    t = np.asarray(expiries, dtype=np.float64)
+
+    sqrt_t = np.sqrt(t)
+    vol_sqrt_t = v * sqrt_t
+    d1 = (np.log(s / k) + (r + 0.5 * v * v) * t) / vol_sqrt_t
+    d2 = d1 - vol_sqrt_t
+
+    def n(x: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + _erf_np(x * _INV_SQRT2))
+
+    discount = np.exp(-r * t)
+    call = s * n(d1) - k * discount * n(d2)
+    if puts is None:
+        return call
+    put_price = call - s + k * discount
+    return np.where(np.asarray(puts, dtype=bool), put_price, call)
+
+
+try:  # scipy's erf is vectorised in C; fall back to math.erf otherwise
+    from scipy.special import erf as _erf_np  # type: ignore[import-untyped]
+except ImportError:  # pragma: no cover - scipy is a soft dependency
+    _erf_np = np.vectorize(math.erf, otypes=[np.float64])

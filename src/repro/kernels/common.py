@@ -1,0 +1,52 @@
+"""Shared plumbing for the benchmark kernels.
+
+Every benchmark exposes the same trio the Figure-7 harness consumes:
+
+* ``run_significance(ratio, ...) -> KernelRun`` — the task-based,
+  significance-driven version executed through
+  :class:`~repro.runtime.TaskRuntime`;
+* ``run_perforated(ratio, ...) -> KernelRun`` — the loop-perforation
+  baseline at the same accurate-computation ratio;
+* a quality function comparing a run's output against the fully accurate
+  output (PSNR for the image kernels, relative error otherwise).
+
+:class:`KernelRun` carries the output plus the modelled energy so the
+sweep driver (:mod:`repro.experiments.sweep`) can assemble the plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime import EnergyBreakdown, GroupStats
+
+__all__ = ["KernelRun", "QUALITY_PSNR", "QUALITY_REL_ERR"]
+
+QUALITY_PSNR = "psnr_db"
+QUALITY_REL_ERR = "relative_error"
+
+
+@dataclass
+class KernelRun:
+    """Output and cost of one benchmark execution.
+
+    Attributes:
+        output: whatever the kernel produces (image array, prices, ...).
+        energy: modelled energy breakdown (Joules).
+        stats: aggregated task counts (empty for perforated runs, which
+            have no tasks).
+        ratio: the requested accurate ratio.
+        variant: ``"significance"`` or ``"perforation"``.
+    """
+
+    output: Any
+    energy: EnergyBreakdown
+    ratio: float
+    variant: str
+    stats: GroupStats = field(default_factory=GroupStats)
+
+    @property
+    def joules(self) -> float:
+        """Total modelled energy in Joules."""
+        return self.energy.total

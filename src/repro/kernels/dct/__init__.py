@@ -1,0 +1,53 @@
+"""DCT video-compression benchmark (paper Section 4.1.2)."""
+
+from .analysis import DctAnalysis, analyse_dct, analyse_dct_block
+from .perforated import dct_perforated
+from .sequential import (
+    BLOCK,
+    QUANT_LUMA,
+    quant_matrix,
+    basis_tensor,
+    blockify,
+    dct_block,
+    dct_image,
+    dct_roundtrip_reference,
+    dequantise_block,
+    diagonal_of,
+    idct_block,
+    quantise_block,
+    roundtrip_from_coefficients,
+    unblockify,
+    zigzag_order,
+)
+from .tasks import (
+    N_DIAGONALS,
+    dct_significance,
+    diagonal_cells,
+    diagonal_significance,
+)
+
+__all__ = [
+    "BLOCK",
+    "QUANT_LUMA",
+    "quant_matrix",
+    "basis_tensor",
+    "zigzag_order",
+    "diagonal_of",
+    "dct_block",
+    "quantise_block",
+    "dequantise_block",
+    "idct_block",
+    "blockify",
+    "unblockify",
+    "dct_image",
+    "roundtrip_from_coefficients",
+    "dct_roundtrip_reference",
+    "analyse_dct",
+    "analyse_dct_block",
+    "DctAnalysis",
+    "dct_significance",
+    "dct_perforated",
+    "diagonal_cells",
+    "diagonal_significance",
+    "N_DIAGONALS",
+]

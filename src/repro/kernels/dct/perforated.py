@@ -1,0 +1,56 @@
+"""Loop-perforated DCT baseline (Section 4.2).
+
+"In DCT we perforate the double nested loops which compute the
+coefficients of an 8x8 block of pixels": the 64 coefficient computations
+are visited in raster (v, u) order and a fraction is skipped, uniformly
+interleaved.  Perforation is oblivious to the frequency structure — at
+ratio 0.5 it computes every other coefficient in raster order, losing
+half the important low-frequency ACs that the significance version keeps
+(hence the paper's 10.96 dB average PSNR advantage for the latter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.common import KernelRun
+from repro.perforation import perforated_indices
+from repro.runtime import perforation_energy
+
+from .sequential import (
+    BLOCK,
+    OPS_PER_COEFFICIENT,
+    OPS_RECONSTRUCT_PER_BLOCK,
+    basis_tensor,
+    blockify,
+    roundtrip_from_coefficients,
+)
+from .tasks import ENERGY_MODEL
+
+__all__ = ["dct_perforated"]
+
+_BASIS = basis_tensor()
+
+
+def dct_perforated(image: np.ndarray, ratio: float) -> KernelRun:
+    """Run the coefficient-loop-perforated DCT round-trip."""
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    blocks = blockify(image)
+    n_blocks = len(blocks)
+    coeffs = np.zeros_like(blocks)
+
+    executed = perforated_indices(BLOCK * BLOCK, ratio)
+    for flat in executed:
+        v, u = divmod(flat, BLOCK)
+        coeffs[:, v, u] = np.einsum("yx,nyx->n", _BASIS[v, u], blocks)
+
+    output = roundtrip_from_coefficients(coeffs, (h, w))
+    executed_work = (
+        OPS_PER_COEFFICIENT * len(executed) * n_blocks
+        + OPS_RECONSTRUCT_PER_BLOCK * n_blocks
+    )
+    energy = perforation_energy(ENERGY_MODEL, executed_work)
+    return KernelRun(
+        output=output, energy=energy, ratio=ratio, variant="perforation"
+    )

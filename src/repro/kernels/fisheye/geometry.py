@@ -1,0 +1,127 @@
+"""Fisheye lens geometry (Section 4.1.3, InverseMapping kernel).
+
+Model: an equidistant fisheye lens.  Scene points at view angle θ land at
+radius ``r_d = f_d · θ`` on the distorted (captured) image, while the
+natural-looking perspective image places them at ``r_p = f_p · tan θ``.
+The correction therefore maps an output (perspective) pixel at radius
+``r_p`` back to the distorted input at::
+
+    θ   = atan(r_p / f_p)
+    r_d = f_d · θ
+
+Because ``tan`` grows faster than the identity, scene periphery is
+*compressed* in the fisheye image: content per input pixel (and hence the
+input gradient magnitude) grows with radius like ``sec²θ``.  That is what
+makes the coordinate computation near the border more sensitive to
+imprecision — the paper's Figure 5 pattern, which
+:mod:`repro.kernels.fisheye.analysis` reproduces.
+
+The functions are written against generic numerics so they run on floats,
+Intervals and ADoubles; NumPy versions handle whole coordinate grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.ad import intrinsics as op
+
+__all__ = ["LensConfig", "inverse_map_point", "inverse_map_grid", "OPS_INVERSE_MAP"]
+
+# Abstract per-pixel op cost of InverseMapping (atan + sqrt + divides).
+OPS_INVERSE_MAP = 30.0
+
+# Guard added under the radius sqrt so the derivative enclosure stays
+# finite at the exact image centre (r = 0).
+_RADIUS_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class LensConfig:
+    """Geometry of one correction setup.
+
+    Attributes:
+        out_width/out_height: perspective (output) image size.
+        in_width/in_height: distorted (input) image size.
+        fov_degrees: full diagonal field of view of the output image.
+    """
+
+    out_width: int
+    out_height: int
+    in_width: int
+    in_height: int
+    fov_degrees: float = 140.0
+
+    @property
+    def out_center(self) -> tuple[float, float]:
+        """(cx, cy) of the output image."""
+        return ((self.out_width - 1) / 2.0, (self.out_height - 1) / 2.0)
+
+    @property
+    def in_center(self) -> tuple[float, float]:
+        """(cx, cy) of the input (fisheye) image."""
+        return ((self.in_width - 1) / 2.0, (self.in_height - 1) / 2.0)
+
+    @property
+    def theta_max(self) -> float:
+        """Half the diagonal field of view, radians."""
+        return math.radians(self.fov_degrees) / 2.0
+
+    @property
+    def f_perspective(self) -> float:
+        """Perspective focal length: corner radius = f_p·tan(θ_max)."""
+        cx, cy = self.out_center
+        corner = math.hypot(cx, cy)
+        return corner / math.tan(self.theta_max)
+
+    @property
+    def f_fisheye(self) -> float:
+        """Fisheye focal length: the image circle inscribed in the input.
+
+        An equidistant fisheye produces a circular image; it must fit the
+        input frame, so ``f_d·θ_max`` equals the inscribed-circle radius
+        (half the smaller input dimension), guaranteeing every mapped
+        output pixel lands inside the frame.
+        """
+        cx, cy = self.in_center
+        return min(cx, cy) / self.theta_max
+
+
+def inverse_map_point(config: LensConfig, x_out: Any, y_out: Any) -> tuple[Any, Any]:
+    """Map one output pixel to real-valued input coordinates.
+
+    Generic numerics: pass floats for execution, ADoubles for analysis.
+    """
+    cx_o, cy_o = config.out_center
+    cx_i, cy_i = config.in_center
+    f_p = config.f_perspective
+    f_d = config.f_fisheye
+
+    dx = x_out - cx_o
+    dy = y_out - cy_o
+    r_p = op.sqrt(dx * dx + dy * dy + _RADIUS_EPSILON)
+    theta = op.atan(r_p / f_p)
+    r_d = f_d * theta
+    scale = r_d / r_p
+    return cx_i + dx * scale, cy_i + dy * scale
+
+
+def inverse_map_grid(
+    config: LensConfig, xs: np.ndarray, ys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`inverse_map_point` over coordinate arrays."""
+    cx_o, cy_o = config.out_center
+    cx_i, cy_i = config.in_center
+    f_p = config.f_perspective
+    f_d = config.f_fisheye
+
+    dx = np.asarray(xs, dtype=np.float64) - cx_o
+    dy = np.asarray(ys, dtype=np.float64) - cy_o
+    r_p = np.sqrt(dx * dx + dy * dy + _RADIUS_EPSILON)
+    theta = np.arctan(r_p / f_p)
+    scale = f_d * theta / r_p
+    return cx_i + dx * scale, cy_i + dy * scale

@@ -1,0 +1,44 @@
+"""Loop-perforated Fisheye baseline (Section 4.2).
+
+"In Fisheye we drop the computation of some of the output image rows
+similarly to Sobel": interleaved row perforation, skipped rows keep the
+output buffer's zeros (plain loop-perforation semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.common import KernelRun
+from repro.perforation import perforated_indices
+from repro.runtime import perforation_energy
+
+from .bicubic import OPS_BICUBIC, bicubic_sample
+from .geometry import OPS_INVERSE_MAP, LensConfig, inverse_map_grid
+from .tasks import ENERGY_MODEL
+
+__all__ = ["fisheye_perforated"]
+
+_OPS_PER_PIXEL = OPS_INVERSE_MAP + OPS_BICUBIC
+
+
+def fisheye_perforated(
+    input_image: np.ndarray, config: LensConfig, ratio: float
+) -> KernelRun:
+    """Run the row-perforated fisheye correction."""
+    input_image = np.asarray(input_image, dtype=np.float64)
+    h, w = config.out_height, config.out_width
+    executed = perforated_indices(h, ratio)
+    output = np.zeros((h, w), dtype=np.float64)
+
+    if executed:
+        rows = np.array(executed, dtype=np.float64)
+        ys, xs = np.meshgrid(rows, np.arange(w, dtype=np.float64), indexing="ij")
+        sx, sy = inverse_map_grid(config, xs, ys)
+        output[executed, :] = bicubic_sample(input_image, sx, sy)
+
+    executed_work = _OPS_PER_PIXEL * w * len(executed)
+    energy = perforation_energy(ENERGY_MODEL, executed_work)
+    return KernelRun(
+        output=output, energy=energy, ratio=ratio, variant="perforation"
+    )

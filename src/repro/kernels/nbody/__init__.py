@@ -1,0 +1,39 @@
+"""N-Body Lennard-Jones benchmark (paper Section 4.1.4)."""
+
+from .analysis import NBodyAnalysis, analyse_nbody
+from .perforated import nbody_perforated
+from .regions import RegionGrid, region_significance
+from .simulation import (
+    EPSILON,
+    SIGMA,
+    System,
+    forces_full,
+    lattice_system,
+    lj_pair_force,
+    lj_potential,
+    pair_forces,
+    potential_energy,
+    simulate_reference,
+    velocity_verlet,
+)
+from .tasks import nbody_significance
+
+__all__ = [
+    "SIGMA",
+    "EPSILON",
+    "System",
+    "lattice_system",
+    "lj_potential",
+    "lj_pair_force",
+    "pair_forces",
+    "forces_full",
+    "potential_energy",
+    "velocity_verlet",
+    "simulate_reference",
+    "RegionGrid",
+    "region_significance",
+    "nbody_significance",
+    "nbody_perforated",
+    "analyse_nbody",
+    "NBodyAnalysis",
+]

@@ -1,0 +1,99 @@
+"""Significance analysis of the N-Body kernel (Section 4.1.4).
+
+"We compute the significance of each atom's state with respect to the
+state of all other atoms.  The results, once again, confirm domain expert
+wisdom: the significance is strongly correlated with the distance between
+atoms."
+
+For a small configuration, register every source atom's coordinates as
+inputs (± a position uncertainty), evaluate the Lennard-Jones force on a
+target atom in interval-adjoint mode (three outputs — vector mode), and
+aggregate per-atom significance.  The test of success is the rank
+correlation between atom distance and significance: strongly negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scorpio import Analysis, rank_correlation
+
+from .simulation import lj_pair_force
+
+__all__ = ["NBodyAnalysis", "analyse_nbody"]
+
+
+@dataclass
+class NBodyAnalysis:
+    """Per-source-atom significance for a fixed target atom."""
+
+    distances: np.ndarray  # (n_sources,)
+    significances: np.ndarray  # (n_sources,), max-normalised
+
+    @property
+    def distance_rank_correlation(self) -> float:
+        """Spearman correlation of distance vs significance (≈ -1)."""
+        return rank_correlation(
+            list(self.distances), list(self.significances)
+        )
+
+
+def analyse_nbody(
+    positions: np.ndarray,
+    target: int = 0,
+    position_uncertainty: float = 0.02,
+) -> NBodyAnalysis:
+    """Significance of each source atom for the force on ``target``."""
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    if not 0 <= target < n:
+        raise ValueError(f"target index {target} out of range")
+    sources = [i for i in range(n) if i != target]
+
+    # Work in coordinates centred on the target atom: Eq. 11's interval
+    # product scales with the variable's absolute magnitude (the paper's
+    # overestimation caveat), so a translation-invariant quantity like the
+    # LJ force should be analysed in translation-normalised coordinates.
+    centred = positions - positions[target]
+
+    an = Analysis()
+    with an:
+        taped = {}
+        for i in sources:
+            taped[i] = [
+                an.input(
+                    float(centred[i, k]),
+                    width=2.0 * position_uncertainty,
+                    name=f"atom{i}_{'xyz'[k]}",
+                )
+                for k in range(3)
+            ]
+
+        fx = fy = fz = None
+        for i in sources:
+            sx, sy, sz = taped[i]
+            dfx, dfy, dfz = lj_pair_force(0.0 - sx, 0.0 - sy, 0.0 - sz)
+            fx = dfx if fx is None else fx + dfx
+            fy = dfy if fy is None else fy + dfy
+            fz = dfz if fz is None else fz + dfz
+        an.output(fx, name="fx")
+        an.output(fy, name="fy")
+        an.output(fz, name="fz")
+    report = an.analyse(simplify=False)
+    sigs = report.input_significances()
+
+    distances = np.array(
+        [float(np.linalg.norm(positions[i] - positions[target])) for i in sources]
+    )
+    per_atom = np.array(
+        [
+            sum(sigs[f"atom{i}_{axis}"] for axis in "xyz")
+            for i in sources
+        ]
+    )
+    peak = per_atom.max()
+    if peak > 0:
+        per_atom = per_atom / peak
+    return NBodyAnalysis(distances=distances, significances=per_atom)

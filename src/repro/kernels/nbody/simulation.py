@@ -1,0 +1,172 @@
+"""Lennard-Jones N-Body simulation — reference implementation (§4.1.4).
+
+Simulates the kinematic behaviour of liquid-argon atoms under the
+Lennard-Jones pair potential (Eq. 13 of the paper)::
+
+    V(r) = 4ε [ (σ/r)^12 − (σ/r)^6 ]
+
+We work in standard LJ *reduced units* (σ = ε = m = 1); the physics is
+identical to argon up to scaling (for argon σ = 3.4 Å, ε/k_B = 120 K).
+Integration is velocity Verlet.  Atoms start on a jittered cubic lattice
+with small random velocities (zero net momentum) — a bounded liquid-like
+cluster, the paper's setting.
+
+Generic scalar pair functions feed the significance analysis; the NumPy
+helpers compute whole-system or subset forces for the execution path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SIGMA",
+    "EPSILON",
+    "lj_potential",
+    "lj_pair_force",
+    "lattice_system",
+    "pair_forces",
+    "forces_full",
+    "potential_energy",
+    "velocity_verlet",
+    "simulate_reference",
+    "OPS_PER_PAIR",
+]
+
+SIGMA = 1.0
+EPSILON = 1.0
+
+# Abstract op count of one pair interaction (distance, powers, force).
+OPS_PER_PAIR = 50.0
+
+
+def lj_potential(r2: Any) -> Any:
+    """Pair potential from the *squared* distance (generic numerics).
+
+    Using r² avoids a sqrt: V = 4ε (s6² − s6) with s6 = (σ²/r²)³.
+    """
+    inv_r2 = (SIGMA * SIGMA) / r2
+    s6 = inv_r2 * inv_r2 * inv_r2
+    return 4.0 * EPSILON * (s6 * s6 - s6)
+
+
+def lj_pair_force(dx: Any, dy: Any, dz: Any) -> tuple[Any, Any, Any]:
+    """Force on atom i due to atom j, with d = x_i - x_j (generic).
+
+    F = 24ε/r² · (2 s12 − s6) · d  (repulsive positive along d).
+    """
+    r2 = dx * dx + dy * dy + dz * dz
+    inv_r2 = 1.0 / r2
+    s2 = (SIGMA * SIGMA) * inv_r2
+    s6 = s2 * s2 * s2
+    s12 = s6 * s6
+    magnitude = 24.0 * EPSILON * (2.0 * s12 - s6) * inv_r2
+    return magnitude * dx, magnitude * dy, magnitude * dz
+
+
+@dataclass
+class System:
+    """Particle state: positions/velocities are (N, 3) arrays."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of atoms."""
+        return len(self.positions)
+
+    def copy(self) -> "System":
+        """Independent deep copy."""
+        return System(self.positions.copy(), self.velocities.copy())
+
+
+def lattice_system(
+    side: int = 9,
+    spacing: float = 1.2,
+    jitter: float = 0.03,
+    temperature: float = 0.05,
+    seed: int = 42,
+) -> System:
+    """``side³`` atoms on a jittered cubic lattice with thermal velocities.
+
+    Spacing 1.2σ is near the LJ equilibrium distance (2^{1/6}σ ≈ 1.122σ),
+    giving a stable liquid-like cluster.
+    """
+    rng = np.random.default_rng(seed)
+    axis = np.arange(side, dtype=np.float64) * spacing
+    gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
+    positions = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+    positions += rng.uniform(-jitter, jitter, size=positions.shape)
+    velocities = rng.normal(0.0, np.sqrt(temperature), size=positions.shape)
+    velocities -= velocities.mean(axis=0)  # zero net momentum
+    return System(positions=positions, velocities=velocities)
+
+
+def pair_forces(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    exclude_self: bool = False,
+) -> np.ndarray:
+    """Forces on each target atom due to all source atoms (NumPy).
+
+    ``exclude_self`` masks zero-distance pairs (use when targets are a
+    subset of sources — e.g. a region interacting with itself).
+    """
+    delta = targets[:, None, :] - sources[None, :, :]  # (T, S, 3)
+    r2 = np.einsum("tsk,tsk->ts", delta, delta)
+    if exclude_self:
+        mask = r2 < 1e-12
+        r2 = np.where(mask, 1.0, r2)
+    inv_r2 = 1.0 / r2
+    s2 = (SIGMA * SIGMA) * inv_r2
+    s6 = s2 * s2 * s2
+    magnitude = 24.0 * EPSILON * (2.0 * s6 * s6 - s6) * inv_r2
+    if exclude_self:
+        magnitude = np.where(mask, 0.0, magnitude)
+    return np.einsum("ts,tsk->tk", magnitude, delta)
+
+
+def forces_full(positions: np.ndarray) -> np.ndarray:
+    """Exact all-pairs forces (the fully accurate kernel)."""
+    return pair_forces(positions, positions, exclude_self=True)
+
+
+def potential_energy(positions: np.ndarray) -> float:
+    """Total LJ potential energy of the system."""
+    delta = positions[:, None, :] - positions[None, :, :]
+    r2 = np.einsum("ijk,ijk->ij", delta, delta)
+    iu = np.triu_indices(len(positions), k=1)
+    r2u = r2[iu]
+    s6 = (SIGMA * SIGMA / r2u) ** 3
+    return float(np.sum(4.0 * EPSILON * (s6 * s6 - s6)))
+
+
+def velocity_verlet(
+    system: System,
+    forces: np.ndarray,
+    dt: float,
+    force_fn,
+) -> np.ndarray:
+    """One velocity-Verlet step in place; returns the new forces.
+
+    ``force_fn(positions) -> (N, 3)`` supplies forces at the new
+    positions (this is where the approximate force evaluation plugs in).
+    """
+    system.velocities += 0.5 * dt * forces
+    system.positions += dt * system.velocities
+    new_forces = force_fn(system.positions)
+    system.velocities += 0.5 * dt * new_forces
+    return new_forces
+
+
+def simulate_reference(system: System, steps: int, dt: float = 0.004) -> System:
+    """Fully accurate simulation of ``steps`` Verlet steps."""
+    state = system.copy()
+    forces = forces_full(state.positions)
+    for _ in range(steps):
+        forces = velocity_verlet(state, forces, dt, forces_full)
+    return state

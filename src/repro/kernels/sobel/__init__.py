@@ -1,0 +1,27 @@
+"""Sobel edge filter benchmark (paper Section 4.1.1)."""
+
+from .analysis import SobelAnalysis, analyse_sobel, analyse_sobel_pixel
+from .perforated import sobel_perforated
+from .sequential import (
+    combine_image,
+    combine_parts_pixel,
+    part_contributions,
+    sobel_parts_pixel,
+    sobel_pixel,
+    sobel_reference,
+)
+from .tasks import sobel_significance
+
+__all__ = [
+    "sobel_reference",
+    "sobel_pixel",
+    "sobel_parts_pixel",
+    "combine_parts_pixel",
+    "part_contributions",
+    "combine_image",
+    "analyse_sobel",
+    "analyse_sobel_pixel",
+    "SobelAnalysis",
+    "sobel_significance",
+    "sobel_perforated",
+]

@@ -1,0 +1,69 @@
+"""Loop-perforated Sobel baseline (Section 4.2).
+
+"The perforated version of Sobel Filter skips the computation for a
+percentage of the rows of the image."  Executed rows are spread uniformly
+(interleaved perforation).  Skipped rows produce nothing: the output
+buffer keeps its initial zeros (true loop-perforation semantics).  A
+``fill="replicate"`` mode that patches skipped rows from the nearest
+computed row is provided for the ablation benches.
+
+Perforated runs have no task runtime, so energy is dynamic + static work
+only (``perforation_energy``) — the source of the paper's observation
+that perforation can undercut the task version on energy at equal work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.common import KernelRun
+from repro.perforation import perforated_indices
+from repro.runtime import perforation_energy
+
+from .sequential import (
+    OPS_COMBINE,
+    OPS_PART_A,
+    OPS_PART_B,
+    OPS_PART_C,
+    sobel_reference,
+)
+from .tasks import ENERGY_MODEL
+
+__all__ = ["sobel_perforated"]
+
+_OPS_PER_PIXEL = OPS_PART_A + OPS_PART_B + OPS_PART_C + OPS_COMBINE
+
+
+def sobel_perforated(
+    image: np.ndarray, ratio: float, fill: str = "zero"
+) -> KernelRun:
+    """Run the row-perforated Sobel at the given accurate-row ratio.
+
+    ``fill`` controls skipped rows: ``"zero"`` (default, plain loop
+    perforation) or ``"replicate"`` (patch from the last computed row).
+    """
+    if fill not in ("zero", "replicate"):
+        raise ValueError(f"unknown fill mode {fill!r}")
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    executed = perforated_indices(h, ratio)
+    output = np.zeros((h, w), dtype=np.float64)
+
+    if executed:
+        full = sobel_reference(image)  # rows are sliced below; work is
+        # charged only for executed rows (the numpy call computes all rows
+        # for vectorisation convenience, but the *model* sees per-row work).
+        last = executed[0]
+        executed_set = set(executed)
+        for row in range(h):
+            if row in executed_set:
+                output[row, :] = full[row, :]
+                last = row
+            elif fill == "replicate":
+                output[row, :] = output[last, :]
+
+    executed_work = _OPS_PER_PIXEL * w * len(executed)
+    energy = perforation_energy(ENERGY_MODEL, executed_work)
+    return KernelRun(
+        output=output, energy=energy, ratio=ratio, variant="perforation"
+    )

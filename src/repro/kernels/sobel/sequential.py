@@ -1,0 +1,139 @@
+"""Sobel filter — reference implementation (paper Section 4.1.1).
+
+Convolves the image with the two 3x3 Sobel kernels::
+
+          | -1  0  1 |          | -1 -2 -1 |
+    Gx =  | -2  0  2 |    Gy =  |  0  0  0 |
+          | -1  0  1 |          |  1  2  1 |
+
+then combines ``t = sqrt(tx^2 + ty^2)`` and clips to [0, 255].
+
+The convolution is expressed as the three blocks the paper's analysis
+identifies (Section 4.1.1):
+
+* **A** — the terms with coefficients ±2 (centre row of Gx, centre column
+  of Gy);
+* **B** — the ±1 terms of the first off-row/off-column;
+* **C** — the ±1 terms of the other off-row/off-column.
+
+``sobel_parts_pixel`` exposes the blocks for a single pixel in generic
+numerics (used by the significance analysis), and the NumPy helpers
+compute whole-image block contributions (used by the task runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ad import intrinsics as op
+
+__all__ = [
+    "sobel_parts_pixel",
+    "combine_parts_pixel",
+    "sobel_pixel",
+    "part_contributions",
+    "combine_image",
+    "sobel_reference",
+    "OPS_PART_A",
+    "OPS_PART_B",
+    "OPS_PART_C",
+    "OPS_COMBINE",
+]
+
+# Abstract per-pixel operation counts of each block (energy model input).
+OPS_PART_A = 8.0  # 4 subs/adds + 2 muls per direction
+OPS_PART_B = 6.0
+OPS_PART_C = 6.0
+OPS_COMBINE = 24.0  # squares, add, sqrt (~20 ops), clip
+
+# Smoothing constant added under the sqrt in the *generic* (analysis)
+# path so the derivative enclosure stays finite on flat windows where
+# tx = ty = 0 (|.| is non-differentiable there).  One gray-level², i.e.
+# at most half a gray level of output shift — irrelevant to significance
+# ratios, essential for well-defined interval adjoints.
+_ANALYSIS_SMOOTHING = 1.0
+
+
+def sobel_parts_pixel(window: list[list[Any]]) -> dict[str, Any]:
+    """Block contributions A/B/C for both directions on a 3x3 window.
+
+    ``window[dy][dx]`` is the pixel at offset ``(dy-1, dx-1)`` from the
+    centre.  Works on floats, Intervals, Tangents and ADoubles.
+    """
+    if len(window) != 3 or any(len(row) != 3 for row in window):
+        raise ValueError("sobel needs a 3x3 window")
+    w = window
+    return {
+        # Gx: centre row carries the ±2 coefficients.
+        "a_x": 2.0 * w[1][2] - 2.0 * w[1][0],
+        "b_x": w[0][2] - w[0][0],
+        "c_x": w[2][2] - w[2][0],
+        # Gy: centre column carries the ±2 coefficients.
+        "a_y": 2.0 * w[2][1] - 2.0 * w[0][1],
+        "b_y": w[2][0] - w[0][0],
+        "c_y": w[2][2] - w[0][2],
+    }
+
+
+def combine_parts_pixel(parts: dict[str, Any], smooth: bool = False) -> Any:
+    """Combine block contributions into the clipped edge magnitude."""
+    tx = parts["a_x"] + parts["b_x"] + parts["c_x"]
+    ty = parts["a_y"] + parts["b_y"] + parts["c_y"]
+    magnitude_sq = tx * tx + ty * ty
+    if smooth:
+        magnitude_sq = magnitude_sq + _ANALYSIS_SMOOTHING
+    t = op.sqrt(magnitude_sq)
+    return op.clip(t, 0.0, 255.0)
+
+
+def sobel_pixel(window: list[list[Any]], smooth: bool = False) -> Any:
+    """Full Sobel response of one pixel in generic numerics."""
+    return combine_parts_pixel(sobel_parts_pixel(window), smooth=smooth)
+
+
+# ----------------------------------------------------------------------
+# NumPy whole-image helpers
+# ----------------------------------------------------------------------
+def _shift(padded: np.ndarray, dy: int, dx: int, shape: tuple[int, int]) -> np.ndarray:
+    """Neighbour view of the edge-padded image at offset (dy, dx)."""
+    h, w = shape
+    return padded[1 + dy : 1 + dy + h, 1 + dx : 1 + dx + w]
+
+
+def part_contributions(image: np.ndarray) -> dict[str, np.ndarray]:
+    """Whole-image A/B/C contributions to (tx, ty).
+
+    Returns a dict with keys ``"A"``, ``"B"``, ``"C"``, each a pair-array
+    of shape ``(2, H, W)`` holding the (tx, ty) contribution of the block.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    padded = np.pad(image, 1, mode="edge")
+    s = image.shape
+
+    a_x = 2.0 * _shift(padded, 0, 1, s) - 2.0 * _shift(padded, 0, -1, s)
+    a_y = 2.0 * _shift(padded, 1, 0, s) - 2.0 * _shift(padded, -1, 0, s)
+    b_x = _shift(padded, -1, 1, s) - _shift(padded, -1, -1, s)
+    b_y = _shift(padded, 1, -1, s) - _shift(padded, -1, -1, s)
+    c_x = _shift(padded, 1, 1, s) - _shift(padded, 1, -1, s)
+    c_y = _shift(padded, 1, 1, s) - _shift(padded, -1, 1, s)
+
+    return {
+        "A": np.stack([a_x, a_y]),
+        "B": np.stack([b_x, b_y]),
+        "C": np.stack([c_x, c_y]),
+    }
+
+
+def combine_image(tx: np.ndarray, ty: np.ndarray) -> np.ndarray:
+    """Magnitude + clip over whole arrays."""
+    return np.clip(np.sqrt(tx * tx + ty * ty), 0.0, 255.0)
+
+
+def sobel_reference(image: np.ndarray) -> np.ndarray:
+    """Fully accurate Sobel filter of a grayscale image."""
+    parts = part_contributions(image)
+    tx = parts["A"][0] + parts["B"][0] + parts["C"][0]
+    ty = parts["A"][1] + parts["B"][1] + parts["C"][1]
+    return combine_image(tx, ty)

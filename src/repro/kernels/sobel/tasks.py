@@ -1,0 +1,138 @@
+"""Task-based, significance-driven Sobel (Section 4.1.1).
+
+Two task groups, exactly as the paper structures them:
+
+1. **convolution** — per row-block, three tasks writing block
+   contributions into shared (tx, ty) accumulators:
+
+   * A (coefficients ±2) with significance **1.0** — always accurate;
+   * B and C (coefficients ±1) with significance **0.5** — "executed
+     only if the user-requested ratio is higher than 0.33".
+
+   The approximate version of B/C *drops* the computation (their
+   contribution stays zero), which is how the paper approximates them.
+
+2. **combine** — per row-block, magnitude + clip, significance 1.0
+   (the analysis shows high, uniform significance for this stage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import AnalyticEnergyModel, TaskRuntime
+from repro.kernels.common import KernelRun
+
+from .sequential import (
+    OPS_COMBINE,
+    OPS_PART_A,
+    OPS_PART_B,
+    OPS_PART_C,
+    combine_image,
+    part_contributions,
+)
+
+__all__ = ["sobel_significance", "ENERGY_MODEL", "DEFAULT_BLOCK_ROWS"]
+
+DEFAULT_BLOCK_ROWS = 16
+
+# Calibrated so a fully accurate 256x256 run lands near the paper's ~420 J
+# full-accuracy Sobel point (DESIGN.md §4; absolute scale is a model).
+ENERGY_MODEL = AnalyticEnergyModel(
+    energy_per_op=1.30e-4,
+    task_overhead=0.55,
+    static_power=0.0,
+)
+
+
+def _part_task(
+    accumulator: np.ndarray,
+    slot: int,
+    contribution: np.ndarray,
+    row0: int,
+    row1: int,
+) -> None:
+    """Write one block's (tx, ty) contribution into its own slot.
+
+    Each (slot, row range) region is written by exactly one task — the
+    programming model's ``out()`` contract — so thread-pool execution is
+    race-free (a shared `+=` would not be).
+    """
+    accumulator[slot, :, row0:row1, :] = contribution[:, row0:row1, :]
+
+
+def _combine_task(
+    output: np.ndarray, accumulator: np.ndarray, row0: int, row1: int
+) -> None:
+    """Sum the part slots, then magnitude + clip for rows [row0, row1)."""
+    tx = accumulator[:, 0, row0:row1, :].sum(axis=0)
+    ty = accumulator[:, 1, row0:row1, :].sum(axis=0)
+    output[row0:row1, :] = combine_image(tx, ty)
+
+
+def sobel_significance(
+    image: np.ndarray,
+    ratio: float,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+    runtime: TaskRuntime | None = None,
+) -> KernelRun:
+    """Run the significance-driven Sobel at the given accurate ratio."""
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    rt = runtime or TaskRuntime(energy_model=ENERGY_MODEL)
+
+    parts = part_contributions(image)
+    # One slot per convolution part (A/B/C); dropped parts stay zero.
+    accumulator = np.zeros((3, 2, h, w), dtype=np.float64)
+    output = np.zeros((h, w), dtype=np.float64)
+
+    block_pixels = float(w * block_rows)
+    for row0 in range(0, h, block_rows):
+        row1 = min(row0 + block_rows, h)
+        rt.submit(
+            _part_task,
+            args=(accumulator, 0, parts["A"], row0, row1),
+            significance=1.0,
+            label="convolution",
+            work=OPS_PART_A * block_pixels,
+        )
+        # B and C: significance 0.5, no approx version -> dropped below
+        # the ratio threshold (the paper's approximation for them).
+        rt.submit(
+            _part_task,
+            args=(accumulator, 1, parts["B"], row0, row1),
+            significance=0.5,
+            label="convolution",
+            work=OPS_PART_B * block_pixels,
+        )
+        rt.submit(
+            _part_task,
+            args=(accumulator, 2, parts["C"], row0, row1),
+            significance=0.5,
+            label="convolution",
+            work=OPS_PART_C * block_pixels,
+        )
+    conv_group = rt.taskwait("convolution", ratio=ratio)
+
+    for row0 in range(0, h, block_rows):
+        row1 = min(row0 + block_rows, h)
+        rt.submit(
+            _combine_task,
+            args=(output, accumulator, row0, row1),
+            significance=1.0,
+            label="combine",
+            work=OPS_COMBINE * block_pixels,
+        )
+    combine_group = rt.taskwait("combine", ratio=1.0)
+
+    stats = conv_group.stats
+    stats.total += combine_group.stats.total
+    stats.accurate += combine_group.stats.accurate
+    stats.executed_work += combine_group.stats.executed_work
+    return KernelRun(
+        output=output,
+        energy=conv_group.energy + combine_group.energy,
+        ratio=ratio,
+        variant="significance",
+        stats=stats,
+    )

@@ -1,0 +1,21 @@
+"""Quality metrics (PSNR, relative error) used by the evaluation."""
+
+from .quality import (
+    aggregate_relative_error,
+    max_relative_error,
+    mean_absolute_error,
+    mse,
+    psnr,
+    relative_error,
+    rmse,
+)
+
+__all__ = [
+    "mse",
+    "rmse",
+    "psnr",
+    "mean_absolute_error",
+    "relative_error",
+    "max_relative_error",
+    "aggregate_relative_error",
+]

@@ -1,0 +1,102 @@
+"""Output-quality metrics used by the evaluation (Section 4.3).
+
+Sobel / DCT / Fisheye report **PSNR** with respect to the fully accurate
+execution (higher is better, logarithmic); N-Body / BlackScholes report
+**relative error** (lower is better).  All metrics accept NumPy arrays or
+nested sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "rmse",
+    "psnr",
+    "mean_absolute_error",
+    "relative_error",
+    "max_relative_error",
+    "aggregate_relative_error",
+]
+
+_ArrayLike = Sequence | np.ndarray
+
+
+def _pair(reference: _ArrayLike, test: _ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.float64)
+    tst = np.asarray(test, dtype=np.float64)
+    if ref.shape != tst.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {tst.shape}")
+    if ref.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return ref, tst
+
+
+def mse(reference: _ArrayLike, test: _ArrayLike) -> float:
+    """Mean squared error."""
+    ref, tst = _pair(reference, test)
+    return float(np.mean((ref - tst) ** 2))
+
+
+def rmse(reference: _ArrayLike, test: _ArrayLike) -> float:
+    """Root mean squared error."""
+    return math.sqrt(mse(reference, test))
+
+
+def psnr(reference: _ArrayLike, test: _ArrayLike, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical inputs.
+
+    The paper computes PSNR of the approximate output against the fully
+    accurate execution, with 8-bit image peak 255.
+    """
+    err = mse(reference, test)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / err)
+
+
+def mean_absolute_error(reference: _ArrayLike, test: _ArrayLike) -> float:
+    """Mean absolute error."""
+    ref, tst = _pair(reference, test)
+    return float(np.mean(np.abs(ref - tst)))
+
+
+def relative_error(
+    reference: _ArrayLike, test: _ArrayLike, epsilon: float = 1e-12
+) -> float:
+    """Mean relative error ``|test - ref| / max(|ref|, epsilon)``.
+
+    ``epsilon`` guards elements whose reference value is (near) zero.
+    Reported as a fraction (multiply by 100 for the paper's percent axis).
+    """
+    ref, tst = _pair(reference, test)
+    denom = np.maximum(np.abs(ref), epsilon)
+    return float(np.mean(np.abs(tst - ref) / denom))
+
+
+def aggregate_relative_error(reference: _ArrayLike, test: _ArrayLike) -> float:
+    """Aggregate relative error ``Σ|test - ref| / Σ|ref|``.
+
+    Stable when individual reference elements are near zero (deep
+    out-of-the-money option prices, coordinates at the origin) — the
+    per-element ratio would explode there without carrying information.
+    Used as the paper-style "relative error" for N-Body and BlackScholes.
+    """
+    ref, tst = _pair(reference, test)
+    denom = float(np.sum(np.abs(ref)))
+    if denom == 0.0:
+        return 0.0 if float(np.sum(np.abs(tst))) == 0.0 else math.inf
+    return float(np.sum(np.abs(tst - ref)) / denom)
+
+
+def max_relative_error(
+    reference: _ArrayLike, test: _ArrayLike, epsilon: float = 1e-12
+) -> float:
+    """Worst-case relative error over all elements."""
+    ref, tst = _pair(reference, test)
+    denom = np.maximum(np.abs(ref), epsilon)
+    return float(np.max(np.abs(tst - ref) / denom))

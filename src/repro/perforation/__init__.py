@@ -1,0 +1,21 @@
+"""Loop perforation baseline (paper Section 4.2)."""
+
+from .perforate import (
+    PerforationScheme,
+    interleaved,
+    modulo,
+    perforate_sequence,
+    perforated_indices,
+    perforated_range,
+    truncated,
+)
+
+__all__ = [
+    "perforated_indices",
+    "perforate_sequence",
+    "perforated_range",
+    "PerforationScheme",
+    "interleaved",
+    "truncated",
+    "modulo",
+]

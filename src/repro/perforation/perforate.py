@@ -1,0 +1,112 @@
+"""Loop perforation — the paper's baseline (Sidiroglou-Douskos et al.).
+
+Loop perforation skips a fraction of loop iterations to trade output
+quality for time/energy.  The paper perforates each benchmark so that "the
+same percentage of computations is skipped as the percentage of
+computations approximated by our runtime" (Section 4.2), then compares
+quality at equal accurate-computation ratio.
+
+The central primitive is :func:`perforated_indices`: given an iteration
+count and the accurate ratio ``r``, return the indices to *execute* such
+that executed/total ≈ r and the executed iterations are spread uniformly
+(interleaved perforation, the standard scheme).  Benchmarks build their
+perforated variants on top of it (skip rows for Sobel/Fisheye, skip
+coefficients for DCT, skip force contributions for N-Body).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence, TypeVar
+
+__all__ = [
+    "perforated_indices",
+    "perforate_sequence",
+    "perforated_range",
+    "PerforationScheme",
+    "interleaved",
+    "truncated",
+    "modulo",
+]
+
+T = TypeVar("T")
+
+PerforationScheme = Callable[[int, float], list[int]]
+
+
+def interleaved(count: int, ratio: float) -> list[int]:
+    """Evenly spread executed iterations (default scheme).
+
+    Picks ``ceil(ratio * count)`` indices at (approximately) regular
+    stride, always including index 0 when anything executes — skipped work
+    is distributed uniformly, which is the best-behaved perforation for
+    spatial loops.
+    """
+    _check(count, ratio)
+    keep = math.ceil(ratio * count)
+    if keep == 0:
+        return []
+    if keep >= count:
+        return list(range(count))
+    step = count / keep
+    indices = sorted({min(count - 1, int(i * step)) for i in range(keep)})
+    # Collisions from rounding can under-fill; pad from unused indices.
+    if len(indices) < keep:
+        used = set(indices)
+        for i in range(count):
+            if i not in used:
+                indices.append(i)
+                used.add(i)
+                if len(indices) == keep:
+                    break
+        indices.sort()
+    return indices
+
+
+def truncated(count: int, ratio: float) -> list[int]:
+    """Execute the first ``ceil(ratio*count)`` iterations, skip the tail."""
+    _check(count, ratio)
+    keep = math.ceil(ratio * count)
+    return list(range(min(keep, count)))
+
+
+def modulo(count: int, ratio: float) -> list[int]:
+    """Classic modulo perforation: execute every k-th iteration.
+
+    ``k = max(1, round(1/ratio))``; the realised ratio is the closest
+    ``1/k`` to the requested one (coarser than :func:`interleaved`).
+    """
+    _check(count, ratio)
+    if ratio == 0.0:
+        return []
+    k = max(1, round(1.0 / ratio))
+    return list(range(0, count, k))
+
+
+def perforated_indices(
+    count: int, ratio: float, scheme: PerforationScheme = interleaved
+) -> list[int]:
+    """Indices to execute for an accurate ratio of ``ratio``."""
+    return scheme(count, ratio)
+
+
+def perforate_sequence(
+    items: Sequence[T], ratio: float, scheme: PerforationScheme = interleaved
+) -> Iterator[T]:
+    """Yield only the items whose iterations survive perforation."""
+    for i in perforated_indices(len(items), ratio, scheme):
+        yield items[i]
+
+
+def perforated_range(
+    count: int, ratio: float, scheme: PerforationScheme = interleaved
+) -> Iterator[int]:
+    """``range(count)`` with perforation applied."""
+    return iter(perforated_indices(count, ratio, scheme))
+
+
+def _check(count: int, ratio: float) -> None:
+    if count < 0:
+        raise ValueError(f"iteration count must be >= 0, got {count}")
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"ratio must lie in [0, 1], got {ratio}")

@@ -1,0 +1,50 @@
+"""Significance-aware task runtime (the paper's OpenMP extension).
+
+Public surface: :class:`TaskRuntime` (submit/taskwait), the energy models,
+and the execution strategies.
+"""
+
+from .api import TaskRuntime
+from .controller import RatioController
+from .dependencies import (
+    DependencyCycleError,
+    DependencyGraph,
+    run_with_dependencies,
+)
+from .energy import (
+    AnalyticEnergyModel,
+    EnergyBreakdown,
+    EnergyModel,
+    TimingEnergyModel,
+    perforation_energy,
+)
+from .executor import Executor, SequentialExecutor, ThreadedExecutor
+from .scheduler import plan_modes
+from .stats import GroupResult, GroupStats
+from .task import ExecutionMode, Task, TaskResult
+from .tuning import TuningResult, best_quality_under_energy, min_ratio_for_quality
+
+__all__ = [
+    "TaskRuntime",
+    "Task",
+    "TaskResult",
+    "ExecutionMode",
+    "plan_modes",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "Executor",
+    "AnalyticEnergyModel",
+    "TimingEnergyModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "perforation_energy",
+    "GroupResult",
+    "GroupStats",
+    "DependencyGraph",
+    "DependencyCycleError",
+    "run_with_dependencies",
+    "TuningResult",
+    "min_ratio_for_quality",
+    "best_quality_under_energy",
+    "RatioController",
+]

@@ -1,0 +1,131 @@
+"""The significance-aware task runtime (Listing 7's pragmas as an API).
+
+Usage mirroring the paper's Maclaurin port::
+
+    rt = TaskRuntime()
+    for i in range(1, n):
+        rt.submit(
+            compute_term,
+            args=(temp, x, i),
+            significance=(n - i + 1) / (n + 2),
+            approx_fn=compute_term_fast,
+            label="maclaurin",
+            work=i,
+        )
+    group = rt.taskwait("maclaurin", ratio=wait_ratio)
+
+``submit`` is ``#pragma omp task significance(...) approxfun(...)
+label(...)``; ``taskwait`` is ``#pragma omp taskwait label(...)
+ratio(...)``: it schedules the group with
+:func:`~repro.runtime.scheduler.plan_modes`, executes it, measures energy,
+and clears the group for reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .energy import AnalyticEnergyModel, EnergyBreakdown, EnergyModel
+from .executor import Executor, SequentialExecutor
+from .scheduler import plan_modes
+from .stats import GroupResult, GroupStats
+from .task import Task
+
+__all__ = ["TaskRuntime"]
+
+
+class TaskRuntime:
+    """Collects significance-tagged tasks and executes them per group."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        energy_model: EnergyModel | None = None,
+    ):
+        self.executor: Executor = executor or SequentialExecutor()
+        self.energy_model: EnergyModel = energy_model or AnalyticEnergyModel()
+        self._groups: dict[str, list[Task]] = {}
+        self._next_id = 0
+        self.history: list[GroupResult] = []
+
+    # ------------------------------------------------------------------
+    # Task creation (the `#pragma omp task` clauses)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        significance: float = 1.0,
+        approx_fn: Callable[..., Any] | None = None,
+        label: str = "default",
+        work: float = 1.0,
+        approx_work: float = 0.0,
+    ) -> Task:
+        """Create a task in group ``label`` and return it."""
+        task = Task(
+            fn=fn,
+            args=args,
+            kwargs=kwargs or {},
+            significance=significance,
+            approx_fn=approx_fn,
+            label=label,
+            work=work,
+            approx_work=approx_work,
+            task_id=self._next_id,
+        )
+        self._next_id += 1
+        self._groups.setdefault(label, []).append(task)
+        return task
+
+    def pending(self, label: str = "default") -> int:
+        """Number of submitted, not-yet-awaited tasks in a group."""
+        return len(self._groups.get(label, []))
+
+    # ------------------------------------------------------------------
+    # Barriers (the `#pragma omp taskwait` directive)
+    # ------------------------------------------------------------------
+    def taskwait(self, label: str = "default", ratio: float = 1.0) -> GroupResult:
+        """Schedule, execute and account one task group.
+
+        At least ``ratio``·N tasks run accurately, chosen by descending
+        significance; the rest run approximately or are dropped.  The
+        group is consumed (subsequent submissions start a fresh group).
+        """
+        tasks = self._groups.pop(label, [])
+        modes = plan_modes(tasks, ratio)
+        results = self.executor.run(tasks, modes)
+        energy = self.energy_model.measure(results)
+        group = GroupResult(
+            label=label,
+            ratio=ratio,
+            results=results,
+            stats=GroupStats.from_results(results),
+            energy=energy,
+        )
+        self.history.append(group)
+        return group
+
+    def wait_all(self, ratio: float = 1.0) -> dict[str, GroupResult]:
+        """Global barrier: taskwait every group with one ratio."""
+        return {
+            label: self.taskwait(label, ratio=ratio)
+            for label in list(self._groups)
+        }
+
+    # ------------------------------------------------------------------
+    # Accounting over the whole run
+    # ------------------------------------------------------------------
+    @property
+    def total_energy(self) -> EnergyBreakdown:
+        """Sum of group energies over this runtime's history."""
+        total = EnergyBreakdown()
+        for group in self.history:
+            total = total + group.energy
+        return total
+
+    def reset(self) -> None:
+        """Clear pending groups and history."""
+        self._groups.clear()
+        self.history.clear()

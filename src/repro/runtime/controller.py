@@ -1,0 +1,86 @@
+"""Closed-loop ratio control for streaming workloads.
+
+The paper's intro motivates video analytics under an energy envelope; its
+companion framework (Vassiliadis et al., CF'15 [40]) drives the ratio
+knob from runtime feedback.  :class:`RatioController` implements that
+loop in its simplest robust form: an integral controller that nudges the
+ratio after every frame so the measured energy tracks a per-frame budget.
+
+    controller = RatioController(energy_budget=50.0)
+    for frame in frames:
+        run = kernel(frame, ratio=controller.ratio)
+        controller.observe(run.joules)
+
+Monotone energy-vs-ratio (guaranteed by the significance scheduler) makes
+the loop stable for gains below the inverse sensitivity; the default gain
+is conservative and the ratio is clamped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RatioController"]
+
+
+@dataclass
+class RatioController:
+    """Integral controller steering the accurate-task ratio.
+
+    Attributes:
+        energy_budget: target Joules per frame.
+        gain: integral gain in ratio-units per relative energy error
+            (error is normalised by the budget, so the gain is
+            scale-free).
+        initial_ratio: knob setting for the first frame.
+    """
+
+    energy_budget: float
+    gain: float = 0.2
+    initial_ratio: float = 1.0
+    _ratio: float = field(init=False)
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.energy_budget <= 0:
+            raise ValueError("energy budget must be positive")
+        if not 0.0 <= self.initial_ratio <= 1.0:
+            raise ValueError("initial ratio must lie in [0, 1]")
+        self._ratio = self.initial_ratio
+
+    @property
+    def ratio(self) -> float:
+        """The knob setting to use for the next frame."""
+        return self._ratio
+
+    def observe(self, measured_energy: float) -> float:
+        """Feed back one frame's energy; returns the updated ratio.
+
+        Over budget -> lower the ratio (more approximation); under budget
+        -> raise it (reclaim quality).  The update is proportional to the
+        *relative* energy error and clamped to [0, 1].
+        """
+        if measured_energy < 0:
+            raise ValueError("measured energy must be non-negative")
+        self.history.append((self._ratio, measured_energy))
+        relative_error = (self.energy_budget - measured_energy) / self.energy_budget
+        self._ratio = min(1.0, max(0.0, self._ratio + self.gain * relative_error))
+        return self._ratio
+
+    @property
+    def settled(self) -> bool:
+        """True when the last three frames were within 10% of budget."""
+        if len(self.history) < 3:
+            return False
+        recent = [energy for _, energy in self.history[-3:]]
+        return all(
+            abs(energy - self.energy_budget) <= 0.10 * self.energy_budget
+            for energy in recent
+        )
+
+    def mean_energy(self, last: int | None = None) -> float:
+        """Mean measured energy over the (last ``last``) frames."""
+        if not self.history:
+            raise ValueError("no frames observed yet")
+        frames = self.history[-last:] if last else self.history
+        return sum(energy for _, energy in frames) / len(frames)

@@ -1,0 +1,79 @@
+"""Task executors: sequential (deterministic) and threaded.
+
+The sequential executor is the benchmark default — energy comes from the
+model, not the clock, so parallel speedup is irrelevant and determinism is
+worth more.  The threaded executor exists to exercise the same code path
+the paper's 14-core runs used (and to let examples demonstrate real
+speedups on multi-core machines for NumPy-releasing workloads).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Protocol, Sequence
+
+from .task import ExecutionMode, Task, TaskResult
+
+__all__ = ["Executor", "SequentialExecutor", "ThreadedExecutor"]
+
+
+class Executor(Protocol):
+    """Strategy that runs a batch of (task, mode) pairs."""
+
+    def run(
+        self, tasks: Sequence[Task], modes: Sequence[ExecutionMode]
+    ) -> list[TaskResult]:
+        """Execute all tasks and return their results in submission order."""
+        ...  # pragma: no cover - protocol
+
+
+def _run_one(task: Task, mode: ExecutionMode) -> TaskResult:
+    start = time.perf_counter()
+    value = task.run(mode)
+    elapsed = time.perf_counter() - start
+    return TaskResult(task=task, mode=mode, value=value, elapsed_seconds=elapsed)
+
+
+class SequentialExecutor:
+    """Run tasks one by one in submission order (deterministic)."""
+
+    def run(
+        self, tasks: Sequence[Task], modes: Sequence[ExecutionMode]
+    ) -> list[TaskResult]:
+        """Execute sequentially; exceptions propagate immediately."""
+        if len(tasks) != len(modes):
+            raise ValueError("tasks and modes must be parallel sequences")
+        return [_run_one(t, m) for t, m in zip(tasks, modes)]
+
+
+class ThreadedExecutor:
+    """Run tasks on a thread pool (results still in submission order).
+
+    Dropped tasks never reach the pool.  Task functions mutating shared
+    output arrays must write disjoint regions (the programming model's
+    ``out()`` contract), which all bundled kernels obey.
+    """
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(
+        self, tasks: Sequence[Task], modes: Sequence[ExecutionMode]
+    ) -> list[TaskResult]:
+        """Execute on a pool; the first raised exception propagates."""
+        if len(tasks) != len(modes):
+            raise ValueError("tasks and modes must be parallel sequences")
+        results: list[TaskResult | None] = [None] * len(tasks)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {}
+            for i, (task, mode) in enumerate(zip(tasks, modes)):
+                if mode is ExecutionMode.DROPPED:
+                    results[i] = TaskResult(task, mode, None, 0.0)
+                else:
+                    futures[pool.submit(_run_one, task, mode)] = i
+            for future, i in futures.items():
+                results[i] = future.result()
+        return [r for r in results if r is not None]

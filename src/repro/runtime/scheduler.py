@@ -1,0 +1,58 @@
+"""Ratio-driven significance scheduling (the ``taskwait ratio()`` clause).
+
+Given a group of tasks and a requested ratio ``r``, the runtime must run
+*at least* ``r · N`` tasks accurately while respecting significance: more
+significant tasks are chosen for accurate execution first (Section 3.2).
+Tasks with significance ``1.0`` are always accurate, even at ``r = 0``
+(the paper's Sobel uses this to pin its A tasks).
+
+The remaining tasks run their approximate version when one exists and are
+dropped otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .task import ExecutionMode, Task
+
+__all__ = ["plan_modes"]
+
+
+def plan_modes(tasks: Sequence[Task], ratio: float) -> list[ExecutionMode]:
+    """Assign an :class:`ExecutionMode` to every task of a group.
+
+    Selection is by descending significance with submission order as the
+    tie-break (stable), so equally-significant tasks degrade in a
+    deterministic, spatially-uniform way.
+
+    Args:
+        tasks: the group, in submission order.
+        ratio: requested minimum fraction of accurate tasks, in [0, 1].
+
+    Returns:
+        Modes parallel to ``tasks``.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"ratio must lie in [0, 1], got {ratio}")
+    n = len(tasks)
+    if n == 0:
+        return []
+
+    order = sorted(
+        range(n), key=lambda i: (-tasks[i].significance, i)
+    )
+    forced = sum(1 for t in tasks if t.significance >= 1.0)
+    accurate_count = max(forced, math.ceil(ratio * n))
+    accurate_set = set(order[:accurate_count])
+
+    modes: list[ExecutionMode] = []
+    for i, task in enumerate(tasks):
+        if i in accurate_set:
+            modes.append(ExecutionMode.ACCURATE)
+        elif task.approx_fn is not None:
+            modes.append(ExecutionMode.APPROXIMATE)
+        else:
+            modes.append(ExecutionMode.DROPPED)
+    return modes

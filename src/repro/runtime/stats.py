@@ -1,0 +1,58 @@
+"""Execution statistics for task groups and whole runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .energy import EnergyBreakdown
+from .task import ExecutionMode, TaskResult
+
+__all__ = ["GroupStats", "GroupResult"]
+
+
+@dataclass
+class GroupStats:
+    """Counts and costs of one ``taskwait`` (group barrier)."""
+
+    total: int = 0
+    accurate: int = 0
+    approximate: int = 0
+    dropped: int = 0
+    executed_work: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def accurate_ratio(self) -> float:
+        """Fraction of tasks executed accurately (0 for empty groups)."""
+        return self.accurate / self.total if self.total else 0.0
+
+    @classmethod
+    def from_results(cls, results: list[TaskResult]) -> "GroupStats":
+        """Aggregate result records into counts."""
+        stats = cls(total=len(results))
+        for r in results:
+            if r.mode is ExecutionMode.ACCURATE:
+                stats.accurate += 1
+            elif r.mode is ExecutionMode.APPROXIMATE:
+                stats.approximate += 1
+            else:
+                stats.dropped += 1
+            stats.executed_work += r.task.executed_work(r.mode)
+            stats.elapsed_seconds += r.elapsed_seconds
+        return stats
+
+
+@dataclass
+class GroupResult:
+    """Everything a ``taskwait`` returns."""
+
+    label: str
+    ratio: float
+    results: list[TaskResult] = field(default_factory=list)
+    stats: GroupStats = field(default_factory=GroupStats)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    def values(self) -> list[Any]:
+        """Task return values in submission order (None for dropped)."""
+        return [r.value for r in self.results]

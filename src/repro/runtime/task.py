@@ -1,0 +1,104 @@
+"""Task abstractions for the significance-aware programming model.
+
+The paper extends OpenMP tasks with ``significance()``, ``approxfun()``,
+``in()/out()`` and ``label()`` clauses (Section 3.2, Listing 7).  A
+:class:`Task` is the Python counterpart: a callable plus its approximate
+alternative, a significance in ``[0, 1]``, and an abstract *work* measure
+consumed by the energy model (see :mod:`repro.runtime.energy`).
+
+Execution modes:
+
+* ``ACCURATE`` — run ``fn``.
+* ``APPROXIMATE`` — run ``approx_fn`` (the light-weight version).
+* ``DROPPED`` — skip entirely (tasks without an ``approx_fn`` that fall
+  below the ratio threshold; Sobel's B/C convolution parts use this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ExecutionMode", "Task", "TaskResult"]
+
+
+class ExecutionMode(enum.Enum):
+    """How the scheduler decided to run a task."""
+
+    ACCURATE = "accurate"
+    APPROXIMATE = "approximate"
+    DROPPED = "dropped"
+
+
+@dataclass
+class Task:
+    """One unit of significance-tagged work.
+
+    Attributes:
+        fn: accurate implementation.
+        args/kwargs: call arguments (shared for both versions — the paper's
+            ``in()``/``out()`` clauses; output typically lands in a shared
+            array passed via ``args``).
+        significance: contribution to output quality, in ``[0, 1]``.
+            ``1.0`` forces accurate execution at any ratio (Sobel's A
+            tasks).
+        approx_fn: optional light-weight version (``approxfun()`` clause).
+        label: task-group identifier (``label()`` clause).
+        work: abstract operation count of the accurate version (energy
+            model input).
+        approx_work: abstract operation count of the approximate version.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    significance: float = 1.0
+    approx_fn: Callable[..., Any] | None = None
+    label: str = "default"
+    work: float = 1.0
+    approx_work: float = 0.0
+    task_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.significance <= 1.0:
+            raise ValueError(
+                f"significance must lie in [0, 1], got {self.significance}"
+            )
+        if self.work < 0 or self.approx_work < 0:
+            raise ValueError("work measures must be non-negative")
+
+    def run(self, mode: ExecutionMode) -> Any:
+        """Execute in the given mode; DROPPED returns ``None``."""
+        if mode is ExecutionMode.ACCURATE:
+            return self.fn(*self.args, **self.kwargs)
+        if mode is ExecutionMode.APPROXIMATE:
+            if self.approx_fn is None:
+                raise ValueError(
+                    f"task {self.task_id} has no approximate version"
+                )
+            return self.approx_fn(*self.args, **self.kwargs)
+        return None
+
+    def executed_work(self, mode: ExecutionMode) -> float:
+        """Abstract work actually performed under ``mode``."""
+        if mode is ExecutionMode.ACCURATE:
+            return self.work
+        if mode is ExecutionMode.APPROXIMATE:
+            return self.approx_work
+        return 0.0
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task execution."""
+
+    task: Task
+    mode: ExecutionMode
+    value: Any
+    elapsed_seconds: float
+
+    @property
+    def was_accurate(self) -> bool:
+        """True when the accurate version ran."""
+        return self.mode is ExecutionMode.ACCURATE

@@ -1,0 +1,130 @@
+"""Autotuning the ratio knob (§3.2: "a single knob to enforce a minimum
+quality in the quality / performance-energy optimization space").
+
+Given a callable that executes a benchmark at a ratio and scores it, the
+tuners search the knob:
+
+* :func:`min_ratio_for_quality` — cheapest ratio meeting a quality
+  target (bisection over the monotone quality-vs-ratio curve);
+* :func:`best_quality_under_energy` — best quality whose energy fits a
+  budget (scan over a ratio grid, as energy is monotone too).
+
+Both return a :class:`TuningResult` with the full probe trace so callers
+can audit the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TuningResult", "min_ratio_for_quality", "best_quality_under_energy"]
+
+# (quality, energy) of one probe.
+Probe = tuple[float, float]
+Evaluator = Callable[[float], Probe]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a knob search."""
+
+    ratio: float
+    quality: float
+    energy: float
+    probes: dict[float, Probe] = field(default_factory=dict)
+    satisfied: bool = True
+
+
+def min_ratio_for_quality(
+    evaluate: Evaluator,
+    target_quality: float,
+    higher_is_better: bool = True,
+    tolerance: float = 1 / 64,
+) -> TuningResult:
+    """Smallest ratio whose quality meets ``target_quality``.
+
+    Assumes quality is monotone (non-decreasing for ``higher_is_better``,
+    e.g. PSNR; non-increasing otherwise, e.g. relative error) in the
+    ratio — which the significance scheduler guarantees by construction.
+    Bisection down to ``tolerance`` in ratio space; ``satisfied=False``
+    when even ratio 1.0 misses the target.
+    """
+
+    def meets(quality: float) -> bool:
+        return quality >= target_quality if higher_is_better else quality <= target_quality
+
+    probes: dict[float, Probe] = {}
+
+    def probe(ratio: float) -> Probe:
+        if ratio not in probes:
+            probes[ratio] = evaluate(ratio)
+        return probes[ratio]
+
+    quality_hi, energy_hi = probe(1.0)
+    if not meets(quality_hi):
+        return TuningResult(
+            ratio=1.0,
+            quality=quality_hi,
+            energy=energy_hi,
+            probes=probes,
+            satisfied=False,
+        )
+    quality_lo, energy_lo = probe(0.0)
+    if meets(quality_lo):
+        return TuningResult(
+            ratio=0.0, quality=quality_lo, energy=energy_lo, probes=probes
+        )
+
+    lo, hi = 0.0, 1.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        quality_mid, _ = probe(mid)
+        if meets(quality_mid):
+            hi = mid
+        else:
+            lo = mid
+    quality, energy = probe(hi)
+    return TuningResult(ratio=hi, quality=quality, energy=energy, probes=probes)
+
+
+def best_quality_under_energy(
+    evaluate: Evaluator,
+    energy_budget: float,
+    higher_is_better: bool = True,
+    grid: int = 11,
+) -> TuningResult:
+    """Best quality whose energy fits ``energy_budget``.
+
+    Energy is monotone in the ratio, so scan a uniform grid and keep the
+    largest feasible ratio (which also has the best quality under the
+    monotone-quality assumption).  ``satisfied=False`` when even ratio
+    0.0 exceeds the budget — the cheapest point is returned so callers
+    can degrade gracefully.
+    """
+    if grid < 2:
+        raise ValueError("grid must have at least 2 points")
+    probes: dict[float, Probe] = {}
+    best: TuningResult | None = None
+    cheapest: TuningResult | None = None
+    for k in range(grid):
+        ratio = k / (grid - 1)
+        quality, energy = evaluate(ratio)
+        probes[ratio] = (quality, energy)
+        candidate = TuningResult(
+            ratio=ratio, quality=quality, energy=energy, probes=probes
+        )
+        if cheapest is None or energy < cheapest.energy:
+            cheapest = candidate
+        if energy <= energy_budget:
+            if (
+                best is None
+                or (quality > best.quality) == higher_is_better
+                or quality == best.quality
+            ):
+                best = candidate
+    if best is not None:
+        return best
+    assert cheapest is not None
+    cheapest.satisfied = False
+    return cheapest

@@ -1,0 +1,84 @@
+"""Ablation variants of the significance definition (DESIGN.md §6).
+
+Eq. 11 defines ``S = w([u] · ∇[u][y])`` — the width of the worst-case
+interval product.  This module provides the natural alternatives so the
+design choice can be benchmarked:
+
+* ``width_product`` — Eq. 11 (the paper's definition);
+* ``first_order``   — ``w([u]) · mag(∇[u][y])``: first-order Taylor
+  estimate of the output movement (no midpoint-magnitude term);
+* ``value_width``   — ``w([u])`` only (pure interval analysis, question
+  (a) of Section 2.1 without question (b));
+* ``derivative_mag`` — ``mag(∇[u][y])`` only (pure adjoint sensitivity).
+
+On the Maclaurin example, ``value_width`` cannot distinguish terms from
+each other once their ranges coincide, and ``derivative_mag`` scores all
+terms identically (they are simply summed); only the combined definitions
+produce the Figure 3 ranking — which is exactly the paper's argument for
+combining IA with AD.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.intervals import Interval
+
+from .significance import significance_value
+
+__all__ = [
+    "SIGNIFICANCE_VARIANTS",
+    "width_product",
+    "first_order",
+    "value_width",
+    "derivative_mag",
+    "score_tape",
+]
+
+
+def _as_interval(value: Any) -> Interval:
+    return value if isinstance(value, Interval) else Interval(float(value))
+
+
+def width_product(value: Any, adjoint: Any) -> float:
+    """Eq. 11 — the paper's definition."""
+    return significance_value(value, adjoint)
+
+
+def first_order(value: Any, adjoint: Any) -> float:
+    """First-order estimate: value width times derivative magnitude."""
+    if adjoint is None:
+        return 0.0
+    return _as_interval(value).width * _as_interval(adjoint).mag
+
+
+def value_width(value: Any, adjoint: Any) -> float:
+    """Pure interval analysis: ignore the derivative entirely."""
+    return _as_interval(value).width
+
+
+def derivative_mag(value: Any, adjoint: Any) -> float:
+    """Pure adjoint sensitivity: ignore the value range entirely."""
+    if adjoint is None:
+        return 0.0
+    return _as_interval(adjoint).mag
+
+
+SIGNIFICANCE_VARIANTS: dict[str, Callable[[Any, Any], float]] = {
+    "width_product": width_product,
+    "first_order": first_order,
+    "value_width": value_width,
+    "derivative_mag": derivative_mag,
+}
+
+
+def score_tape(tape, variant: str = "width_product") -> dict[int, float]:
+    """Score every node of an adjoint-swept tape with a variant."""
+    try:
+        scorer = SIGNIFICANCE_VARIANTS[variant]
+    except KeyError:
+        raise KeyError(
+            f"unknown significance variant {variant!r}; "
+            f"choose from {sorted(SIGNIFICANCE_VARIANTS)}"
+        ) from None
+    return {node.index: scorer(node.value, node.adjoint) for node in tape}

@@ -1,0 +1,107 @@
+"""Approximation advisor — "automatic detection of light-weight functions
+to approximate tasks" (future work, §6).
+
+Given an analysed tape, find the *expensive* intrinsic operations
+(exp, log, pow, sqrt, erf, sin, cos) that sit in *low-significance*
+regions of the DynDFG and suggest their fastapprox substitutes, with the
+estimated dynamic-cost saving from :data:`repro.fastmath.COSTS`.
+
+This automates the choice the paper's BlackScholes port made by hand:
+blocks C and D were approximated "using less accurate but faster
+implementations of mathematical functions such as exp and sqrt".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fastmath import COSTS
+
+from .report import SignificanceReport
+
+__all__ = ["Suggestion", "suggest_approximations", "render_advice"]
+
+# Tape op name -> (accurate cost key, fastapprox replacement, fast key).
+_REPLACEABLE = {
+    "exp": ("exp", "fast_exp", "fast_exp"),
+    "log": ("log", "fast_log", "fast_log"),
+    "sqrt": ("sqrt", "fast_sqrt", "fast_sqrt"),
+    "erf": ("erf", "fast_erf", "fast_erf"),
+    "erfc": ("erf", "fast_erf", "fast_erf"),
+    "sin": ("sin", "fast_sin", "fast_sin"),
+    "cos": ("cos", "fast_cos", "fast_cos"),
+    "pow2": ("pow", "fast_pow", "fast_pow"),
+    "pow3": ("pow", "fast_pow", "fast_pow"),
+}
+
+
+@dataclass
+class Suggestion:
+    """One replaceable operation."""
+
+    node_id: int
+    op: str
+    replacement: str
+    significance: float  # relative to the most significant scored node
+    cost_saving: float  # accurate cost minus fast cost, abstract ops
+
+    @property
+    def score(self) -> float:
+        """Ranking score: big savings on insignificant ops first."""
+        return self.cost_saving * (1.0 - self.significance)
+
+
+def suggest_approximations(
+    report: SignificanceReport,
+    significance_threshold: float = 0.25,
+) -> list[Suggestion]:
+    """Expensive ops whose relative significance is below the threshold.
+
+    Significance is normalised by the largest node significance in the
+    graph, so the threshold is scale-free.  Results are ordered by
+    descending :attr:`Suggestion.score`.
+    """
+    graph = report.raw_graph
+    peak = max(
+        (n.significance for n in graph if n.significance is not None),
+        default=0.0,
+    )
+    suggestions: list[Suggestion] = []
+    for node in graph:
+        mapping = _REPLACEABLE.get(node.op)
+        if mapping is None:
+            continue
+        accurate_key, replacement, fast_key = mapping
+        relative = (
+            (node.significance or 0.0) / peak if peak > 0 else 0.0
+        )
+        if relative > significance_threshold:
+            continue
+        suggestions.append(
+            Suggestion(
+                node_id=node.id,
+                op=node.op,
+                replacement=replacement,
+                significance=relative,
+                cost_saving=COSTS[accurate_key] - COSTS[fast_key],
+            )
+        )
+    suggestions.sort(key=lambda s: s.score, reverse=True)
+    return suggestions
+
+
+def render_advice(suggestions: list[Suggestion]) -> str:
+    """Human-readable advice block."""
+    if not suggestions:
+        return "no low-significance expensive operations found"
+    lines = [
+        f"{len(suggestions)} operation(s) eligible for fastapprox "
+        "substitution (least significant, biggest saving first):"
+    ]
+    for s in suggestions:
+        lines.append(
+            f"  node #{s.node_id}: {s.op} -> {s.replacement}  "
+            f"(rel. significance {s.significance:.3f}, "
+            f"saves ~{s.cost_saving:.0f} ops/call)"
+        )
+    return "\n".join(lines)

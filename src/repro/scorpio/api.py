@@ -1,0 +1,202 @@
+"""User-facing significance-analysis API — the Table 1 macros.
+
+The paper's C++ workflow annotates code with ``INPUT`` / ``INTERMEDIATE``
+/ ``OUTPUT`` / ``ANALYSE`` macros around ``dco::ia1s::type`` variables.
+The Python counterpart is :class:`Analysis`::
+
+    an = Analysis()
+    with an:
+        x = an.input(0.45, width=1.0, name="x")      # INPUT
+        result = ADouble.constant(0.0)
+        for i in range(5):
+            term = x ** i
+            an.intermediate(term, f"term{i}")        # INTERMEDIATE
+            result = result + term
+        an.output(result, name="result")             # OUTPUT
+    report = an.analyse()                            # ANALYSE
+
+``analyse`` runs the reverse sweep (Eq. 7–9), computes every node's
+significance (Eq. 11), and applies Algorithm 1 (simplify + variance scan),
+returning a :class:`~repro.scorpio.report.SignificanceReport`.
+
+For vector-valued functions, register every output: a single sweep with
+all outputs seeded yields ``S_y(uj) = Σ_i S_{y_i}(uj)`` exactly as in
+Section 2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.ad.adouble import ADouble
+from repro.ad.tape import Tape
+from repro.intervals import Interval, as_interval
+
+from .dyndfg import DynDFG
+from .report import SignificanceReport
+from .significance import significance_map, significance_map_vector
+from .simplify import simplify as _simplify
+from .variance import find_significance_variance
+
+__all__ = ["Analysis", "analyse_function"]
+
+
+class AnalysisStateError(RuntimeError):
+    """Macro used out of order (e.g. OUTPUT before any INPUT)."""
+
+
+class Analysis:
+    """One significance-analysis profile run (a dco/scorpio session)."""
+
+    def __init__(self, delta: float = 1e-6):
+        self.tape = Tape()
+        self.delta = delta
+        self._inputs: list[ADouble] = []
+        self._intermediates: list[ADouble] = []
+        self._outputs: list[ADouble] = []
+        self._analysed: SignificanceReport | None = None
+
+    # ------------------------------------------------------------------
+    # Context management (activates the tape)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Analysis":
+        self.tape.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.tape.__exit__(*exc_info)
+
+    # ------------------------------------------------------------------
+    # Table 1 macros
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        value: float | Interval,
+        *,
+        lo: float | None = None,
+        hi: float | None = None,
+        width: float | None = None,
+        name: str | None = None,
+    ) -> ADouble:
+        """``INPUT(x, xl, xu)``: register an input with its range.
+
+        The range can be given as an :class:`Interval`, as explicit
+        ``lo``/``hi`` bounds, or as a ``width`` centred on ``value`` (the
+        Maclaurin listing uses ``[x-0.5, x+0.5]``, i.e. ``width=1``).
+        """
+        if isinstance(value, Interval):
+            iv = value
+        elif lo is not None or hi is not None:
+            if lo is None or hi is None:
+                raise ValueError("both lo and hi must be given")
+            iv = Interval(lo, hi)
+        elif width is not None:
+            iv = Interval.centered(float(value), 0.5 * width)
+        else:
+            iv = as_interval(float(value))
+        if name is None:
+            name = f"x{len(self._inputs)}"
+        var = ADouble.input(iv, label=name, tape=self.tape)
+        self._inputs.append(var)
+        return var
+
+    def intermediate(self, var: ADouble, name: str | None = None) -> ADouble:
+        """``INTERMEDIATE(z)``: tag the last computed node with a label."""
+        if not isinstance(var, ADouble):
+            raise TypeError(
+                f"intermediate() expects a taped value, got {type(var).__name__}"
+            )
+        if var.tape is not self.tape:
+            raise AnalysisStateError("variable was recorded on another tape")
+        if name is None:
+            name = f"z{len(self._intermediates)}"
+        var.node.label = name
+        self._intermediates.append(var)
+        return var
+
+    def output(self, var: ADouble, name: str | None = None) -> ADouble:
+        """``OUTPUT(y)``: register an output (adjoint will be seeded to 1)."""
+        if not isinstance(var, ADouble):
+            raise TypeError(
+                f"output() expects a taped value, got {type(var).__name__}"
+            )
+        if var.tape is not self.tape:
+            raise AnalysisStateError("variable was recorded on another tape")
+        if name is None:
+            name = f"y{len(self._outputs)}"
+        var.node.label = name
+        self._outputs.append(var)
+        return var
+
+    def analyse(self, simplify: bool = True) -> SignificanceReport:
+        """``ANALYSE()``: reverse sweep, Eq. 11, Algorithm 1 S4+S5."""
+        if not self._inputs:
+            raise AnalysisStateError("no inputs registered (INPUT macro)")
+        if not self._outputs:
+            raise AnalysisStateError("no outputs registered (OUTPUT macro)")
+        if self._analysed is not None:
+            return self._analysed
+
+        output_ids = [o.node.index for o in self._outputs]
+        if len(output_ids) == 1:
+            seeds = {
+                out.node.index: Interval(1.0) if out.interval_mode else 1.0
+                for out in self._outputs
+            }
+            self.tape.adjoint(seeds)
+            sig = significance_map(self.tape)
+        else:
+            # Vector function: one sweep with m adjoint components so
+            # S_y(uj) = Σ_i S_{y_i}(uj) (Section 2.3) without the signed
+            # cancellation a summed scalar seed would cause.
+            sig = significance_map_vector(self.tape, output_ids)
+        raw = DynDFG.from_tape(
+            self.tape, [o.node.index for o in self._outputs], sig
+        )
+        simplified = _simplify(raw) if simplify else raw
+        scan = find_significance_variance(simplified, delta=self.delta)
+        self._analysed = SignificanceReport(
+            raw_graph=raw,
+            simplified_graph=simplified,
+            scan=scan,
+            input_ids=[v.node.index for v in self._inputs],
+            intermediate_ids=[v.node.index for v in self._intermediates],
+            output_ids=[v.node.index for v in self._outputs],
+        )
+        return self._analysed
+
+
+def analyse_function(
+    fn: Callable[..., ADouble | Sequence[ADouble]],
+    inputs: Sequence[Interval | tuple[float, float] | float],
+    *,
+    names: Sequence[str] | None = None,
+    delta: float = 1e-6,
+    simplify: bool = True,
+) -> SignificanceReport:
+    """One-call analysis of a Python function over an input box.
+
+    ``fn`` receives one :class:`ADouble` per entry of ``inputs`` and
+    returns the output value (or a sequence of outputs for vector
+    functions).  Each input spec may be an :class:`Interval`, a
+    ``(lo, hi)`` tuple, or a plain scalar (degenerate interval).
+    """
+    an = Analysis(delta=delta)
+    with an:
+        args = []
+        for i, spec in enumerate(inputs):
+            name = names[i] if names else None
+            if isinstance(spec, Interval):
+                args.append(an.input(spec, name=name))
+            elif isinstance(spec, tuple):
+                lo, hi = spec
+                args.append(an.input(0.0, lo=lo, hi=hi, name=name))
+            else:
+                args.append(an.input(float(spec), name=name))
+        result = fn(*args)
+        if isinstance(result, ADouble):
+            an.output(result)
+        else:
+            for j, out in enumerate(result):
+                an.output(out, name=f"y{j}")
+    return an.analyse(simplify=simplify)

@@ -1,0 +1,103 @@
+"""Comparing significance analyses — regression testing for approximation.
+
+When the analysed kernel (or its input ranges) changes, the significance
+structure may shift — and with it the validity of the task partition and
+the approximation choices built on the old analysis.  This module diffs
+two :class:`~repro.scorpio.report.SignificanceReport`s:
+
+* which labels appeared / disappeared;
+* per-label significance drift (normalised, so overall scaling is
+  factored out);
+* whether the *ranking* changed (the property the runtime depends on);
+* whether the partition level moved.
+
+Intended use: persist a baseline with
+:func:`repro.scorpio.serialize.report_to_json` in CI, re-run the analysis
+on every change, and fail the build when ``ranking_changed`` — exactly
+the discipline the paper's workflow implies but leaves manual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import SignificanceReport
+from .significance import normalise
+
+__all__ = ["ReportDiff", "compare_reports"]
+
+
+@dataclass
+class ReportDiff:
+    """Structured difference between two analyses."""
+
+    added_labels: list[str] = field(default_factory=list)
+    removed_labels: list[str] = field(default_factory=list)
+    drift: dict[str, float] = field(default_factory=dict)  # new - old
+    old_ranking: list[str] = field(default_factory=list)
+    new_ranking: list[str] = field(default_factory=list)
+    old_partition_level: int | None = None
+    new_partition_level: int | None = None
+
+    @property
+    def ranking_changed(self) -> bool:
+        """True when the significance ordering of common labels moved."""
+        common = set(self.old_ranking) & set(self.new_ranking)
+        old = [label for label in self.old_ranking if label in common]
+        new = [label for label in self.new_ranking if label in common]
+        return old != new
+
+    @property
+    def partition_moved(self) -> bool:
+        """True when Algorithm 1 found its variance at a different level."""
+        return self.old_partition_level != self.new_partition_level
+
+    def max_drift(self) -> float:
+        """Largest absolute normalised-significance change."""
+        return max((abs(v) for v in self.drift.values()), default=0.0)
+
+    def to_text(self) -> str:
+        """Human-readable summary."""
+        lines = ["significance report diff"]
+        if self.added_labels:
+            lines.append(f"  added:   {', '.join(self.added_labels)}")
+        if self.removed_labels:
+            lines.append(f"  removed: {', '.join(self.removed_labels)}")
+        lines.append(
+            "  ranking: "
+            + ("CHANGED" if self.ranking_changed else "unchanged")
+        )
+        lines.append(
+            "  partition level: "
+            f"{self.old_partition_level} -> {self.new_partition_level}"
+            + ("  (moved)" if self.partition_moved else "")
+        )
+        for label, delta in sorted(
+            self.drift.items(), key=lambda kv: -abs(kv[1])
+        ):
+            lines.append(f"  {label}: {delta:+.4f}")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    old: SignificanceReport, new: SignificanceReport
+) -> ReportDiff:
+    """Diff two analyses (normalised significances, rankings, partition)."""
+    old_sigs = normalise(old.labelled_significances())
+    new_sigs = normalise(new.labelled_significances())
+    old_labels = set(old_sigs)
+    new_labels = set(new_sigs)
+
+    drift = {
+        label: new_sigs[label] - old_sigs[label]
+        for label in sorted(old_labels & new_labels)
+    }
+    return ReportDiff(
+        added_labels=sorted(new_labels - old_labels),
+        removed_labels=sorted(old_labels - new_labels),
+        drift=drift,
+        old_ranking=[label for label, _ in old.ranking()],
+        new_ranking=[label for label, _ in new.ranking()],
+        old_partition_level=old.partition_level,
+        new_partition_level=new.partition_level,
+    )

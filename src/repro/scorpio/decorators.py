@@ -1,0 +1,122 @@
+"""Decorator sugar for the analysis API.
+
+For library users who want significance analysis as a one-liner on an
+existing function::
+
+    @significance(x=(0.0, 1.0), y=(2.0, 3.0))
+    def model(x, y):
+        return op.exp(x) * y
+
+    report = model.analyse()          # full SignificanceReport
+    model.ranking()                   # [(label, S), ...]
+    model(0.5, 2.5)                   # still callable as plain Python
+
+The decorated function remains an ordinary callable; the analysis runs
+lazily on first use and is cached (`.reanalyse()` forces a fresh run,
+e.g. after changing `.ranges`).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.intervals import Interval
+
+from .api import analyse_function
+from .report import SignificanceReport
+
+__all__ = ["significance", "AnalysedFunction"]
+
+
+class AnalysedFunction:
+    """A callable bundled with its significance analysis."""
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        ranges: dict[str, Interval],
+        delta: float = 1e-6,
+    ):
+        functools.update_wrapper(self, fn)
+        self._fn = fn
+        self.ranges = dict(ranges)
+        self.delta = delta
+        self._report: SignificanceReport | None = None
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._fn(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def analyse(self) -> SignificanceReport:
+        """Run (or return the cached) analysis over the declared ranges."""
+        if self._report is None:
+            names = list(self.ranges)
+            self._report = analyse_function(
+                self._fn,
+                [self.ranges[name] for name in names],
+                names=names,
+                delta=self.delta,
+            )
+        return self._report
+
+    def reanalyse(self) -> SignificanceReport:
+        """Discard the cache and analyse again (after editing ``ranges``)."""
+        self._report = None
+        return self.analyse()
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Labelled significances, most significant first."""
+        return self.analyse().ranking()
+
+    def input_significances(self) -> dict[str, float]:
+        """Significance per declared input."""
+        return self.analyse().input_significances()
+
+    def report_text(self) -> str:
+        """The ANALYSE() text report."""
+        return self.analyse().to_text()
+
+
+def significance(
+    _fn: Callable[..., Any] | None = None,
+    *,
+    delta: float = 1e-6,
+    **ranges: Interval | tuple[float, float],
+) -> Callable[[Callable[..., Any]], AnalysedFunction] | AnalysedFunction:
+    """Attach input ranges (keyword per parameter) to a function.
+
+    Ranges may be :class:`Interval` instances or ``(lo, hi)`` tuples.
+    Every declared name must be a parameter of the function, and every
+    positional parameter must be declared (the analysis needs a range for
+    each input).
+    """
+
+    def wrap(fn: Callable[..., Any]) -> AnalysedFunction:
+        import inspect
+
+        parameters = list(inspect.signature(fn).parameters)
+        unknown = set(ranges) - set(parameters)
+        if unknown:
+            raise TypeError(
+                f"range(s) declared for unknown parameter(s): {sorted(unknown)}"
+            )
+        missing = [p for p in parameters if p not in ranges]
+        if missing:
+            raise TypeError(
+                f"missing range declaration for parameter(s): {missing}"
+            )
+        coerced = {
+            name: spec if isinstance(spec, Interval) else Interval(*spec)
+            for name, spec in ranges.items()
+        }
+        # Preserve the function's parameter order.
+        ordered = {name: coerced[name] for name in parameters}
+        return AnalysedFunction(fn, ordered, delta=delta)
+
+    if _fn is not None:  # pragma: no cover - bare-decorator misuse guard
+        raise TypeError(
+            "significance() requires range keyword arguments: "
+            "@significance(x=(0, 1))"
+        )
+    return wrap

@@ -1,0 +1,231 @@
+"""The Dynamic Data-Flow Graph view used by Algorithm 1.
+
+:class:`~repro.ad.tape.Tape` is the raw recording; :class:`DynDFG` is the
+analysis-facing graph of Figure 2 in the paper: a DAG whose sinks are the
+registered outputs (level ``L = 0``), whose sources are the registered
+inputs, and whose interior nodes are intermediate variables.  Nodes carry
+the forward interval value, the adjoint ``∇[uj][y]`` and the significance
+``S_y(uj)`` computed from them (Eq. 11).
+
+Levels are breadth-first distances from the outputs (the paper's BFS in
+step S5): ``level(v) = 1 + min(level(c))`` over consumers ``c`` of ``v``.
+Nodes that do not reach any output (dead code under the recorded control
+flow) get level ``None`` and are excluded from the level scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator
+
+from repro.ad.tape import Tape
+
+__all__ = ["DFGNode", "DynDFG"]
+
+
+@dataclass
+class DFGNode:
+    """One vertex of the analysis graph (see module docstring)."""
+
+    id: int
+    op: str
+    label: str | None
+    value: Any
+    adjoint: Any
+    significance: float | None
+    parents: tuple[int, ...]
+    level: int | None = None
+    merged: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_input(self) -> bool:
+        """True for registered inputs (graph sources)."""
+        return self.op == "input"
+
+    @property
+    def display_name(self) -> str:
+        """Label if registered, otherwise op#id."""
+        return self.label if self.label else f"{self.op}#{self.id}"
+
+    def __repr__(self) -> str:
+        sig = (
+            f", S={self.significance:.4g}"
+            if self.significance is not None
+            else ""
+        )
+        return f"DFGNode({self.display_name}, level={self.level}{sig})"
+
+
+class DynDFG:
+    """A DAG of :class:`DFGNode` keyed by tape index.
+
+    Construct with :meth:`from_tape` after an adjoint sweep, or receive one
+    from :func:`repro.scorpio.simplify.simplify` /
+    :func:`repro.scorpio.variance.find_significance_variance`.
+    """
+
+    def __init__(self, nodes: Iterable[DFGNode], outputs: Iterable[int]):
+        self.nodes: dict[int, DFGNode] = {n.id: n for n in nodes}
+        self.outputs: list[int] = list(outputs)
+        missing = [o for o in self.outputs if o not in self.nodes]
+        if missing:
+            raise ValueError(f"output ids {missing} not present in graph")
+        self._assign_levels()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tape(
+        cls,
+        tape: Tape,
+        outputs: Iterable[int],
+        significances: dict[int, float] | None = None,
+    ) -> "DynDFG":
+        """Snapshot a tape (post adjoint sweep) into an analysis graph."""
+        significances = significances or {}
+        nodes = [
+            DFGNode(
+                id=n.index,
+                op=n.op,
+                label=n.label,
+                value=n.value,
+                adjoint=n.adjoint,
+                significance=significances.get(n.index),
+                parents=n.parents,
+            )
+            for n in tape
+        ]
+        return cls(nodes, outputs)
+
+    def copy(self) -> "DynDFG":
+        """Deep-enough copy (nodes are re-created; values shared)."""
+        return DynDFG(
+            [replace(n) for n in self.nodes.values()], list(self.outputs)
+        )
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def children_map(self) -> dict[int, list[int]]:
+        """Forward adjacency (node id -> consumer ids), in id order."""
+        children: dict[int, list[int]] = {nid: [] for nid in self.nodes}
+        for node in self.nodes.values():
+            for parent in node.parents:
+                if parent in children:
+                    children[parent].append(node.id)
+        return children
+
+    def _assign_levels(self) -> None:
+        children = self.children_map()
+        for node in self.nodes.values():
+            node.level = None
+        queue: deque[int] = deque()
+        for out in self.outputs:
+            self.nodes[out].level = 0
+            queue.append(out)
+        while queue:
+            nid = queue.popleft()
+            node = self.nodes[nid]
+            assert node.level is not None
+            for parent in node.parents:
+                pnode = self.nodes.get(parent)
+                if pnode is not None and pnode.level is None:
+                    pnode.level = node.level + 1
+                    queue.append(parent)
+
+    @property
+    def height(self) -> int:
+        """1 + maximum assigned level (``G.height`` in Algorithm 1)."""
+        levels = [n.level for n in self.nodes.values() if n.level is not None]
+        return (max(levels) + 1) if levels else 0
+
+    def level(self, index: int) -> list[DFGNode]:
+        """All nodes at BFS level ``index`` (``G[L]`` in Algorithm 1)."""
+        return [
+            n
+            for n in sorted(self.nodes.values(), key=lambda n: n.id)
+            if n.level == index
+        ]
+
+    def levels(self) -> dict[int, list[DFGNode]]:
+        """Mapping level -> nodes, ascending levels."""
+        out: dict[int, list[DFGNode]] = {}
+        for lvl in range(self.height):
+            out[lvl] = self.level(lvl)
+        return out
+
+    def inputs(self) -> list[DFGNode]:
+        """Registered input nodes."""
+        return [
+            n
+            for n in sorted(self.nodes.values(), key=lambda n: n.id)
+            if n.is_input
+        ]
+
+    def output_nodes(self) -> list[DFGNode]:
+        """Registered output nodes (level 0)."""
+        return [self.nodes[o] for o in self.outputs]
+
+    def labelled(self, label: str) -> list[DFGNode]:
+        """Nodes registered under ``label`` (exact match)."""
+        return [
+            n
+            for n in sorted(self.nodes.values(), key=lambda n: n.id)
+            if n.label == label
+        ]
+
+    def remove_above(self, level: int) -> "DynDFG":
+        """Drop all nodes with BFS level > ``level``.
+
+        This is ``G.removeAbove(L+1)`` of Algorithm 1: once the variance
+        level is found, the analysis result only needs the graph up to one
+        level above it.  Parent references to removed nodes are pruned.
+        """
+        kept = [
+            replace(n)
+            for n in self.nodes.values()
+            if n.level is not None and n.level <= level
+        ]
+        kept_ids = {n.id for n in kept}
+        for node in kept:
+            node.parents = tuple(p for p in node.parents if p in kept_ids)
+        return DynDFG(kept, list(self.outputs))
+
+    # ------------------------------------------------------------------
+    # Iteration / size
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DFGNode]:
+        return iter(sorted(self.nodes.values(), key=lambda n: n.id))
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self.nodes
+
+    def __getitem__(self, node_id: int) -> DFGNode:
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dot(self, title: str = "DynDFG") -> str:
+        """Graphviz DOT rendering (significance shown per node)."""
+        lines = [f'digraph "{title}" {{', "  rankdir=BT;"]
+        for node in self:
+            sig = (
+                f"\\nS={node.significance:.4g}"
+                if node.significance is not None
+                else ""
+            )
+            shape = "box" if node.is_input or node.id in self.outputs else "ellipse"
+            lines.append(
+                f'  n{node.id} [label="{node.display_name}{sig}", shape={shape}];'
+            )
+        for node in self:
+            for parent in node.parents:
+                lines.append(f"  n{parent} -> n{node.id};")
+        lines.append("}")
+        return "\n".join(lines)

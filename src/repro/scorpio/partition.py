@@ -1,0 +1,91 @@
+"""Task-partition suggestion — "a first step towards automating the
+exploitation of analysis information to partition code in tasks" (§5).
+
+Given a :class:`~repro.scorpio.report.SignificanceReport`, propose the
+task structure the programmer would write by hand in Section 3.2:
+
+* the nodes at the variance level L become *task outputs*;
+* each suggestion carries a normalised significance in [0, 1] ready for
+  the ``significance=`` clause (most significant task pinned to 1.0);
+* nodes whose significance is (near) zero are flagged as droppable
+  (their computation can be replaced by a constant — the paper's
+  ``term0`` observation).
+
+``render_partition`` produces a textual skeleton mirroring Listing 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import SignificanceReport
+
+__all__ = ["TaskSuggestion", "propose_tasks", "render_partition"]
+
+
+@dataclass
+class TaskSuggestion:
+    """One proposed task."""
+
+    name: str
+    node_id: int
+    raw_significance: float
+    significance: float  # normalised to max 1 (the clause value)
+    droppable: bool
+
+    def clause(self) -> str:
+        """The pragma-style clause string."""
+        return f"significance({self.significance:.3f})"
+
+
+def propose_tasks(
+    report: SignificanceReport,
+    drop_threshold: float = 1e-9,
+) -> list[TaskSuggestion]:
+    """Task suggestions from the variance-level nodes of ``Gout``.
+
+    Falls back to the registered inputs when no variance level was found
+    (all same-level nodes equally important — Algorithm 1's terminal
+    case); suggestions are ordered by descending significance.
+    """
+    nodes = report.task_partition()
+    raw = [
+        (n, n.significance if n.significance is not None else 0.0)
+        for n in nodes
+    ]
+    peak = max((s for _, s in raw), default=0.0)
+    suggestions = [
+        TaskSuggestion(
+            name=node.display_name,
+            node_id=node.id,
+            raw_significance=sig,
+            significance=(sig / peak) if peak > 0 else 0.0,
+            droppable=sig <= drop_threshold,
+        )
+        for node, sig in raw
+    ]
+    suggestions.sort(key=lambda s: s.significance, reverse=True)
+    return suggestions
+
+
+def render_partition(
+    suggestions: list[TaskSuggestion], label: str = "kernel"
+) -> str:
+    """Listing-7-style skeleton for the suggested tasks."""
+    lines = [
+        f"# suggested task partition (group label: {label!r})",
+        f"# {len(suggestions)} tasks; ratio knob controls accurate fraction",
+    ]
+    for s in suggestions:
+        if s.droppable:
+            lines.append(
+                f"# {s.name}: significance ~ 0 -> replace with constant "
+                "(no task needed)"
+            )
+            continue
+        lines.append(
+            f"rt.submit(compute_{s.name}, significance={s.significance:.3f}, "
+            f"label={label!r})  # S={s.raw_significance:.4g}"
+        )
+    lines.append(f"rt.taskwait({label!r}, ratio=wait_ratio)")
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Significance over multiple input ranges — future work of §6.
+
+"As part of future work, we plan to improve the framework by extending
+significance analysis to a wider range of input intervals to accommodate
+the fact that code significance is input-dependent for some benchmarks."
+
+:func:`analyse_over_ranges` runs :func:`repro.scorpio.analyse_function`
+once per input box and aggregates the labelled significances.  The
+resulting :class:`RangeStudy` answers the question the paper raises: *is
+the significance ranking stable across the input domain?*
+
+* ``ranking_stability()`` — mean pairwise Spearman correlation of the
+  per-box rankings (1.0 = the same task ordering everywhere; low values
+  mean the paper's single-profile-run assumption is unsafe for this
+  kernel).
+* ``aggregate()`` — per-label mean / min / max significance, i.e. the
+  conservative numbers a deployment would use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.intervals import Interval
+
+from .api import analyse_function
+from .montecarlo import rank_correlation
+from .report import SignificanceReport
+
+__all__ = ["RangeStudy", "analyse_over_ranges", "analyse_with_splitting"]
+
+
+@dataclass
+class RangeStudy:
+    """Significance analyses of one function over several input boxes."""
+
+    reports: list[SignificanceReport]
+    boxes: list[Sequence[Interval]]
+    per_box: list[dict[str, float]] = field(default_factory=list)
+    skipped: list[Sequence[Interval]] = field(default_factory=list)
+
+    def labels(self) -> list[str]:
+        """Labels scored in every box (the comparable set)."""
+        common: set[str] | None = None
+        for scores in self.per_box:
+            common = set(scores) if common is None else common & set(scores)
+        return sorted(common or set())
+
+    def ranking_stability(self) -> float:
+        """Mean pairwise rank correlation of per-box significance rankings."""
+        labels = self.labels()
+        if len(self.per_box) < 2 or len(labels) < 2:
+            return 1.0
+        vectors = [
+            [scores[label] for label in labels] for scores in self.per_box
+        ]
+        pairs = list(itertools.combinations(range(len(vectors)), 2))
+        total = sum(
+            rank_correlation(vectors[i], vectors[j]) for i, j in pairs
+        )
+        return total / len(pairs)
+
+    def aggregate(self) -> dict[str, dict[str, float]]:
+        """Per-label mean/min/max significance across boxes."""
+        out: dict[str, dict[str, float]] = {}
+        for label in self.labels():
+            values = [scores[label] for scores in self.per_box]
+            out[label] = {
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+        return out
+
+    def most_significant(self) -> str:
+        """Label with the highest mean significance."""
+        agg = self.aggregate()
+        if not agg:
+            raise ValueError("no common labels across boxes")
+        return max(agg, key=lambda k: agg[k]["mean"])
+
+    def to_text(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"range study over {len(self.per_box)} input boxes",
+            f"ranking stability (mean pairwise Spearman): "
+            f"{self.ranking_stability():+.3f}",
+        ]
+        agg = self.aggregate()
+        width = max((len(k) for k in agg), default=0)
+        for label, stats in sorted(
+            agg.items(), key=lambda kv: kv[1]["mean"], reverse=True
+        ):
+            lines.append(
+                f"  {label:<{width}}  mean={stats['mean']:.4g}  "
+                f"min={stats['min']:.4g}  max={stats['max']:.4g}"
+            )
+        return "\n".join(lines)
+
+
+def analyse_over_ranges(
+    fn: Callable[..., object],
+    boxes: Sequence[Sequence[Interval]],
+    *,
+    names: Sequence[str] | None = None,
+    delta: float = 1e-6,
+) -> RangeStudy:
+    """Run the §2 analysis once per input box and collect the results."""
+    if not boxes:
+        raise ValueError("need at least one input box")
+    reports: list[SignificanceReport] = []
+    per_box: list[dict[str, float]] = []
+    for box in boxes:
+        report = analyse_function(fn, list(box), names=names, delta=delta)
+        reports.append(report)
+        per_box.append(report.labelled_significances())
+    return RangeStudy(reports=reports, boxes=[list(b) for b in boxes], per_box=per_box)
+
+
+def analyse_with_splitting(
+    fn: Callable[..., object],
+    box: Sequence[Interval],
+    *,
+    names: Sequence[str] | None = None,
+    delta: float = 1e-6,
+    max_depth: int = 24,
+    point_tolerance: float = 1e-3,
+) -> RangeStudy:
+    """Significance analysis with automatic interval splitting (§2.2 + §6).
+
+    When the profile run hits an ambiguous branch condition
+    (:class:`~repro.intervals.AmbiguousComparisonError`), the input box is
+    bisected along its widest dimension and both halves are analysed
+    recursively — the splitting approach the paper describes as ongoing
+    research, applied to the *whole analysis* rather than a single
+    interval evaluation.  The result is a :class:`RangeStudy` over the
+    decidable sub-boxes: per-label aggregates give the conservative
+    significances, and ``ranking_stability`` reveals whether the branch
+    separates regimes with genuinely different significance structure.
+
+    Sub-boxes that stay ambiguous down to ``point_tolerance`` width (ties
+    sitting exactly on a comparison boundary, which no amount of bisection
+    can separate) are skipped and reported in :attr:`RangeStudy.skipped` —
+    they have measure ~0 in the input domain.  A still-ambiguous sub-box
+    at ``max_depth`` with non-sliver width raises the final
+    :class:`AmbiguousComparisonError`.
+
+    Cost note: bisection always splits the *widest* dimension, so boxes
+    straddling a branch boundary in a narrow dimension can fragment into
+    O(2^k) towers before that dimension is reached — fine for analysis
+    prototyping (each sub-analysis is one profile run), but raise
+    ``point_tolerance`` if the box count explodes.
+    """
+    from repro.intervals import AmbiguousComparisonError, Box
+
+    decided: list[tuple[SignificanceReport, list[Interval]]] = []
+    skipped: list[list[Interval]] = []
+    stack: list[tuple[list[Interval], int]] = [(list(box), 0)]
+    while stack:
+        current, depth = stack.pop()
+        try:
+            report = analyse_function(fn, current, names=names, delta=delta)
+        except AmbiguousComparisonError as exc:
+            # The exception carries the offending operands.  When the
+            # wider of them has shrunk to a sliver, the tie sits exactly
+            # on the comparison boundary and no amount of bisection can
+            # separate it — skip the measure-~0 region.
+            if max(exc.left.width, exc.right.width) <= point_tolerance:
+                skipped.append(current)
+                continue
+            if depth >= max_depth:
+                raise
+            left, right = Box(current).split()
+            stack.append((list(left), depth + 1))
+            stack.append((list(right), depth + 1))
+            continue
+        decided.append((report, current))
+
+    if not decided:
+        raise AmbiguousComparisonError(
+            "<unresolved>", Interval.entire(), Interval.entire()
+        )
+    return RangeStudy(
+        reports=[r for r, _ in decided],
+        boxes=[b for _, b in decided],
+        per_box=[r.labelled_significances() for r, _ in decided],
+        skipped=skipped,
+    )

@@ -1,0 +1,103 @@
+"""JSON serialisation of analysis results.
+
+Significance analysis is an *offline* step; its results need to travel —
+into build systems, dashboards, or the runtime configuration of a
+deployed application.  This module renders a
+:class:`~repro.scorpio.report.SignificanceReport` (and DynDFG graphs) as
+plain JSON-compatible dictionaries and back-of-the-envelope round-trips
+the graph structure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.intervals import Interval
+
+from .dyndfg import DFGNode, DynDFG
+from .report import SignificanceReport
+
+__all__ = [
+    "interval_to_json",
+    "graph_to_dict",
+    "graph_from_dict",
+    "report_to_dict",
+    "report_to_json",
+]
+
+
+def interval_to_json(value: Any) -> Any:
+    """Interval -> ``{"lo":…, "hi":…}``; scalars pass through."""
+    if isinstance(value, Interval):
+        return {"lo": value.lo, "hi": value.hi}
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    return repr(value)
+
+
+def _interval_from_json(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"lo", "hi"}:
+        return Interval(value["lo"], value["hi"])
+    return value
+
+
+def graph_to_dict(graph: DynDFG) -> dict:
+    """DynDFG -> JSON-compatible dict (values/adjoints as interval dicts)."""
+    return {
+        "outputs": list(graph.outputs),
+        "nodes": [
+            {
+                "id": node.id,
+                "op": node.op,
+                "label": node.label,
+                "value": interval_to_json(node.value),
+                "adjoint": interval_to_json(node.adjoint),
+                "significance": node.significance,
+                "parents": list(node.parents),
+                "level": node.level,
+                "merged": list(node.merged),
+            }
+            for node in graph
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> DynDFG:
+    """Inverse of :func:`graph_to_dict`."""
+    nodes = [
+        DFGNode(
+            id=entry["id"],
+            op=entry["op"],
+            label=entry["label"],
+            value=_interval_from_json(entry["value"]),
+            adjoint=_interval_from_json(entry["adjoint"]),
+            significance=entry["significance"],
+            parents=tuple(entry["parents"]),
+            merged=tuple(entry.get("merged", ())),
+        )
+        for entry in data["nodes"]
+    ]
+    return DynDFG(nodes, data["outputs"])
+
+
+def report_to_dict(report: SignificanceReport) -> dict:
+    """SignificanceReport -> JSON-compatible dict."""
+    return {
+        "partition_level": report.partition_level,
+        "delta": report.scan.delta,
+        "level_variances": {
+            str(level): var for level, var in report.scan.variances.items()
+        },
+        "labelled_significances": report.labelled_significances(),
+        "normalised_significances": report.normalised_significances(),
+        "input_significances": report.input_significances(),
+        "graph": graph_to_dict(report.graph),
+        "raw_graph_size": len(report.raw_graph),
+        "simplified_graph_size": len(report.simplified_graph),
+    }
+
+
+def report_to_json(report: SignificanceReport, indent: int | None = 2) -> str:
+    """SignificanceReport -> JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,113 @@
+"""Significance of variables for the output — Eq. 11 of the paper.
+
+For a variable with interval value ``[uj]`` and interval adjoint
+``∇[uj][y]`` (obtained from the reverse sweep over the DynDFG), the
+significance is the width of their interval product::
+
+    S_y(uj) = w([uj] · ∇[uj][y])
+
+The product combines the two questions of Section 2.1: how much the inputs
+move ``uj`` (captured by ``[uj]``'s width and position) and how much moving
+``uj`` moves the output (captured by the derivative enclosure).  As the
+paper notes, the interval product is a worst-case bound and may
+overestimate.
+
+For scalar (non-interval) tapes we fall back to ``|uj * ∂y/∂uj|`` — the
+first-order Taylor contribution — which is useful for sanity checks but is
+not the paper's definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.intervals import Interval
+
+__all__ = [
+    "significance_value",
+    "significance_map",
+    "significance_map_vector",
+    "normalise",
+]
+
+
+def significance_value(value: Any, adjoint: Any) -> float:
+    """Eq. 11 for one node; see module docstring for scalar fallback."""
+    if adjoint is None:
+        return 0.0
+    if isinstance(value, Interval) or isinstance(adjoint, Interval):
+        iv = value if isinstance(value, Interval) else Interval(float(value))
+        ia = (
+            adjoint
+            if isinstance(adjoint, Interval)
+            else Interval(float(adjoint))
+        )
+        return (iv * ia).width
+    return abs(float(value) * float(adjoint))
+
+
+def significance_map(nodes: Iterable[Any]) -> dict[int, float]:
+    """Significance for every tape/DFG node exposing value+adjoint.
+
+    Accepts :class:`repro.ad.tape.Node` or
+    :class:`repro.scorpio.dyndfg.DFGNode` instances (anything with
+    ``index``/``id``, ``value`` and ``adjoint`` attributes).
+    """
+    out: dict[int, float] = {}
+    for node in nodes:
+        node_id = getattr(node, "index", None)
+        if node_id is None:
+            node_id = node.id
+        out[node_id] = significance_value(node.value, node.adjoint)
+    return out
+
+
+def significance_map_vector(tape: Any, outputs: list[int]) -> dict[int, float]:
+    """Vector-mode significance: ``S_y(uj) = Σ_i S_{y_i}(uj)`` (Sec. 2.3).
+
+    Runs :meth:`repro.ad.tape.Tape.adjoint_vector` and applies Eq. 11 to
+    every (node, output) pair before summing over outputs — the correct
+    single-run treatment of vector functions (per-output adjoints must not
+    be summed *before* taking widths, or signed partials cancel).
+
+    As a side effect, each tape node's ``adjoint`` is set to the hull of
+    its per-output interval adjoints (for display/graph purposes).
+    """
+    import numpy as np
+
+    lo, hi = tape.adjoint_vector(outputs)
+    interval_mode = any(isinstance(n.value, Interval) for n in tape)
+    result: dict[int, float] = {}
+    for node in tape:
+        alo = lo[node.index]
+        ahi = hi[node.index]
+        value = node.value
+        if isinstance(value, Interval):
+            ul, uh = value.lo, value.hi
+        else:
+            ul = uh = float(value)
+        if not interval_mode:
+            # Scalar tape: first-order Taylor contribution per output.
+            total = float(np.sum(np.abs(ul * alo)))
+        elif ul == uh:
+            total = float(abs(ul) * np.sum(ahi - alo))
+        else:
+            p1, p2 = ul * alo, ul * ahi
+            p3, p4 = uh * alo, uh * ahi
+            pmin = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
+            pmax = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
+            total = float(np.sum(pmax - pmin))
+        result[node.index] = total
+        node.adjoint = Interval(float(np.min(alo)), float(np.max(ahi)))
+    return result
+
+
+def normalise(values: Mapping[Any, float]) -> dict[Any, float]:
+    """Scale significances to sum to 1 (the Figure 3 presentation).
+
+    An all-zero map is returned unchanged (nothing to normalise).
+    """
+    total = sum(values.values())
+    if total <= 0.0:
+        return dict(values)
+    return {k: v / total for k, v in values.items()}

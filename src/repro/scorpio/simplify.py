@@ -1,0 +1,104 @@
+"""Step S4 of Algorithm 1: eliminate anti-dependence aggregation nodes.
+
+Accumulation statements such as ``res = res + term[i]`` create chains of
+add/sub nodes in the DynDFG that merely *aggregate* results — they are not
+part of the computation proper (the darker nodes of Figure 3a).  Left in
+place they dominate the level structure: every term would sit at a
+different BFS distance from the output and the variance scan of step S5
+would see one node per level (Figure 3a) instead of all terms on one level
+(Figure 3b).
+
+``simplify`` collapses every maximal chain/tree of add/sub nodes, each of
+which feeds its whole result into the next (the anti-dependence pattern),
+into the chain's final node.  The non-aggregation operands — the actual
+terms — become direct parents of that node.  Zero-value constant seeds of
+accumulators (``res = 0.0``) that served only the collapsed chain are
+dropped as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .dyndfg import DFGNode, DynDFG
+
+__all__ = ["simplify", "AGGREGATE_OPS"]
+
+# Operations that can only aggregate (linear accumulation); a chain of
+# these with single-consumer links is an anti-dependence artefact.
+AGGREGATE_OPS = frozenset({"add", "sub"})
+
+
+def _is_aggregation_link(parent: DFGNode, child: DFGNode) -> bool:
+    return parent.op in AGGREGATE_OPS and child.op in AGGREGATE_OPS
+
+
+def simplify(graph: DynDFG) -> DynDFG:
+    """Return a new graph with aggregation chains collapsed (S4).
+
+    Node ids are preserved; a collapsed chain keeps the id, label,
+    significance, value and adjoint of its *final* node (the one nearest
+    the output), and records the absorbed ids in ``merged``.
+    """
+    nodes = {nid: replace(n) for nid, n in graph.nodes.items()}
+    consumer_count: dict[int, int] = {nid: 0 for nid in nodes}
+    for node in nodes.values():
+        for parent in node.parents:
+            if parent in consumer_count:
+                consumer_count[parent] += 1
+
+    removed: set[int] = set()
+
+    # Process in descending id (reverse execution) order so that the final
+    # node of each chain absorbs the whole chain in one pass.
+    for nid in sorted(nodes, reverse=True):
+        node = nodes[nid]
+        if nid in removed or node.op not in AGGREGATE_OPS:
+            continue
+        merged: list[int] = list(node.merged)
+        new_parents: list[int] = []
+        frontier = list(node.parents)
+        changed = False
+        while frontier:
+            pid = frontier.pop()
+            parent = nodes.get(pid)
+            if parent is None or pid in removed:
+                continue
+            absorb_chain = (
+                _is_aggregation_link(parent, node)
+                and consumer_count.get(pid, 0) == 1
+            )
+            # Accumulator seeds (`res = 0.0`) that feed only this chain are
+            # aggregation artefacts too — Figure 3b shows no const node.
+            absorb_const = (
+                parent.op == "const" and consumer_count.get(pid, 0) == 1
+            )
+            if absorb_chain or absorb_const:
+                removed.add(pid)
+                merged.append(pid)
+                merged.extend(parent.merged)
+                frontier.extend(parent.parents)
+                changed = True
+            else:
+                new_parents.append(pid)
+        if changed:
+            node.parents = tuple(sorted(set(new_parents)))
+            node.merged = tuple(sorted(set(merged)))
+
+    # Drop zero-constant accumulator seeds that only fed collapsed chains.
+    survivors = {nid: n for nid, n in nodes.items() if nid not in removed}
+    still_consumed: set[int] = set()
+    for node in survivors.values():
+        still_consumed.update(node.parents)
+    for nid, node in list(survivors.items()):
+        if (
+            node.op == "const"
+            and nid not in still_consumed
+            and nid not in graph.outputs
+        ):
+            del survivors[nid]
+    # Prune dangling parent references (parents that were dropped consts).
+    for node in survivors.values():
+        node.parents = tuple(p for p in node.parents if p in survivors)
+
+    return DynDFG(survivors.values(), list(graph.outputs))

@@ -1,0 +1,191 @@
+"""Tests for the overloaded adjoint type (scalar and interval modes)."""
+
+import math
+
+import pytest
+
+from repro.ad import ADouble, IntervalAdjoint, Tape, adjoint_gradient
+from repro.ad import intrinsics as op
+from repro.intervals import AmbiguousComparisonError, Interval
+
+
+def scalar_grad(fn, *point):
+    value, grad = adjoint_gradient(lambda xs: fn(*xs), list(point))
+    return value, grad
+
+
+class TestArithmeticGradients:
+    """Every operator's value and derivative, checked analytically."""
+
+    def test_add(self):
+        v, g = scalar_grad(lambda a, b: a + b, 2.0, 3.0)
+        assert v == 5.0 and g == [1.0, 1.0]
+
+    def test_radd_scalar(self):
+        v, g = scalar_grad(lambda a: 1.0 + a, 2.0)
+        assert v == 3.0 and g == [1.0]
+
+    def test_sub(self):
+        v, g = scalar_grad(lambda a, b: a - b, 2.0, 3.0)
+        assert v == -1.0 and g == [1.0, -1.0]
+
+    def test_rsub_scalar(self):
+        v, g = scalar_grad(lambda a: 10.0 - a, 2.0)
+        assert v == 8.0 and g == [-1.0]
+
+    def test_mul(self):
+        v, g = scalar_grad(lambda a, b: a * b, 2.0, 3.0)
+        assert v == 6.0 and g == [3.0, 2.0]
+
+    def test_rmul_scalar(self):
+        v, g = scalar_grad(lambda a: 4.0 * a, 2.0)
+        assert v == 8.0 and g == [4.0]
+
+    def test_self_mul_square_rule(self):
+        v, g = scalar_grad(lambda a: a * a, 3.0)
+        assert v == 9.0 and g == [6.0]
+
+    def test_div(self):
+        v, g = scalar_grad(lambda a, b: a / b, 6.0, 3.0)
+        assert v == 2.0
+        assert g[0] == pytest.approx(1.0 / 3.0)
+        assert g[1] == pytest.approx(-6.0 / 9.0)
+
+    def test_rdiv_scalar(self):
+        v, g = scalar_grad(lambda a: 6.0 / a, 3.0)
+        assert v == 2.0 and g[0] == pytest.approx(-6.0 / 9.0)
+
+    def test_neg(self):
+        v, g = scalar_grad(lambda a: -a, 2.0)
+        assert v == -2.0 and g == [-1.0]
+
+    def test_abs_positive_negative(self):
+        _, g_pos = scalar_grad(lambda a: abs(a), 2.0)
+        _, g_neg = scalar_grad(lambda a: abs(a), -2.0)
+        assert g_pos == [1.0] and g_neg == [-1.0]
+
+    def test_pow_positive_int(self):
+        v, g = scalar_grad(lambda a: a**3, 2.0)
+        assert v == 8.0 and g == [12.0]
+
+    def test_pow_zero(self):
+        v, g = scalar_grad(lambda a: a**0 + a, 2.0)
+        assert v == 3.0 and g == [1.0]  # x**0 contributes no derivative
+
+    def test_pow_negative_int(self):
+        v, g = scalar_grad(lambda a: a**-2, 2.0)
+        assert v == 0.25 and g[0] == pytest.approx(-2.0 / 8.0)
+
+    def test_pow_real_exponent(self):
+        v, g = scalar_grad(lambda a: a**0.5, 4.0)
+        assert v == pytest.approx(2.0) and g[0] == pytest.approx(0.25)
+
+    def test_pow_adouble_exponent(self):
+        v, g = scalar_grad(lambda a, b: a**b, 2.0, 3.0)
+        assert v == pytest.approx(8.0)
+        assert g[0] == pytest.approx(12.0)
+        assert g[1] == pytest.approx(8.0 * math.log(2.0))
+
+    def test_rpow_constant_base(self):
+        v, g = scalar_grad(lambda a: 2.0**a, 3.0)
+        assert v == pytest.approx(8.0)
+        assert g[0] == pytest.approx(8.0 * math.log(2.0))
+
+
+class TestTapeStructure:
+    def test_constant_folding_no_extra_nodes(self):
+        with Tape() as tape:
+            x = ADouble.input(1.0, tape=tape)
+            _ = x * 2.0 + 3.0
+        # input + mul + add = 3 nodes (constants folded into ops).
+        assert len(tape) == 3
+
+    def test_explicit_constant_node(self):
+        with Tape() as tape:
+            ADouble.constant(0.0, tape=tape)
+        assert len(tape) == 1 and tape[0].op == "const"
+
+    def test_cross_tape_rejected(self):
+        with Tape() as t1:
+            x = ADouble.input(1.0, tape=t1)
+        with Tape() as t2:
+            y = ADouble.input(1.0, tape=t2)
+            with pytest.raises(ValueError, match="different tapes"):
+                _ = x + y
+
+    def test_interval_adjoint_alias(self):
+        assert IntervalAdjoint is ADouble
+
+    def test_to_double(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(1.0, 3.0), tape=tape)
+            s = ADouble.input(2.5, tape=tape)
+        assert x.to_double() == 2.0
+        assert s.to_double() == 2.5
+
+    def test_repr(self):
+        with Tape() as tape:
+            x = ADouble.input(1.0, tape=tape)
+        assert "node=#0" in repr(x)
+
+
+class TestIntervalMode:
+    def test_values_are_enclosures(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(1.0, 2.0), tape=tape)
+            y = x * x + 1.0
+        for point in (1.0, 1.5, 2.0):
+            assert y.value.contains(point * point + 1.0)
+
+    def test_interval_partials_recorded(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(1.0, 2.0), tape=tape)
+            y = op.sin(x)
+        partial = tape[y.node.index].partials[0]
+        assert isinstance(partial, Interval)
+        assert partial.contains(math.cos(1.5))
+
+    def test_abs_spanning_zero_partial(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(-1.0, 2.0), tape=tape)
+            y = abs(x)
+        partial = tape[y.node.index].partials[0]
+        assert partial == Interval(-1.0, 1.0)
+
+    def test_gradient_enclosure(self):
+        # Gradient of sin over [0, 1] must enclose cos at interior points.
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.0, 1.0), tape=tape)
+            y = op.sin(x)
+            tape.adjoint({y.node.index: Interval(1.0)})
+        grad = x.node.adjoint
+        for point in (0.0, 0.5, 1.0):
+            assert grad.contains(math.cos(point))
+
+
+class TestComparisons:
+    def test_scalar_mode_compares_normally(self):
+        with Tape() as tape:
+            x = ADouble.input(1.0, tape=tape)
+            assert x < 2.0
+            assert x <= 1.0
+            assert x > 0.0
+            assert x >= 1.0
+
+    def test_interval_certain_comparison(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.0, 1.0), tape=tape)
+            assert x < 2.0
+
+    def test_interval_ambiguous_raises(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.0, 2.0), tape=tape)
+            with pytest.raises(AmbiguousComparisonError):
+                _ = x < 1.0
+
+    def test_adouble_vs_adouble_comparison(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.0, 1.0), tape=tape)
+            y = ADouble.input(Interval(2.0, 3.0), tape=tape)
+            assert x < y
+            assert y > x

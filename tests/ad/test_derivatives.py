@@ -1,0 +1,137 @@
+"""Tests for the high-level gradient drivers, including hypothesis checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ad import (
+    ADouble,
+    adjoint_gradient,
+    finite_difference_gradient,
+    interval_gradient,
+    tangent_gradient,
+)
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+
+
+def paper_example(xs):
+    x = xs[0]
+    return op.cos(op.exp(op.sin(x) + x) - x)
+
+
+class TestPaperExample:
+    """Listing 1-3: f(x) = cos(exp(sin(x) + x) - x)."""
+
+    def test_value(self):
+        v, _ = adjoint_gradient(paper_example, [0.3])
+        expected = math.cos(math.exp(math.sin(0.3) + 0.3) - 0.3)
+        assert v == pytest.approx(expected)
+
+    def test_gradient_matches_fd(self):
+        _, grad = adjoint_gradient(paper_example, [0.3])
+        fd = finite_difference_gradient(
+            lambda p: math.cos(math.exp(math.sin(p[0]) + p[0]) - p[0]), [0.3]
+        )
+        assert grad[0] == pytest.approx(fd[0], rel=1e-5)
+
+    def test_interval_gradient_encloses(self):
+        box_value, box_grad = interval_gradient(
+            paper_example, [Interval(0.2, 0.4)]
+        )
+        for x in (0.2, 0.25, 0.3, 0.35, 0.4):
+            v, g = adjoint_gradient(paper_example, [x])
+            assert box_value.contains(v)
+            assert box_grad[0].contains(g[0])
+
+
+class TestDriverValidation:
+    def test_adjoint_rejects_untaped_result(self):
+        with pytest.raises(TypeError):
+            adjoint_gradient(lambda xs: 1.0, [2.0])
+
+    def test_tangent_rejects_untaped_result(self):
+        with pytest.raises(TypeError):
+            tangent_gradient(lambda xs: 1.0, [2.0])
+
+    def test_tangent_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            tangent_gradient(lambda xs: xs and xs[0], [])
+
+    def test_interval_gradient_rejects_untaped(self):
+        with pytest.raises(TypeError):
+            interval_gradient(lambda xs: 1.0, [Interval(0, 1)])
+
+
+class TestMultivariate:
+    def test_three_input_gradient(self):
+        def f(xs):
+            a, b, c = xs
+            return a * op.sin(b) + op.exp(c) / a
+
+        point = [2.0, 0.5, 1.0]
+        _, g_adj = adjoint_gradient(f, point)
+        _, g_tan = tangent_gradient(f, point)
+        fd = finite_difference_gradient(
+            lambda p: p[0] * math.sin(p[1]) + math.exp(p[2]) / p[0], point
+        )
+        for a, t, d in zip(g_adj, g_tan, fd):
+            assert a == pytest.approx(t, rel=1e-12)
+            assert a == pytest.approx(d, rel=1e-4)
+
+
+# --- property-based: random polynomials have analytic gradients ---------
+coeffs = st.lists(
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+points = st.floats(min_value=-3, max_value=3, allow_nan=False)
+
+
+@given(coeffs, points)
+@settings(max_examples=60)
+def test_polynomial_gradient_analytic(cs, x):
+    def poly(xs):
+        acc = ADouble.constant(0.0, tape=xs[0].tape)
+        for k, c in enumerate(cs):
+            acc = acc + c * xs[0] ** k
+        return acc
+
+    _, grad = adjoint_gradient(poly, [x])
+    expected = sum(k * c * x ** (k - 1) for k, c in enumerate(cs) if k >= 1)
+    assert grad[0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(coeffs, points)
+@settings(max_examples=60)
+def test_polynomial_tangent_equals_adjoint(cs, x):
+    def poly(xs):
+        acc = None
+        for k, c in enumerate(cs):
+            term = c * xs[0] ** k
+            acc = term if acc is None else acc + term
+        return acc
+
+    _, g_adj = adjoint_gradient(poly, [x])
+    _, g_tan = tangent_gradient(poly, [x])
+    assert g_adj[0] == pytest.approx(g_tan[0], rel=1e-12, abs=1e-12)
+
+
+@given(
+    st.floats(min_value=-2, max_value=2, allow_nan=False),
+    st.floats(min_value=0.05, max_value=0.5),
+)
+@settings(max_examples=40)
+def test_interval_gradient_encloses_point_gradients(center, radius):
+    def f(xs):
+        return op.tanh(xs[0]) * xs[0] + op.cos(xs[0])
+
+    box_value, box_grad = interval_gradient(f, [Interval(center - radius, center + radius)])
+    for t in (-1.0, 0.0, 1.0):
+        x = center + t * radius
+        v, g = adjoint_gradient(f, [x])
+        assert box_value.contains(v)
+        assert box_grad[0].contains(g[0])

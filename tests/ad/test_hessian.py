@@ -1,0 +1,102 @@
+"""Tests for second-order AD (tangent-over-adjoint)."""
+
+import math
+
+import pytest
+
+from repro.ad import hessian, hessian_vector_product
+from repro.ad import intrinsics as op
+
+
+def quadratic(xs):
+    # f = x^2 + 3xy + 5y^2: H = [[2, 3], [3, 10]].
+    x, y = xs
+    return x * x + 3.0 * (x * y) + 5.0 * (y * y)
+
+
+def transcendental(xs):
+    x, y = xs
+    return op.sin(x) * y + op.exp(x * y)
+
+
+class TestHVP:
+    def test_value_and_gradient(self):
+        v, g, _ = hessian_vector_product(quadratic, [1.0, 2.0], [1.0, 0.0])
+        assert v == pytest.approx(1.0 + 6.0 + 20.0)
+        assert g[0] == pytest.approx(2.0 + 6.0)
+        assert g[1] == pytest.approx(3.0 + 20.0)
+
+    def test_quadratic_hvp(self):
+        _, _, hvp = hessian_vector_product(quadratic, [1.0, 2.0], [1.0, 0.0])
+        assert hvp == pytest.approx([2.0, 3.0])
+        _, _, hvp = hessian_vector_product(quadratic, [1.0, 2.0], [0.0, 1.0])
+        assert hvp == pytest.approx([3.0, 10.0])
+
+    def test_arbitrary_direction_linear(self):
+        _, _, h1 = hessian_vector_product(quadratic, [1.0, 2.0], [1.0, 0.0])
+        _, _, h2 = hessian_vector_product(quadratic, [1.0, 2.0], [0.0, 1.0])
+        _, _, h12 = hessian_vector_product(quadratic, [1.0, 2.0], [2.0, -1.0])
+        expected = [2 * a - b for a, b in zip(h1, h2)]
+        assert h12 == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hessian_vector_product(quadratic, [1.0, 2.0], [1.0])
+
+    def test_untaped_result_rejected(self):
+        with pytest.raises(TypeError):
+            hessian_vector_product(lambda xs: 1.0, [1.0], [1.0])
+
+
+class TestFullHessian:
+    def test_quadratic(self):
+        H = hessian(quadratic, [1.0, 2.0])
+        expected = [[2.0, 3.0], [3.0, 10.0]]
+        for row, want in zip(H, expected):
+            assert row == pytest.approx(want)
+
+    def test_transcendental_vs_analytic(self):
+        x, y = 0.4, 0.7
+        H = hessian(transcendental, [x, y])
+        e = math.exp(x * y)
+        expected = [
+            [-math.sin(x) * y + y * y * e, math.cos(x) + e + x * y * e],
+            [math.cos(x) + e + x * y * e, x * x * e],
+        ]
+        for i in range(2):
+            for j in range(2):
+                assert H[i][j] == pytest.approx(expected[i][j], rel=1e-9)
+
+    def test_symmetry(self):
+        H = hessian(transcendental, [1.1, -0.3])
+        assert H[0][1] == H[1][0]
+
+    def test_finite_difference_cross_check(self):
+        from repro.ad import adjoint_gradient
+
+        point = [0.8, 0.5]
+        H = hessian(transcendental, point)
+        h = 1e-5
+        for i in range(2):
+            bumped_up = list(point)
+            bumped_dn = list(point)
+            bumped_up[i] += h
+            bumped_dn[i] -= h
+            _, g_up = adjoint_gradient(transcendental, bumped_up)
+            _, g_dn = adjoint_gradient(transcendental, bumped_dn)
+            fd_row = [(u - d) / (2 * h) for u, d in zip(g_up, g_dn)]
+            for j in range(2):
+                assert H[i][j] == pytest.approx(fd_row[j], rel=1e-4, abs=1e-6)
+
+    def test_intrinsics_second_order(self):
+        # d2/dx2 of sin at x: -sin(x); of exp: exp(x); of log: -1/x^2.
+        for fn, second in [
+            (op.sin, lambda x: -math.sin(x)),
+            (op.exp, math.exp),
+            (op.log, lambda x: -1.0 / (x * x)),
+            (op.sqrt, lambda x: -0.25 * x ** (-1.5)),
+            (op.tanh, lambda x: -2 * math.tanh(x) * (1 - math.tanh(x) ** 2)),
+        ]:
+            x0 = 0.9
+            H = hessian(lambda xs: fn(xs[0]), [x0])
+            assert H[0][0] == pytest.approx(second(x0), rel=1e-9)

@@ -1,0 +1,174 @@
+"""Tests for the dispatching intrinsic functions across all modes."""
+
+import math
+
+import pytest
+
+from repro.ad import ADouble, Tangent, Tape, adjoint_gradient, finite_difference_gradient
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+
+UNARY_CASES = [
+    ("sin", 0.7),
+    ("cos", 0.7),
+    ("tan", 0.4),
+    ("asin", 0.3),
+    ("acos", 0.3),
+    ("atan", 1.5),
+    ("sinh", 0.8),
+    ("cosh", 0.8),
+    ("tanh", 0.8),
+    ("exp", 1.2),
+    ("expm1", 0.4),
+    ("log", 2.0),
+    ("log1p", 0.6),
+    ("log2", 3.0),
+    ("log10", 5.0),
+    ("sqrt", 2.5),
+    ("cbrt", 8.0),
+    ("erf", 0.5),
+    ("erfc", 0.5),
+]
+
+
+class TestDerivativesAgainstFiniteDifferences:
+    @pytest.mark.parametrize("name,x", UNARY_CASES)
+    def test_adjoint_matches_fd(self, name, x):
+        fn = getattr(op, name)
+        _, grad = adjoint_gradient(lambda xs: fn(xs[0]), [x])
+        (fd,) = finite_difference_gradient(lambda xs: fn(xs[0]), [x])
+        assert grad[0] == pytest.approx(fd, rel=1e-5, abs=1e-7)
+
+    @pytest.mark.parametrize("name,x", UNARY_CASES)
+    def test_tangent_matches_adjoint(self, name, x):
+        fn = getattr(op, name)
+        t = fn(Tangent.seed(x))
+        _, grad = adjoint_gradient(lambda xs: fn(xs[0]), [x])
+        assert t.dot == pytest.approx(grad[0], rel=1e-12)
+
+
+class TestModeDispatch:
+    @pytest.mark.parametrize("name,x", UNARY_CASES)
+    def test_scalar_passthrough(self, name, x):
+        fn = getattr(op, name)
+        assert fn(x) == pytest.approx(getattr(math, name)(x))
+
+    @pytest.mark.parametrize("name,x", UNARY_CASES)
+    def test_interval_passthrough_encloses(self, name, x):
+        fn = getattr(op, name)
+        result = fn(Interval(x * 0.9, x * 1.1))
+        assert result.contains(getattr(math, name)(x))
+
+    @pytest.mark.parametrize("name,x", UNARY_CASES)
+    def test_interval_adjoint_enclosure(self, name, x):
+        fn = getattr(op, name)
+        with Tape() as tape:
+            taped = ADouble.input(Interval(x * 0.95, x * 1.05), tape=tape)
+            y = fn(taped)
+            tape.adjoint({y.node.index: Interval(1.0)})
+        _, scalar_grad = adjoint_gradient(lambda xs: fn(xs[0]), [x])
+        assert y.value.contains(getattr(math, name)(x))
+        assert taped.node.adjoint.contains(scalar_grad[0])
+
+
+class TestSpecialIntrinsics:
+    def test_round_st_scalar_straight_through(self):
+        _, grad = adjoint_gradient(lambda xs: op.round_st(xs[0]), [1.3])
+        assert grad[0] == 1.0
+
+    def test_round_st_interval_partial(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(0.0, 1.0), tape=tape)
+            y = op.round_st(x)
+        assert tape[y.node.index].partials[0] == Interval(0.0, 1.0)
+
+    def test_round_st_tangent(self):
+        t = op.round_st(Tangent.seed(1.3))
+        assert t.dot == 1.0
+
+    def test_floor_zero_derivative(self):
+        _, grad = adjoint_gradient(lambda xs: op.floor(xs[0]) + xs[0], [1.3])
+        assert grad[0] == 1.0
+        t = op.floor(Tangent.seed(1.3))
+        assert t.dot == 0.0
+
+    def test_pow_dispatch(self):
+        assert op.pow(2.0, 3.0) == 8.0
+        _, grad = adjoint_gradient(lambda xs: op.pow(xs[0], 3), [2.0])
+        assert grad[0] == 12.0
+        _, grad = adjoint_gradient(lambda xs: op.pow(2.0, xs[0]), [3.0])
+        assert grad[0] == pytest.approx(8.0 * math.log(2.0))
+
+    def test_hypot_gradient(self):
+        _, grad = adjoint_gradient(
+            lambda xs: op.hypot(xs[0], xs[1]), [3.0, 4.0]
+        )
+        assert grad[0] == pytest.approx(0.6)
+        assert grad[1] == pytest.approx(0.8)
+
+    def test_atan2_gradient(self):
+        _, grad = adjoint_gradient(
+            lambda xs: op.atan2(xs[0], xs[1]), [1.0, 2.0]
+        )
+        fd = finite_difference_gradient(
+            lambda xs: math.atan2(xs[0], xs[1]), [1.0, 2.0]
+        )
+        assert grad[0] == pytest.approx(fd[0], rel=1e-5)
+        assert grad[1] == pytest.approx(fd[1], rel=1e-5)
+
+
+class TestMinMaxClip:
+    def test_minimum_scalar(self):
+        assert op.minimum(1.0, 2.0) == 1.0
+
+    def test_minimum_gradient_picks_argmin(self):
+        _, grad = adjoint_gradient(
+            lambda xs: op.minimum(xs[0], xs[1]), [1.0, 2.0]
+        )
+        assert grad == [1.0, 0.0]
+
+    def test_maximum_gradient_picks_argmax(self):
+        _, grad = adjoint_gradient(
+            lambda xs: op.maximum(xs[0], xs[1]), [1.0, 2.0]
+        )
+        assert grad == [0.0, 1.0]
+
+    def test_minimum_interval_certain(self):
+        with Tape() as tape:
+            a = ADouble.input(Interval(0.0, 1.0), tape=tape)
+            b = ADouble.input(Interval(2.0, 3.0), tape=tape)
+            y = op.minimum(a, b)
+        assert y.value == Interval(0.0, 1.0)
+        assert tape[y.node.index].partials == (1.0, 0.0)
+
+    def test_minimum_interval_ambiguous_enclosure(self):
+        with Tape() as tape:
+            a = ADouble.input(Interval(0.0, 2.0), tape=tape)
+            b = ADouble.input(Interval(1.0, 3.0), tape=tape)
+            y = op.minimum(a, b)
+        pa, pb = tape[y.node.index].partials
+        assert pa == Interval(0.0, 1.0) and pb == Interval(0.0, 1.0)
+
+    def test_min_max_tangent(self):
+        a, b = Tangent.seed(1.0), Tangent(2.0, 5.0)
+        assert op.minimum(a, b).dot == 1.0
+        assert op.maximum(a, b).dot == 5.0
+
+    def test_clip_inside_gradient(self):
+        _, grad = adjoint_gradient(lambda xs: op.clip(xs[0], 0.0, 10.0), [5.0])
+        assert grad == [1.0]
+
+    def test_clip_saturated_gradient(self):
+        _, grad = adjoint_gradient(lambda xs: op.clip(xs[0], 0.0, 10.0), [15.0])
+        assert grad == [0.0]
+
+    def test_clip_interval_ambiguous(self):
+        with Tape() as tape:
+            x = ADouble.input(Interval(5.0, 15.0), tape=tape)
+            y = op.clip(x, 0.0, 10.0)
+        assert tape[y.node.index].partials[0] == Interval(0.0, 1.0)
+        assert y.value == Interval(5.0, 10.0)
+
+    def test_clip_tangent(self):
+        t = op.clip(Tangent.seed(5.0), 0.0, 10.0)
+        assert t.value == 5.0 and t.dot == 1.0

@@ -1,0 +1,153 @@
+"""Property tests over randomly generated straight-line programs.
+
+Hypothesis builds random expression trees from the supported elementary
+operations; for every generated program we check the three core AD
+invariants on which significance analysis rests:
+
+1. adjoint gradient == tangent gradient (reverse vs forward consistency);
+2. adjoint gradient ≈ central finite differences (correctness);
+3. interval evaluation and interval gradient enclose every sampled point
+   value/gradient (inclusion isotonicity through the whole engine).
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ad import (
+    adjoint_gradient,
+    finite_difference_gradient,
+    interval_gradient,
+    tangent_gradient,
+)
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+
+# --- random program representation --------------------------------------
+# A program is a nested tuple tree; leaves are ("x", i) or ("c", value).
+
+N_INPUTS = 2
+
+_UNARY = ["sin", "cos", "tanh", "exp_s", "atan", "sqr"]
+_BINARY = ["add", "sub", "mul"]
+
+
+@st.composite
+def expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return ("x", draw(st.integers(0, N_INPUTS - 1)))
+        return ("c", draw(st.floats(min_value=-2.0, max_value=2.0)))
+    if draw(st.booleans()):
+        name = draw(st.sampled_from(_UNARY))
+        return (name, draw(expr(depth=depth + 1)))
+    name = draw(st.sampled_from(_BINARY))
+    return (name, draw(expr(depth=depth + 1)), draw(expr(depth=depth + 1)))
+
+
+def evaluate(tree, xs):
+    """Evaluate a tree over any numeric algebra."""
+    kind = tree[0]
+    if kind == "x":
+        return xs[tree[1]]
+    if kind == "c":
+        return tree[1]
+    if kind == "add":
+        return evaluate(tree[1], xs) + evaluate(tree[2], xs)
+    if kind == "sub":
+        return evaluate(tree[1], xs) - evaluate(tree[2], xs)
+    if kind == "mul":
+        return evaluate(tree[1], xs) * evaluate(tree[2], xs)
+    inner = evaluate(tree[1], xs)
+    if kind == "sin":
+        return op.sin(inner)
+    if kind == "cos":
+        return op.cos(inner)
+    if kind == "tanh":
+        return op.tanh(inner)
+    if kind == "atan":
+        return op.atan(inner)
+    if kind == "exp_s":
+        # Saturated exp keeps magnitudes bounded for FD comparability.
+        return op.tanh(inner) + inner * 0.1
+    if kind == "sqr":
+        return inner * inner
+    raise AssertionError(kind)
+
+
+def uses_input(tree, index):
+    if tree[0] == "x":
+        return tree[1] == index
+    if tree[0] == "c":
+        return False
+    return any(uses_input(sub, index) for sub in tree[1:])
+
+
+points = st.lists(
+    st.floats(min_value=-1.5, max_value=1.5, allow_nan=False),
+    min_size=N_INPUTS,
+    max_size=N_INPUTS,
+)
+
+
+@given(expr(), points)
+@settings(max_examples=120, deadline=None)
+def test_tangent_equals_adjoint(tree, point):
+    assume(any(uses_input(tree, i) for i in range(N_INPUTS)))
+
+    def fn(xs):
+        result = evaluate(tree, xs)
+        # Anchor on an input so the result is always taped.
+        return result + 0.0 * xs[0]
+
+    _, g_adj = adjoint_gradient(fn, point)
+    _, g_tan = tangent_gradient(fn, point)
+    for a, t in zip(g_adj, g_tan):
+        assert a == pytest.approx(t, rel=1e-9, abs=1e-9)
+
+
+@given(expr(), points)
+@settings(max_examples=80, deadline=None)
+def test_adjoint_matches_finite_differences(tree, point):
+    assume(any(uses_input(tree, i) for i in range(N_INPUTS)))
+
+    def fn(xs):
+        return evaluate(tree, xs) + 0.0 * xs[0]
+
+    value, grad = adjoint_gradient(fn, point)
+    assume(all(abs(g) < 1e3 for g in grad))  # avoid FD blow-up regions
+
+    def plain(xs):
+        return float(evaluate(tree, list(xs)) + 0.0 * xs[0])
+
+    fd = finite_difference_gradient(plain, point, step=1e-6)
+    for a, d in zip(grad, fd):
+        assert a == pytest.approx(d, rel=2e-3, abs=2e-4)
+
+
+@given(
+    expr(),
+    points,
+    st.floats(min_value=0.01, max_value=0.3),
+)
+@settings(max_examples=80, deadline=None)
+def test_interval_engine_encloses_samples(tree, point, radius):
+    assume(any(uses_input(tree, i) for i in range(N_INPUTS)))
+
+    def fn(xs):
+        return evaluate(tree, xs) + 0.0 * xs[0]
+
+    box = [Interval.centered(p, radius) for p in point]
+    box_value, box_grad = interval_gradient(fn, box)
+
+    # Sample corners and centre of the box.
+    offsets = [tuple(point)]
+    offsets.append(tuple(p - radius for p in point))
+    offsets.append(tuple(p + radius for p in point))
+    for sample in offsets:
+        v, g = adjoint_gradient(fn, list(sample))
+        assert box_value.widened(1e-9).contains(v)
+        for gi, bg in zip(g, box_grad):
+            assert bg.widened(max(1e-9, abs(gi) * 1e-9)).contains(gi)

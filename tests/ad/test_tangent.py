@@ -1,0 +1,115 @@
+"""Tests for tangent-linear (forward) mode."""
+
+import math
+
+import pytest
+
+from repro.ad import Tangent, adjoint_gradient, tangent_gradient
+from repro.ad import intrinsics as op
+from repro.intervals import AmbiguousComparisonError, Interval
+
+
+class TestBasics:
+    def test_seed_has_unit_dot(self):
+        t = Tangent.seed(2.0)
+        assert t.value == 2.0 and t.dot == 1.0
+
+    def test_plain_has_zero_dot(self):
+        t = Tangent(2.0)
+        assert t.dot == 0.0
+
+    def test_lift_passthrough(self):
+        t = Tangent.seed(1.0)
+        assert Tangent.lift(t) is t
+
+    def test_lift_scalar(self):
+        t = Tangent.lift(3.0)
+        assert t.value == 3.0 and t.dot == 0.0
+
+    def test_lift_interval(self):
+        t = Tangent.lift(Interval(0, 1))
+        assert t.dot == Interval(0.0)
+
+    def test_repr(self):
+        assert "dot" in repr(Tangent(1.0, 0.5))
+
+
+class TestPropagation:
+    def test_product_rule(self):
+        x = Tangent.seed(3.0)
+        y = x * x  # same-object square
+        assert y.value == 9.0 and y.dot == 6.0
+
+    def test_quotient_rule(self):
+        x = Tangent.seed(2.0)
+        y = 1.0 / x
+        assert y.value == 0.5 and y.dot == pytest.approx(-0.25)
+
+    def test_chain_through_intrinsics(self):
+        x = Tangent.seed(0.5)
+        y = op.sin(op.exp(x))
+        expected = math.cos(math.exp(0.5)) * math.exp(0.5)
+        assert y.dot == pytest.approx(expected)
+
+    def test_abs_negative(self):
+        x = Tangent(-2.0, 1.0)
+        y = abs(x)
+        assert y.value == 2.0 and y.dot == -1.0
+
+    def test_pow_int(self):
+        x = Tangent.seed(2.0)
+        y = x**4
+        assert y.value == 16.0 and y.dot == 32.0
+
+    def test_pow_zero(self):
+        x = Tangent.seed(2.0)
+        y = x**0
+        assert y.value == 1.0 and y.dot == 0.0
+
+    def test_rpow(self):
+        x = Tangent.seed(3.0)
+        y = 2.0**x
+        assert y.value == pytest.approx(8.0)
+        assert y.dot == pytest.approx(8.0 * math.log(2.0))
+
+    def test_rsub_rdiv(self):
+        x = Tangent.seed(2.0)
+        assert (5.0 - x).dot == -1.0
+        assert (4.0 / x).dot == pytest.approx(-1.0)
+
+    def test_comparison_interval_ambiguity(self):
+        t = Tangent(Interval(0, 2), Interval(1.0))
+        with pytest.raises(AmbiguousComparisonError):
+            _ = t < 1.0
+
+
+class TestTangentVsAdjoint:
+    """The canonical AD consistency check: forward == reverse."""
+
+    FUNCTIONS = [
+        (lambda xs: xs[0] * xs[1] + xs[0], [2.0, 3.0]),
+        (lambda xs: op.sin(xs[0]) * op.cos(xs[1]), [0.3, 0.7]),
+        (lambda xs: op.exp(xs[0] / xs[1]), [1.0, 2.0]),
+        (lambda xs: op.sqrt(xs[0] * xs[0] + xs[1] * xs[1]), [3.0, 4.0]),
+        (lambda xs: op.log(xs[0]) ** 2, [2.5]),
+        (lambda xs: op.tanh(xs[0]) + op.erf(xs[1]), [0.4, 0.6]),
+        (lambda xs: op.cos(op.exp(op.sin(xs[0]) + xs[0]) - xs[0]), [0.3]),
+        (lambda xs: op.atan(xs[0] * xs[1]) - xs[1] ** 3, [1.2, 0.8]),
+    ]
+
+    @pytest.mark.parametrize("fn,point", FUNCTIONS)
+    def test_gradients_agree(self, fn, point):
+        v_adj, g_adj = adjoint_gradient(fn, point)
+        v_tan, g_tan = tangent_gradient(fn, point)
+        assert v_adj == pytest.approx(v_tan, rel=1e-12)
+        for a, t in zip(g_adj, g_tan):
+            assert a == pytest.approx(t, rel=1e-10)
+
+    def test_interval_tangent_encloses_scalar(self):
+        x = Tangent.seed(Interval(0.2, 0.4))
+        y = op.cos(op.exp(op.sin(x) + x) - x)
+        for point in (0.2, 0.3, 0.4):
+            xs = Tangent.seed(point)
+            ys = op.cos(op.exp(op.sin(xs) + xs) - xs)
+            assert y.value.contains(ys.value)
+            assert y.dot.contains(ys.dot)

@@ -1,0 +1,182 @@
+"""Tests for the recording tape (DynDFG storage + reverse sweep)."""
+
+import pytest
+
+from repro.ad import ADouble, NoActiveTapeError, Tape, active_tape, require_tape
+from repro.intervals import Interval
+
+
+class TestActivation:
+    def test_no_active_tape_initially(self):
+        assert active_tape() is None
+
+    def test_context_activates(self):
+        with Tape() as tape:
+            assert active_tape() is tape
+        assert active_tape() is None
+
+    def test_nested_tapes(self):
+        with Tape() as outer:
+            with Tape() as inner:
+                assert active_tape() is inner
+            assert active_tape() is outer
+
+    def test_require_tape_raises_outside(self):
+        with pytest.raises(NoActiveTapeError):
+            require_tape()
+
+    def test_require_tape_explicit_wins(self):
+        tape = Tape()
+        assert require_tape(tape) is tape
+
+
+class TestRecording:
+    def test_input_node(self):
+        tape = Tape()
+        node = tape.record_input(1.5, label="x")
+        assert node.is_input and node.label == "x" and node.index == 0
+
+    def test_record_parents_partials_parallel(self):
+        tape = Tape()
+        with pytest.raises(ValueError, match="mismatch"):
+            tape.record("add", 1.0, parents=(0,), partials=())
+
+    def test_indices_sequential(self):
+        tape = Tape()
+        nodes = [tape.record("const", float(i)) for i in range(5)]
+        assert [n.index for n in nodes] == list(range(5))
+
+    def test_len_iter_getitem(self):
+        tape = Tape()
+        tape.record("const", 1.0)
+        tape.record("const", 2.0)
+        assert len(tape) == 2
+        assert tape[1].value == 2.0
+        assert [n.op for n in tape] == ["const", "const"]
+
+    def test_inputs_and_labelled(self):
+        tape = Tape()
+        tape.record_input(1.0, label="a")
+        tape.record("const", 2.0, label="c")
+        tape.record_input(3.0, label="b")
+        assert [n.label for n in tape.inputs()] == ["a", "b"]
+        assert len(tape.labelled("c")) == 1
+
+    def test_children_adjacency(self):
+        tape = Tape()
+        a = tape.record_input(1.0)
+        b = tape.record_input(2.0)
+        c = tape.record("add", 3.0, (a.index, b.index), (1.0, 1.0))
+        children = tape.children()
+        assert children[a.index] == [c.index]
+        assert children[b.index] == [c.index]
+        assert children[c.index] == []
+
+
+class TestAdjointSweep:
+    def _simple_tape(self):
+        # y = (a * b) + a  with a=2, b=3 -> dy/da = b + 1 = 4, dy/db = a = 2
+        tape = Tape()
+        a = tape.record_input(2.0)
+        b = tape.record_input(3.0)
+        m = tape.record("mul", 6.0, (a.index, b.index), (3.0, 2.0))
+        y = tape.record("add", 8.0, (m.index, a.index), (1.0, 1.0))
+        return tape, a, b, y
+
+    def test_gradient_values(self):
+        tape, a, b, y = self._simple_tape()
+        adjoints = tape.adjoint({y.index: 1.0})
+        assert adjoints[a.index] == 4.0
+        assert adjoints[b.index] == 2.0
+
+    def test_node_adjoint_attribute_filled(self):
+        tape, a, b, y = self._simple_tape()
+        tape.adjoint({y.index: 1.0})
+        assert a.adjoint == 4.0 and y.adjoint == 1.0
+
+    def test_gradient_helper(self):
+        tape, a, b, y = self._simple_tape()
+        tape.adjoint({y.index: 1.0})
+        assert tape.gradient() == [4.0, 2.0]
+
+    def test_seed_scaling(self):
+        tape, a, b, y = self._simple_tape()
+        adjoints = tape.adjoint({y.index: 2.0})
+        assert adjoints[a.index] == 8.0
+
+    def test_empty_seeds_rejected(self):
+        tape, *_ = self._simple_tape()
+        with pytest.raises(ValueError):
+            tape.adjoint({})
+
+    def test_bad_seed_index_rejected(self):
+        tape, *_, y = self._simple_tape()
+        with pytest.raises(IndexError):
+            tape.adjoint({999: 1.0})
+
+    def test_interval_mode_seed_coercion(self):
+        tape = Tape()
+        a = tape.record_input(Interval(1, 2))
+        y = tape.record("mul", Interval(2, 4), (a.index,), (2.0,))
+        adjoints = tape.adjoint({y.index: 1.0})
+        assert isinstance(adjoints[a.index], Interval)
+        assert adjoints[a.index].contains(2.0)
+
+    def test_unreachable_nodes_zero_adjoint(self):
+        tape = Tape()
+        a = tape.record_input(1.0)
+        dead = tape.record("mul", 2.0, (a.index,), (2.0,))
+        y = tape.record("add", 1.0, (a.index,), (1.0,))
+        adjoints = tape.adjoint({y.index: 1.0})
+        assert adjoints[dead.index] == 0.0
+        assert adjoints[a.index] == 1.0
+
+
+class TestAdjointVector:
+    def test_matches_scalar_sweeps(self):
+        # Two outputs from shared inputs; vector mode must equal per-output
+        # scalar sweeps.
+        def build():
+            tape = Tape()
+            a = tape.record_input(2.0)
+            b = tape.record_input(3.0)
+            y1 = tape.record("mul", 6.0, (a.index, b.index), (3.0, 2.0))
+            y2 = tape.record("add", 5.0, (a.index, b.index), (1.0, 1.0))
+            return tape, a, b, y1, y2
+
+        tape, a, b, y1, y2 = build()
+        lo, hi = tape.adjoint_vector([y1.index, y2.index])
+        assert lo[a.index, 0] == hi[a.index, 0] == 3.0  # dy1/da
+        assert lo[a.index, 1] == hi[a.index, 1] == 1.0  # dy2/da
+        assert lo[b.index, 0] == 2.0 and lo[b.index, 1] == 1.0
+
+    def test_no_cross_output_cancellation(self):
+        # y1 = +u, y2 = -u: summed scalar adjoint of u would be 0, but
+        # vector mode keeps both components.
+        tape = Tape()
+        u = tape.record_input(1.0)
+        y1 = tape.record("pos", 1.0, (u.index,), (1.0,))
+        y2 = tape.record("neg", -1.0, (u.index,), (-1.0,))
+        lo, hi = tape.adjoint_vector([y1.index, y2.index])
+        assert lo[u.index, 0] == 1.0 and lo[u.index, 1] == -1.0
+
+    def test_interval_partials(self):
+        tape = Tape()
+        u = tape.record_input(Interval(0, 1))
+        y = tape.record(
+            "round_st", Interval(-0.5, 1.5), (u.index,), (Interval(0, 1),)
+        )
+        lo, hi = tape.adjoint_vector([y.index])
+        assert lo[u.index, 0] == 0.0 and hi[u.index, 0] == 1.0
+
+    def test_empty_outputs_rejected(self):
+        tape = Tape()
+        tape.record_input(1.0)
+        with pytest.raises(ValueError):
+            tape.adjoint_vector([])
+
+    def test_out_of_range_rejected(self):
+        tape = Tape()
+        tape.record_input(1.0)
+        with pytest.raises(IndexError):
+            tape.adjoint_vector([7])

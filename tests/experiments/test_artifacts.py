@@ -1,0 +1,66 @@
+"""Tests for the visual artifact exports."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.artifacts import (
+    heatmap_to_image,
+    save_all_artifacts,
+    save_figure4,
+)
+from repro.experiments.figure4 import figure4
+from repro.images import read_pgm
+
+
+class TestHeatmap:
+    def test_upsampling(self):
+        img = heatmap_to_image(np.array([[0.0, 1.0]]), scale=4)
+        assert img.shape == (4, 8)
+
+    def test_range(self):
+        img = heatmap_to_image(np.array([[0.0, 0.5, 1.0]]))
+        assert img.min() == 0.0 and img.max() == 255.0
+
+    def test_gamma_brightens_low_end(self):
+        values = np.array([[0.25, 1.0]])  # peak normalises to 1.0
+        linear = heatmap_to_image(values, scale=1, gamma=1.0)
+        bright = heatmap_to_image(values, scale=1, gamma=0.5)
+        assert bright[0, 0] > linear[0, 0]
+
+    def test_all_zero_map(self):
+        img = heatmap_to_image(np.zeros((2, 2)))
+        assert np.all(img == 0.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            heatmap_to_image(np.zeros((2, 2)), scale=0)
+
+
+class TestSaving:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return figure4(size=32, samples=2)
+
+    def test_save_figure4(self, tmp_path, fig4):
+        path = save_figure4(tmp_path, fig4)
+        assert path.exists()
+        image = read_pgm(path)
+        assert image.shape == (256, 256)  # 8x8 map at scale 32
+        # The DC corner block is the brightest region.
+        assert image[0, 0] == image.max()
+
+    def test_save_all_creates_directory(self, tmp_path, fig4, monkeypatch):
+        # Patch the figure builders so the full-size defaults are not run.
+        import repro.experiments.artifacts as artifacts
+
+        monkeypatch.setattr(artifacts, "figure4", lambda: fig4)
+
+        from repro.experiments.figure5 import figure5
+
+        small5 = figure5(width=64, height=48, grid=(4, 5), jitter_samples=2)
+        monkeypatch.setattr(artifacts, "figure5", lambda: small5)
+
+        target = tmp_path / "nested" / "dir"
+        paths = save_all_artifacts(target)
+        assert all(p.exists() for p in paths)
+        assert len(paths) == 2

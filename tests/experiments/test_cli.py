@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_figure7_benchmark_choices(self):
+        args = build_parser().parse_args(["figure7", "--benchmark", "sobel"])
+        assert args.benchmark == "sobel"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure7", "--benchmark", "bogus"])
+
+
+class TestCommands:
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "term1" in out and "L = 1" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--size", "32", "--samples", "2"]) == 0
+        assert "diagonal means" in capsys.readouterr().out
+
+    def test_figure6(self, capsys):
+        assert main(["figure6"]) == 0
+        out = capsys.readouterr().out
+        assert "(c)" in out and "ranking" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Overhead" in capsys.readouterr().out
+
+    def test_figure7_single_fast(self, capsys):
+        assert main(["figure7", "--benchmark", "blackscholes"]) == 0
+        assert "BlackScholes" in capsys.readouterr().out
+
+    def test_headline_fast(self, capsys):
+        assert main(["headline", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out and "paper" in out
+
+    def test_tune(self, capsys):
+        assert main(
+            ["tune", "--benchmark", "dct", "--target-psnr", "30", "--size", "48"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chosen ratio" in out

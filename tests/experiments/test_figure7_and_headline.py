@@ -1,0 +1,116 @@
+"""Integration tests: the Figure 7 sweeps and the headline energy claim.
+
+These run the full significance-vs-perforation pipeline at reduced
+workload sizes (``fast=True``) and assert the *shape* results the paper
+reports: quality rises with the accurate ratio, the significance-driven
+version beats perforation on quality, perforation is cheaper at equal
+ratio, and full-approximation saves substantial energy.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import figure7_all, format_sweep, headline
+from repro.experiments.headline import format_headline
+from repro.kernels.common import QUALITY_PSNR, QUALITY_REL_ERR
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return figure7_all(fast=True)
+
+
+class TestPanels:
+    def test_all_five_benchmarks_present(self, sweeps):
+        assert set(sweeps) == {"sobel", "dct", "fisheye", "nbody", "blackscholes"}
+
+    def test_quality_kinds(self, sweeps):
+        assert sweeps["sobel"].quality_kind == QUALITY_PSNR
+        assert sweeps["nbody"].quality_kind == QUALITY_REL_ERR
+
+    @pytest.mark.parametrize("name", ["sobel", "dct", "fisheye"])
+    def test_psnr_quality_monotone(self, sweeps, name):
+        series = sweeps[name].series("significance")
+        values = [p.quality for p in series]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", ["nbody", "blackscholes"])
+    def test_error_quality_monotone(self, sweeps, name):
+        series = sweeps[name].series("significance")
+        values = [p.quality for p in series]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", ["sobel", "dct", "fisheye", "nbody", "blackscholes"])
+    def test_energy_monotone_in_ratio(self, sweeps, name):
+        series = sweeps[name].series("significance")
+        joules = [p.joules for p in series]
+        assert all(a <= b + 1e-9 for a, b in zip(joules, joules[1:]))
+
+    @pytest.mark.parametrize("name", ["sobel", "dct", "fisheye"])
+    def test_significance_beats_perforation_on_quality(self, sweeps, name):
+        sweep = sweeps[name]
+        for ratio in (0.2, 0.5, 0.8):
+            assert sweep.quality_at(ratio, "significance") >= sweep.quality_at(
+                ratio, "perforation"
+            )
+
+    def test_nbody_significance_much_lower_error(self, sweeps):
+        sweep = sweeps["nbody"]
+        for ratio in (0.0, 0.2, 0.5):
+            sig = sweep.quality_at(ratio, "significance")
+            perf = sweep.quality_at(ratio, "perforation")
+            assert perf > sig
+
+    def test_perforation_cheaper_at_full_ratio(self, sweeps):
+        for name in ("sobel", "dct", "fisheye"):
+            sweep = sweeps[name]
+            assert sweep.energy_at(1.0, "perforation") < sweep.energy_at(
+                1.0, "significance"
+            )
+
+    def test_blackscholes_has_no_perforation(self, sweeps):
+        assert sweeps["blackscholes"].series("perforation") == []
+
+    def test_exact_at_full_ratio(self, sweeps):
+        # PSNR capped at 99 = identical; relative error exactly 0.
+        for name in ("sobel", "dct", "fisheye"):
+            assert sweeps[name].quality_at(1.0) == pytest.approx(99.0)
+        for name in ("nbody", "blackscholes"):
+            assert sweeps[name].quality_at(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mean_quality_gap_positive(self, sweeps):
+        for name in ("sobel", "dct", "fisheye"):
+            gap = sweeps[name].mean_quality_gap()
+            assert gap is not None and gap > 0
+        assert sweeps["blackscholes"].mean_quality_gap() is None
+
+
+class TestFormatting:
+    def test_format_sweep_contains_rows(self, sweeps):
+        text = format_sweep(sweeps["sobel"])
+        assert "Sobel" in text
+        assert "0.50" in text and "1.00" in text
+
+    def test_format_sweep_relative_error_percent(self, sweeps):
+        text = format_sweep(sweeps["nbody"])
+        assert "%" in text
+
+    def test_format_na_for_missing_perforation(self, sweeps):
+        text = format_sweep(sweeps["blackscholes"])
+        assert "n/a" in text
+
+
+class TestHeadline:
+    def test_energy_reductions_substantial(self, sweeps):
+        result = headline(sweeps)
+        assert 0.10 < result.minimum < result.maximum < 0.98
+        assert 0.30 < result.mean < 0.85  # paper: 31%..91%, mean 56%
+
+    def test_per_benchmark_entries(self, sweeps):
+        result = headline(sweeps)
+        assert set(result.per_benchmark) == set(sweeps)
+
+    def test_format_headline(self, sweeps):
+        text = format_headline(headline(sweeps))
+        assert "mean" in text and "paper" in text

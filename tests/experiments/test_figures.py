@@ -1,0 +1,90 @@
+"""Tests for the figure regenerators (paper-shape assertions)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure3, figure4, figure5, figure6
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure3()
+
+    def test_paper_values(self, fig):
+        paper = {"term1": 0.259, "term2": 0.254, "term3": 0.245, "term4": 0.241}
+        for term, expected in paper.items():
+            assert fig.analysis.normalised[term] == pytest.approx(
+                expected, abs=0.012
+            )
+
+    def test_term0_zero(self, fig):
+        assert fig.analysis.normalised["term0"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_dot_renderings(self, fig):
+        assert 'digraph "Figure3a"' in fig.raw_dot
+        assert 'digraph "Figure3b"' in fig.simplified_dot
+        # Simplified graph is strictly smaller (aggregation collapsed).
+        assert fig.simplified_dot.count("->") < fig.raw_dot.count("->")
+
+    def test_to_text(self, fig):
+        text = fig.to_text()
+        assert "term1" in text and "L = 1" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure4(size=48, samples=3)
+
+    def test_dc_corner_peak(self, fig):
+        m = fig.significance_map
+        assert m[0, 0] == pytest.approx(1.0)
+        assert m[0, 0] == m.max()
+
+    def test_wave_decay_along_diagonals(self, fig):
+        means = fig.analysis.diagonal_means()
+        assert means[0] == max(means)
+        assert np.mean(means[:4]) > np.mean(means[-4:])
+
+    def test_map_normalised(self, fig):
+        assert fig.significance_map.min() >= 0.0
+        assert fig.significance_map.max() <= 1.0
+
+    def test_to_text(self, fig):
+        assert "diagonal means" in fig.to_text()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure5(width=96, height=64, grid=(6, 8), jitter_samples=6)
+
+    def test_border_more_significant_than_centre(self, fig):
+        profile = fig.radial_profile(bins=4)
+        assert profile[-1] > 1.2 * profile[0]
+
+    def test_monotone_trend(self, fig):
+        profile = fig.radial_profile(bins=4)
+        # Allow one local inversion but require an overall upward trend.
+        assert profile[-1] > profile[0] and profile[-2] > profile[0]
+
+    def test_to_text(self, fig):
+        assert "radial profile" in fig.to_text()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure6(positions=3)
+
+    def test_inner_pairs_top(self, fig):
+        assert set(fig.analysis.ranking()[:2]) == {"c", "e"}
+
+    def test_outer_corner_pairs_bottom(self, fig):
+        assert set(fig.analysis.ranking()[-2:]) == {"b", "h"}
+
+    def test_to_text_lists_all_pairs(self, fig):
+        text = fig.to_text()
+        for letter in "abcdefgh":
+            assert f"({letter})" in text

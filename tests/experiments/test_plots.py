@@ -1,0 +1,95 @@
+"""Tests for the ASCII Figure 7 panels."""
+
+import pytest
+
+from repro.experiments.plots import render_all_panels, render_panel
+from repro.experiments.sweep import SweepPoint, SweepResult
+from repro.kernels.common import QUALITY_PSNR, QUALITY_REL_ERR
+
+
+def psnr_sweep():
+    points = []
+    for ratio, q, e in [(0.0, 20, 50), (0.5, 30, 80), (1.0, 99, 100)]:
+        points.append(SweepPoint(ratio, "significance", q, e))
+        points.append(SweepPoint(ratio, "perforation", q - 8, e * 0.9))
+    return SweepResult("TestBench", QUALITY_PSNR, points)
+
+
+def error_sweep():
+    points = [
+        SweepPoint(r, "significance", q, e)
+        for r, q, e in [(0.0, 0.05, 10), (1.0, 0.0, 40)]
+    ]
+    return SweepResult("ErrBench", QUALITY_REL_ERR, points)
+
+
+class TestRenderPanel:
+    def test_contains_benchmark_name_and_legend(self):
+        text = render_panel(psnr_sweep())
+        assert "TestBench" in text
+        assert "quality" in text and "energy" in text
+
+    def test_axis_labels(self):
+        text = render_panel(psnr_sweep())
+        assert "0.00" in text and "1.00" in text
+        assert "(accurate ratio)" in text
+
+    def test_bars_grow_with_quality(self):
+        text = render_panel(psnr_sweep(), height=8)
+        lines = text.splitlines()
+        # Top bar row must contain the full-ratio significance bar only.
+        top_data_row = lines[1]
+        assert "█" in top_data_row
+
+    def test_both_series_present(self):
+        text = render_panel(psnr_sweep())
+        assert "░" in text and "*" in text and "o" in text
+
+    def test_error_benchmark_inverted_goodness(self):
+        # Lower error -> taller bar: the full-ratio column peaks.
+        text = render_panel(error_sweep(), height=6)
+        first_data_line = text.splitlines()[1]
+        assert "█" in first_data_line  # ratio-1.0 (exact) reaches the top
+
+    def test_no_perforation_series_ok(self):
+        text = render_panel(error_sweep())
+        body = "\n".join(text.splitlines()[1:-1])  # chart rows only
+        assert "░" not in body and "o" not in body
+        assert "perf" not in text.splitlines()[0]  # legend omits it
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            render_panel(psnr_sweep(), height=1)
+
+    def test_render_all(self):
+        text = render_all_panels({"a": psnr_sweep(), "b": error_sweep()})
+        assert "TestBench" in text and "ErrBench" in text
+
+
+class TestCliIntegration:
+    def test_figure7_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure7", "--benchmark", "blackscholes", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "(accurate ratio)" in out
+
+    def test_artifacts_command(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.artifacts as artifacts
+        from repro.experiments.figure4 import figure4
+        from repro.experiments.figure5 import figure5
+
+        monkeypatch.setattr(
+            artifacts, "figure4", lambda: figure4(size=32, samples=2)
+        )
+        monkeypatch.setattr(
+            artifacts,
+            "figure5",
+            lambda: figure5(width=64, height=48, grid=(4, 5), jitter_samples=2),
+        )
+        from repro.cli import main
+
+        assert main(["artifacts", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "figure4_dct_map.pgm").exists()

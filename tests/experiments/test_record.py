@@ -1,0 +1,65 @@
+"""Tests for the experiment recorder."""
+
+import json
+
+import pytest
+
+from repro.experiments.record import record_all, save_record
+
+
+@pytest.fixture(scope="module")
+def record():
+    return record_all(fast=True)
+
+
+class TestRecordAll:
+    def test_all_sections_present(self, record):
+        assert set(record) >= {
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "headline",
+            "table2",
+        }
+
+    def test_figure3_values(self, record):
+        terms = record["figure3"]["normalised_terms"]
+        assert terms["term0"] == pytest.approx(0.0, abs=1e-9)
+        assert record["figure3"]["partition_level"] == 1
+
+    def test_figure7_all_benchmarks(self, record):
+        assert set(record["figure7"]) == {
+            "sobel",
+            "dct",
+            "fisheye",
+            "nbody",
+            "blackscholes",
+        }
+        for payload in record["figure7"].values():
+            assert len(payload["points"]) >= 5
+            assert 0.0 < payload["energy_reduction"] < 1.0
+
+    def test_headline_consistency(self, record):
+        head = record["headline"]
+        values = list(head["per_benchmark"].values())
+        assert head["min"] == min(values)
+        assert head["max"] == max(values)
+        assert head["mean"] == pytest.approx(sum(values) / len(values))
+
+    def test_json_serialisable(self, record):
+        text = json.dumps(record)
+        assert "sobel" in text
+
+
+class TestSaveRecord:
+    def test_writes_both_files(self, tmp_path, record, monkeypatch):
+        import repro.experiments.record as module
+
+        monkeypatch.setattr(module, "record_all", lambda fast=True: record)
+        json_path, md_path = save_record(tmp_path / "out")
+        assert json_path.exists() and md_path.exists()
+        parsed = json.loads(json_path.read_text())
+        assert parsed["headline"] == record["headline"]
+        assert "Measured experiment digest" in md_path.read_text()

@@ -1,0 +1,130 @@
+"""Tests for Table 2 (LoC accounting) and the sweep harness plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    RATIOS,
+    SweepPoint,
+    SweepResult,
+    count_loc,
+    format_table2,
+    run_sweep,
+    table2,
+)
+from repro.kernels.common import KernelRun, QUALITY_PSNR
+from repro.runtime import EnergyBreakdown
+
+
+class TestCountLoc:
+    def test_counts_statements_not_docstrings(self):
+        def sample():
+            """Docstring line one.
+
+            More docstring.
+            """
+            a = 1
+            b = 2
+            return a + b
+
+        assert count_loc(sample) == 4  # def + 3 statements
+
+    def test_multiline_statement_counts_lines(self):
+        def sample():
+            return (
+                1
+                + 2
+            )
+
+        assert count_loc(sample) == 5
+
+    def test_comments_not_counted(self):
+        def sample():
+            # a comment
+            # another
+            return 1
+
+        assert count_loc(sample) == 2
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2()
+
+    def test_all_benchmarks_present(self, rows):
+        names = {r.benchmark for r in rows}
+        assert names == {
+            "Sobel Filter",
+            "DCT",
+            "Fisheye",
+            "N-Body",
+            "BlackScholes",
+        }
+
+    def test_parallel_exceeds_sequential(self, rows):
+        for row in rows:
+            assert row.parallel > row.sequential > 0
+
+    def test_significance_clauses_small(self, rows):
+        for row in rows:
+            assert 1 <= row.significance <= 40
+
+    def test_dct_approx_is_drop(self, rows):
+        dct_row = next(r for r in rows if r.benchmark == "DCT")
+        assert dct_row.approx == 0  # paper also reports ~0
+
+    def test_overheads_modest(self, rows):
+        for row in rows:
+            assert 0.0 <= row.overhead_percent < 40.0
+
+    def test_format(self, rows):
+        text = format_table2(rows)
+        assert "Overhead" in text and "BlackScholes" in text
+
+
+class TestRunSweep:
+    def _fake(self, ratio):
+        return KernelRun(
+            output=[ratio],
+            energy=EnergyBreakdown(dynamic=ratio * 10),
+            ratio=ratio,
+            variant="x",
+        )
+
+    def test_runs_all_ratios(self):
+        result = run_sweep(
+            "fake",
+            QUALITY_PSNR,
+            [1.0],
+            self._fake,
+            None,
+            lambda ref, out: 50.0,
+        )
+        assert len(result.points) == len(RATIOS)
+
+    def test_psnr_capped(self):
+        result = run_sweep(
+            "fake",
+            QUALITY_PSNR,
+            [1.0],
+            self._fake,
+            None,
+            lambda ref, out: float("inf"),
+        )
+        assert all(p.quality == 99.0 for p in result.points)
+
+    def test_quality_at_unknown_ratio(self):
+        result = SweepResult("x", QUALITY_PSNR, [SweepPoint(0.5, "significance", 1, 1)])
+        with pytest.raises(KeyError):
+            result.quality_at(0.7)
+
+    def test_energy_reduction(self):
+        result = SweepResult(
+            "x",
+            QUALITY_PSNR,
+            [
+                SweepPoint(0.0, "significance", 1, 25.0),
+                SweepPoint(1.0, "significance", 1, 100.0),
+            ],
+        )
+        assert result.energy_reduction == pytest.approx(0.75)

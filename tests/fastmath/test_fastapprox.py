@@ -1,0 +1,129 @@
+"""Tests for the fastapprox-style approximate math functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import fastmath as fm
+
+
+class TestScalarAccuracy:
+    @pytest.mark.parametrize("x", [0.01, 0.1, 1.0, 2.5, 10.0, 50.0])
+    def test_fast_log2(self, x):
+        assert fm.fast_log2(x) == pytest.approx(math.log2(x), abs=2e-4)
+
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, math.e, 20.0])
+    def test_fast_log(self, x):
+        assert fm.fast_log(x) == pytest.approx(math.log(x), abs=2e-4)
+
+    @pytest.mark.parametrize("p", [-10.0, -1.5, 0.0, 0.5, 3.7, 20.0])
+    def test_fast_pow2(self, p):
+        assert fm.fast_pow2(p) == pytest.approx(2.0**p, rel=1e-4)
+
+    @pytest.mark.parametrize("x", [-20.0, -5.0, -1.0, 0.0, 1.0, 5.0, 20.0])
+    def test_fast_exp(self, x):
+        assert fm.fast_exp(x) == pytest.approx(math.exp(x), rel=1e-4)
+
+    @pytest.mark.parametrize(
+        "x,p", [(2.0, 3.0), (10.0, 0.5), (0.5, -2.0), (7.3, 1.1)]
+    )
+    def test_fast_pow(self, x, p):
+        assert fm.fast_pow(x, p) == pytest.approx(x**p, rel=1e-3)
+
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 2.0, 100.0, 1e6])
+    def test_fast_sqrt(self, x):
+        assert fm.fast_sqrt(x) == pytest.approx(math.sqrt(x), rel=5e-3)
+
+    def test_fast_sqrt_zero(self):
+        assert fm.fast_sqrt(0.0) == 0.0
+
+    @pytest.mark.parametrize("x", [0.01, 1.0, 4.0, 1e4])
+    def test_fast_rsqrt(self, x):
+        assert fm.fast_rsqrt(x) == pytest.approx(1.0 / math.sqrt(x), rel=5e-3)
+
+    @pytest.mark.parametrize("x", [-3.0, -1.0, -0.2, 0.0, 0.2, 1.0, 3.0])
+    def test_fast_erf(self, x):
+        assert fm.fast_erf(x) == pytest.approx(math.erf(x), abs=5e-3)
+
+    @pytest.mark.parametrize("x", [-4.0, -1.0, 0.0, 0.5, 2.0, 4.0])
+    def test_fast_cndf(self, x):
+        true = 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+        assert fm.fast_cndf(x) == pytest.approx(true, abs=1e-3)
+
+    @pytest.mark.parametrize("x", [-4.0, -1.0, 0.0, 0.5, 2.0, 4.0])
+    def test_logistic_cndf_bound(self, x):
+        true = 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+        assert abs(fm.logistic_cndf(x) - true) < 0.0105
+
+    @pytest.mark.parametrize("x", [-7.0, -2.0, -0.5, 0.0, 0.5, 2.0, 7.0])
+    def test_fast_sin_cos(self, x):
+        assert fm.fast_sin(x) == pytest.approx(math.sin(x), abs=2e-3)
+        assert fm.fast_cos(x) == pytest.approx(math.cos(x), abs=2e-3)
+
+
+class TestDomainErrors:
+    def test_log_domain(self):
+        with pytest.raises(ValueError):
+            fm.fast_log2(0.0)
+        with pytest.raises(ValueError):
+            fm.fast_log(-1.0)
+
+    def test_pow_domain(self):
+        with pytest.raises(ValueError):
+            fm.fast_pow(-2.0, 0.5)
+
+    def test_sqrt_domain(self):
+        with pytest.raises(ValueError):
+            fm.fast_sqrt(-1.0)
+        with pytest.raises(ValueError):
+            fm.fast_rsqrt(0.0)
+
+
+class TestVectorised:
+    def test_np_fast_exp_matches_scalar(self):
+        xs = np.linspace(-10, 10, 101)
+        vec = fm.np_fast_exp(xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(fm.fast_exp(float(x)), rel=1e-6)
+
+    def test_np_fast_log_accuracy(self):
+        xs = np.linspace(0.01, 50, 100)
+        assert np.max(np.abs(fm.np_fast_log(xs) - np.log(xs))) < 1e-3
+
+    def test_np_fast_log_domain(self):
+        with pytest.raises(ValueError):
+            fm.np_fast_log(np.array([1.0, -1.0]))
+
+    def test_np_fast_sqrt_accuracy(self):
+        xs = np.linspace(0.0, 100, 100)
+        rel = np.abs(fm.np_fast_sqrt(xs[1:]) - np.sqrt(xs[1:])) / np.sqrt(xs[1:])
+        assert np.max(rel) < 5e-3
+        assert fm.np_fast_sqrt(np.array([0.0]))[0] == 0.0
+
+    def test_np_fast_sqrt_domain(self):
+        with pytest.raises(ValueError):
+            fm.np_fast_sqrt(np.array([-1.0]))
+
+    def test_np_fast_cndf_accuracy(self):
+        xs = np.linspace(-5, 5, 200)
+        true = np.array([0.5 * (1 + math.erf(x / math.sqrt(2))) for x in xs])
+        assert np.max(np.abs(fm.np_fast_cndf(xs) - true)) < 1e-3
+
+    def test_np_logistic_cndf_bound(self):
+        xs = np.linspace(-5, 5, 200)
+        true = np.array([0.5 * (1 + math.erf(x / math.sqrt(2))) for x in xs])
+        err = np.abs(fm.np_logistic_cndf(xs) - true)
+        assert 0.003 < np.max(err) < 0.0105  # crude by design
+
+
+class TestCosts:
+    def test_fast_cheaper_than_accurate(self):
+        for fast, accurate in [
+            ("fast_exp", "exp"),
+            ("fast_log", "log"),
+            ("fast_pow", "pow"),
+            ("fast_sqrt", "sqrt"),
+            ("fast_cndf", "cndf"),
+        ]:
+            assert fm.COSTS[fast] < fm.COSTS[accurate]

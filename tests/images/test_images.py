@@ -1,0 +1,107 @@
+"""Tests for synthetic images and PGM I/O."""
+
+import numpy as np
+import pytest
+
+from repro.images import (
+    checkerboard,
+    gradient_image,
+    natural_image,
+    radial_scene,
+    read_pgm,
+    to_uint8,
+    write_pgm,
+)
+
+
+class TestSynth:
+    def test_natural_image_shape_and_range(self):
+        img = natural_image(64, 48)
+        assert img.shape == (48, 64)
+        assert img.min() >= 0.0 and img.max() <= 255.0
+
+    def test_natural_image_deterministic(self):
+        assert np.array_equal(natural_image(32, 32, seed=3), natural_image(32, 32, seed=3))
+
+    def test_natural_image_seed_matters(self):
+        assert not np.array_equal(
+            natural_image(32, 32, seed=1), natural_image(32, 32, seed=2)
+        )
+
+    def test_natural_image_has_content(self):
+        img = natural_image(64, 64)
+        assert img.std() > 10.0  # not flat
+
+    def test_radial_scene_rings(self):
+        img = radial_scene(64, 64)
+        assert img.shape == (64, 64)
+        assert img.std() > 10.0
+
+    def test_checkerboard(self):
+        img = checkerboard(16, 16, cell=4)
+        assert set(np.unique(img)) == {0.0, 255.0}
+        assert img[0, 0] != img[0, 4]
+
+    def test_checkerboard_invalid_cell(self):
+        with pytest.raises(ValueError):
+            checkerboard(8, 8, cell=0)
+
+    def test_gradient_image(self):
+        img = gradient_image(10, 5)
+        assert img[0, 0] == 0.0 and img[0, -1] == 255.0
+        vert = gradient_image(10, 5, horizontal=False)
+        assert vert[0, 0] == 0.0 and vert[-1, 0] == 255.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            natural_image(0, 10)
+
+    def test_to_uint8(self):
+        arr = to_uint8(np.array([[-5.0, 100.4, 300.0]]))
+        assert arr.dtype == np.uint8
+        assert list(arr[0]) == [0, 100, 255]
+
+
+class TestPGM:
+    def test_binary_roundtrip(self, tmp_path):
+        img = natural_image(31, 17)
+        path = tmp_path / "test.pgm"
+        write_pgm(path, img)
+        loaded = read_pgm(path)
+        assert loaded.shape == img.shape
+        assert np.max(np.abs(loaded - np.rint(img))) <= 1.0
+
+    def test_ascii_roundtrip(self, tmp_path):
+        img = checkerboard(8, 8)
+        path = tmp_path / "test_ascii.pgm"
+        write_pgm(path, img, binary=False)
+        loaded = read_pgm(path)
+        assert np.array_equal(loaded, img)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P2\n# a comment\n2 2\n255\n0 1\n2 3\n")
+        loaded = read_pgm(path)
+        assert loaded[1, 1] == 3.0
+
+    def test_clipping_on_write(self, tmp_path):
+        path = tmp_path / "clip.pgm"
+        write_pgm(path, np.array([[300.0, -5.0]]))
+        loaded = read_pgm(path)
+        assert loaded[0, 0] == 255.0 and loaded[0, 1] == 0.0
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3)))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00")
+        with pytest.raises(ValueError, match="magic"):
+            read_pgm(path)
+
+    def test_16bit_rejected(self, tmp_path):
+        path = tmp_path / "deep.pgm"
+        path.write_bytes(b"P2\n1 1\n65535\n0\n")
+        with pytest.raises(ValueError, match="8-bit"):
+            read_pgm(path)

@@ -1,0 +1,89 @@
+"""Tests for interval vectors (boxes)."""
+
+import random
+
+import pytest
+
+from repro.intervals import Box, Interval
+
+
+class TestConstruction:
+    def test_from_intervals(self):
+        box = Box([Interval(0, 1), Interval(2, 3)])
+        assert box.dimension == 2
+
+    def test_scalars_coerced(self):
+        box = Box([1.0, 2.0])
+        assert box[0] == Interval(1.0) and box[1] == Interval(2.0)
+
+    def test_from_bounds(self):
+        box = Box.from_bounds([0, 1], [2, 3])
+        assert box[0] == Interval(0, 2) and box[1] == Interval(1, 3)
+
+    def test_from_bounds_mismatch(self):
+        with pytest.raises(ValueError):
+            Box.from_bounds([0], [1, 2])
+
+    def test_from_point(self):
+        box = Box.from_point([1.0, 2.0], radius=0.5)
+        assert box[0] == Interval(0.5, 1.5)
+
+
+class TestInspection:
+    def test_len_iter_getitem(self):
+        box = Box([Interval(0, 1), Interval(1, 3)])
+        assert len(box) == 2
+        assert list(box)[1] == Interval(1, 3)
+
+    def test_widths(self):
+        assert Box([Interval(0, 1), Interval(1, 4)]).widths == (1.0, 3.0)
+
+    def test_max_width(self):
+        assert Box([Interval(0, 1), Interval(1, 4)]).max_width == 3.0
+
+    def test_midpoint(self):
+        assert Box([Interval(0, 2), Interval(2, 4)]).midpoint == (1.0, 3.0)
+
+    def test_volume(self):
+        assert Box([Interval(0, 2), Interval(0, 3)]).volume == 6.0
+
+    def test_contains(self):
+        box = Box([Interval(0, 1), Interval(0, 1)])
+        assert box.contains((0.5, 0.5))
+        assert not box.contains((1.5, 0.5))
+        assert not box.contains((0.5,))
+
+    def test_widest_dimension(self):
+        box = Box([Interval(0, 1), Interval(0, 5), Interval(0, 2)])
+        assert box.widest_dimension() == 1
+
+    def test_widest_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box([]).widest_dimension()
+
+
+class TestSplitAndSample:
+    def test_split_default_widest(self):
+        box = Box([Interval(0, 1), Interval(0, 4)])
+        left, right = box.split()
+        assert left[1] == Interval(0, 2) and right[1] == Interval(2, 4)
+        assert left[0] == box[0]
+
+    def test_split_explicit_dimension(self):
+        box = Box([Interval(0, 2), Interval(0, 4)])
+        left, right = box.split(0)
+        assert left[0] == Interval(0, 1)
+
+    def test_sample_inside(self):
+        box = Box([Interval(-1, 1), Interval(10, 20)])
+        rng = random.Random(0)
+        for point in box.sample(rng, 50):
+            assert box.contains(point)
+
+    def test_equality_and_hash(self):
+        a = Box([Interval(0, 1)])
+        b = Box([Interval(0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "Box" in repr(Box([Interval(0, 1)]))

@@ -1,0 +1,222 @@
+"""Tests for the interval intrinsic functions."""
+
+import math
+
+import pytest
+
+from repro.intervals import Interval
+from repro.intervals import functions as fn
+
+
+def encloses(result: Interval, value: float, slack: float = 1e-12) -> bool:
+    return result.lo - slack <= value <= result.hi + slack
+
+
+class TestScalarPassthrough:
+    """Every intrinsic doubles as the plain math function on scalars."""
+
+    @pytest.mark.parametrize(
+        "name,x",
+        [
+            ("sqrt", 2.0),
+            ("cbrt", 8.0),
+            ("exp", 1.5),
+            ("expm1", 0.5),
+            ("log", 3.0),
+            ("log1p", 0.5),
+            ("log2", 8.0),
+            ("log10", 100.0),
+            ("sin", 1.0),
+            ("cos", 1.0),
+            ("tan", 0.5),
+            ("asin", 0.5),
+            ("acos", 0.5),
+            ("atan", 2.0),
+            ("sinh", 1.0),
+            ("cosh", 1.0),
+            ("tanh", 1.0),
+            ("erf", 0.7),
+            ("erfc", 0.7),
+        ],
+    )
+    def test_matches_math(self, name, x):
+        assert getattr(fn, name)(x) == getattr(math, name)(x)
+
+    def test_floor_ceil_round(self):
+        assert fn.floor(2.7) == 2 and fn.ceil(2.3) == 3
+        assert fn.round_st(2.5) == round(2.5)
+
+    def test_minimum_maximum_clip(self):
+        assert fn.minimum(1.0, 2.0) == 1.0
+        assert fn.maximum(1.0, 2.0) == 2.0
+        assert fn.clip(5.0, 0.0, 3.0) == 3.0
+
+    def test_pow_hypot_atan2(self):
+        assert fn.pow(2.0, 3.0) == 8.0
+        assert fn.hypot(3.0, 4.0) == 5.0
+        assert fn.atan2(1.0, 1.0) == pytest.approx(math.pi / 4)
+
+
+class TestMonotone:
+    def test_sqrt_enclosure(self):
+        result = fn.sqrt(Interval(4.0, 9.0))
+        assert encloses(result, 2.0) and encloses(result, 3.0)
+
+    def test_sqrt_domain_error(self):
+        with pytest.raises(ValueError, match="sqrt"):
+            fn.sqrt(Interval(-1.0, 1.0))
+
+    def test_exp_enclosure(self):
+        result = fn.exp(Interval(0.0, 1.0))
+        assert encloses(result, 1.0) and encloses(result, math.e)
+
+    def test_log_enclosure(self):
+        result = fn.log(Interval(1.0, math.e))
+        assert encloses(result, 0.0) and encloses(result, 1.0)
+
+    @pytest.mark.parametrize("name", ["log", "log2", "log10"])
+    def test_log_domain_errors(self, name):
+        with pytest.raises(ValueError):
+            getattr(fn, name)(Interval(0.0, 1.0))
+
+    def test_log1p_domain(self):
+        with pytest.raises(ValueError):
+            fn.log1p(Interval(-1.0, 0.0))
+
+    def test_atan_bounds(self):
+        result = fn.atan(Interval(-1e9, 1e9))
+        assert result.lo > -math.pi / 2 - 1e-9
+        assert result.hi < math.pi / 2 + 1e-9
+
+    def test_tanh_erf_bounded(self):
+        assert fn.tanh(Interval(-100, 100)).contains_interval(
+            Interval(-0.999, 0.999)
+        )
+        assert fn.erf(Interval(-100, 100)).contains_interval(
+            Interval(-0.999, 0.999)
+        )
+
+    def test_cbrt_negative_ok(self):
+        result = fn.cbrt(Interval(-8.0, 27.0))
+        assert encloses(result, -2.0) and encloses(result, 3.0)
+
+    def test_acos_decreasing(self):
+        result = fn.acos(Interval(0.0, 1.0))
+        assert encloses(result, 0.0) and encloses(result, math.pi / 2)
+
+    def test_asin_domain(self):
+        with pytest.raises(ValueError):
+            fn.asin(Interval(0.5, 1.5))
+
+
+class TestTrig:
+    def test_sin_simple_monotone(self):
+        result = fn.sin(Interval(0.1, 1.0))
+        assert encloses(result, math.sin(0.1)) and encloses(result, math.sin(1.0))
+
+    def test_sin_spans_maximum(self):
+        result = fn.sin(Interval(1.0, 2.5))  # pi/2 inside
+        assert result.hi >= 1.0
+
+    def test_sin_spans_minimum(self):
+        result = fn.sin(Interval(4.0, 5.5))  # 3pi/2 inside
+        assert result.lo <= -1.0
+
+    def test_sin_full_period(self):
+        assert fn.sin(Interval(0.0, 7.0)) == Interval(-1.0, 1.0)
+
+    def test_sin_bounded(self):
+        result = fn.sin(Interval(-50.0, 50.0))
+        assert result.lo >= -1.0 and result.hi <= 1.0
+
+    def test_cos_spans_maximum_at_zero(self):
+        result = fn.cos(Interval(-0.5, 0.5))
+        assert result.hi >= 1.0
+
+    def test_cos_spans_minimum_at_pi(self):
+        result = fn.cos(Interval(3.0, 3.3))
+        assert result.lo <= -1.0
+
+    def test_cos_negative_range(self):
+        result = fn.cos(Interval(-2 * math.pi - 0.1, -2 * math.pi + 0.1))
+        assert result.hi >= 1.0
+
+    def test_tan_monotone_piece(self):
+        result = fn.tan(Interval(-0.5, 0.5))
+        assert encloses(result, math.tan(0.5)) and encloses(result, -math.tan(0.5))
+
+    def test_tan_pole_rejected(self):
+        with pytest.raises(ValueError, match="pole"):
+            fn.tan(Interval(1.0, 2.0))  # pi/2 inside
+
+    def test_cosh_minimum_at_zero(self):
+        result = fn.cosh(Interval(-1.0, 2.0))
+        assert result.lo <= 1.0 + 1e-12
+        assert encloses(result, math.cosh(2.0))
+
+
+class TestPow:
+    def test_integer_exponent_sharp(self):
+        result = fn.pow(Interval(-2.0, 3.0), 2)
+        assert result.lo >= -1e-12
+
+    def test_float_integer_valued(self):
+        result = fn.pow(Interval(2.0, 3.0), 2.0)
+        assert encloses(result, 4.0) and encloses(result, 9.0)
+
+    def test_real_exponent(self):
+        result = fn.pow(Interval(1.0, 4.0), 0.5)
+        assert encloses(result, 1.0) and encloses(result, 2.0)
+
+    def test_real_exponent_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            fn.pow(Interval(-1.0, 4.0), 0.5)
+
+    def test_interval_exponent(self):
+        result = fn.pow(Interval(2.0, 2.0), Interval(1.0, 2.0))
+        assert encloses(result, 2.0) and encloses(result, 4.0)
+
+    def test_point_interval_integer_exponent(self):
+        result = fn.pow(Interval(-2.0, 2.0), Interval(2.0, 2.0))
+        assert result.lo >= -1e-12
+
+
+class TestDiscrete:
+    def test_floor_exact_range(self):
+        assert fn.floor(Interval(1.2, 3.8)) == Interval(1.0, 3.0)
+
+    def test_ceil_exact_range(self):
+        assert fn.ceil(Interval(1.2, 3.8)) == Interval(2.0, 4.0)
+
+    def test_round_st_enclosure(self):
+        result = fn.round_st(Interval(1.2, 3.8))
+        # Must enclose round(t) for every t in [1.2, 3.8].
+        assert result.lo <= 1.0 and result.hi >= 4.0
+
+    def test_minimum_interval(self):
+        result = fn.minimum(Interval(0, 3), Interval(1, 2))
+        assert result == Interval(0.0, 2.0)
+
+    def test_maximum_interval(self):
+        result = fn.maximum(Interval(0, 3), Interval(1, 2))
+        assert result == Interval(1.0, 3.0)
+
+    def test_clip_inside(self):
+        assert fn.clip(Interval(1, 2), 0.0, 3.0) == Interval(1.0, 2.0)
+
+    def test_clip_saturating(self):
+        assert fn.clip(Interval(-5, 10), 0.0, 3.0) == Interval(0.0, 3.0)
+
+
+class TestCombined:
+    def test_hypot_enclosure(self):
+        result = fn.hypot(Interval(3.0, 3.0), Interval(4.0, 4.0))
+        assert encloses(result, 5.0)
+
+    def test_atan2_right_half_plane(self):
+        result = fn.atan2(Interval(1.0, 1.0), Interval(1.0, 1.0))
+        assert encloses(result, math.pi / 4, slack=1e-9)
+
+    def test_atan2_cut_rejected(self):
+        with pytest.raises(ValueError):
+            fn.atan2(Interval(1.0), Interval(-1.0, 1.0))

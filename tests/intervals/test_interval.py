@@ -1,0 +1,317 @@
+"""Tests for the core Interval type."""
+
+import math
+
+import pytest
+
+from repro.intervals import (
+    AmbiguousComparisonError,
+    EmptyIntervalError,
+    Interval,
+    as_interval,
+)
+
+
+class TestConstruction:
+    def test_two_bounds(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.lo == 1.0 and iv.hi == 2.0
+
+    def test_single_value_degenerate(self):
+        iv = Interval(3.0)
+        assert iv.lo == iv.hi == 3.0
+
+    def test_integer_coercion(self):
+        iv = Interval(1, 2)
+        assert isinstance(iv.lo, float) and isinstance(iv.hi, float)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lower bound"):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Interval(math.nan, 1.0)
+
+    def test_immutable(self):
+        iv = Interval(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            iv.lo = 5.0
+
+    def test_point_constructor(self):
+        assert Interval.point(4.0) == Interval(4.0, 4.0)
+
+    def test_centered(self):
+        assert Interval.centered(1.0, 0.5) == Interval(0.5, 1.5)
+
+    def test_centered_negative_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            Interval.centered(0.0, -1.0)
+
+    def test_hull_of(self):
+        assert Interval.hull_of(3.0, -1.0, 2.0) == Interval(-1.0, 3.0)
+
+    def test_hull_of_empty(self):
+        with pytest.raises(EmptyIntervalError):
+            Interval.hull_of()
+
+    def test_entire(self):
+        iv = Interval.entire()
+        assert iv.lo == -math.inf and iv.hi == math.inf
+
+    def test_as_interval_passthrough(self):
+        iv = Interval(0, 1)
+        assert as_interval(iv) is iv
+
+    def test_as_interval_scalar(self):
+        assert as_interval(2.5) == Interval(2.5, 2.5)
+
+    def test_as_interval_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_interval("nope")
+
+
+class TestInspection:
+    def test_width(self):
+        assert Interval(1.0, 4.0).width == 3.0
+
+    def test_midpoint(self):
+        assert Interval(1.0, 3.0).midpoint == 2.0
+
+    def test_midpoint_entire(self):
+        assert Interval.entire().midpoint == 0.0
+
+    def test_radius(self):
+        assert Interval(1.0, 3.0).radius == 1.0
+
+    def test_mag(self):
+        assert Interval(-5.0, 2.0).mag == 5.0
+
+    def test_mig_spanning_zero(self):
+        assert Interval(-1.0, 2.0).mig == 0.0
+
+    def test_mig_positive(self):
+        assert Interval(2.0, 5.0).mig == 2.0
+
+    def test_is_point(self):
+        assert Interval(2.0).is_point()
+        assert not Interval(1.0, 2.0).is_point()
+
+    def test_is_finite(self):
+        assert Interval(0, 1).is_finite()
+        assert not Interval(0, math.inf).is_finite()
+
+    def test_contains_scalar(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(0.5) and iv.contains(0.0) and iv.contains(1.0)
+        assert not iv.contains(1.5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 2).contains_interval(Interval(0.5, 1.5))
+        assert not Interval(0, 2).contains_interval(Interval(1.5, 2.5))
+
+    def test_strictly_contains(self):
+        assert Interval(0, 2).strictly_contains(Interval(0.5, 1.5))
+        assert not Interval(0, 2).strictly_contains(Interval(0.0, 1.0))
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_dunder_contains(self):
+        assert 0.5 in Interval(0, 1)
+        assert Interval(0.2, 0.8) in Interval(0, 1)
+
+    def test_iter_unpacks(self):
+        lo, hi = Interval(1.0, 2.0)
+        assert (lo, hi) == (1.0, 2.0)
+
+
+class TestSetOps:
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+
+    def test_intersect_disjoint(self):
+        with pytest.raises(EmptyIntervalError):
+            Interval(0, 1).intersect(Interval(2, 3))
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+
+    def test_split_midpoint(self):
+        left, right = Interval(0.0, 2.0).split()
+        assert left == Interval(0.0, 1.0) and right == Interval(1.0, 2.0)
+
+    def test_split_custom_point(self):
+        left, right = Interval(0.0, 4.0).split(1.0)
+        assert left.hi == 1.0 and right.lo == 1.0
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).split(5.0)
+
+    def test_widened(self):
+        assert Interval(0, 1).widened(0.5) == Interval(-0.5, 1.5)
+
+    def test_widened_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).widened(-0.1)
+
+
+class TestArithmetic:
+    def test_add_contains_exact(self):
+        result = Interval(1, 2) + Interval(3, 4)
+        assert result.contains(4.0) and result.contains(6.0)
+
+    def test_add_scalar_both_sides(self):
+        assert (Interval(0, 1) + 1.0).contains(1.5)
+        assert (1.0 + Interval(0, 1)).contains(1.5)
+
+    def test_sub(self):
+        result = Interval(1, 2) - Interval(0.5, 1.0)
+        assert result.contains(0.0) and result.contains(1.5)
+
+    def test_rsub(self):
+        result = 1.0 - Interval(0, 1)
+        assert result.contains(0.0) and result.contains(1.0)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_pos(self):
+        iv = Interval(1, 2)
+        assert +iv is iv
+
+    def test_mul_sign_cases(self):
+        result = Interval(-1, 2) * Interval(-3, 4)
+        # Extremes: (-1)*4=-4, 2*(-3)=-6, 2*4=8, (-1)*(-3)=3.
+        assert result.contains(-6.0) and result.contains(8.0)
+
+    def test_mul_zero_times_entire(self):
+        result = Interval(0.0, 0.0) * Interval.entire()
+        assert result.contains(0.0) and result.is_finite()
+
+    def test_self_mul_is_square(self):
+        iv = Interval(-1.0, 2.0)
+        sq = iv * iv
+        assert sq.lo >= -1e-12  # sharp square: no negative part
+        assert sq.contains(4.0) and sq.contains(0.0)
+
+    def test_div(self):
+        result = Interval(1, 2) / Interval(2, 4)
+        assert result.contains(0.25) and result.contains(1.0)
+
+    def test_div_by_zero_spanning(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_rdiv(self):
+        result = 1.0 / Interval(2, 4)
+        assert result.contains(0.25) and result.contains(0.5)
+
+    def test_abs_positive(self):
+        assert abs(Interval(1, 2)) == Interval(1, 2)
+
+    def test_abs_negative(self):
+        assert abs(Interval(-2, -1)) == Interval(1, 2)
+
+    def test_abs_spanning(self):
+        assert abs(Interval(-3, 2)) == Interval(0, 3)
+
+
+class TestIntPow:
+    def test_zero_exponent(self):
+        assert Interval(-5, 5) ** 0 == Interval(1, 1)
+
+    def test_odd_preserves_sign(self):
+        result = Interval(-2, 3) ** 3
+        assert result.contains(-8.0) and result.contains(27.0)
+
+    def test_even_spanning_zero(self):
+        result = Interval(-2, 3) ** 2
+        assert result.lo >= -1e-12 and result.contains(9.0)
+
+    def test_even_negative_operand(self):
+        result = Interval(-3, -2) ** 2
+        assert result.contains(4.0) and result.contains(9.0)
+        assert result.lo > 0
+
+    def test_negative_exponent(self):
+        result = Interval(2, 4) ** -1
+        assert result.contains(0.25) and result.contains(0.5)
+
+    def test_negative_exponent_zero_spanning_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(-1, 1) ** -2
+
+
+class TestComparisons:
+    def test_certain_lt(self):
+        assert Interval(0, 1) < Interval(2, 3)
+
+    def test_certain_not_lt(self):
+        assert not (Interval(2, 3) < Interval(0, 1))
+
+    def test_ambiguous_lt_raises(self):
+        with pytest.raises(AmbiguousComparisonError) as exc:
+            Interval(0, 2) < Interval(1, 3)
+        assert exc.value.op == "<"
+
+    def test_ambiguous_vs_scalar(self):
+        with pytest.raises(AmbiguousComparisonError):
+            Interval(0, 2) < 1.0
+
+    def test_le_touching(self):
+        assert Interval(0, 1) <= Interval(1, 2)
+
+    def test_gt(self):
+        assert Interval(5, 6) > Interval(1, 2)
+
+    def test_ge(self):
+        assert Interval(2, 3) >= Interval(1, 2)
+
+    def test_certainly_predicates_never_raise(self):
+        a, b = Interval(0, 2), Interval(1, 3)
+        assert not a.certainly_lt(b)
+        assert not a.certainly_gt(b)
+        assert a.possibly_lt(b)
+        assert a.possibly_gt(b)
+
+    def test_error_carries_operands(self):
+        try:
+            Interval(0, 2) > Interval(1, 3)
+        except AmbiguousComparisonError as e:
+            assert e.left == Interval(0, 2)
+            assert e.right == Interval(1, 3)
+        else:  # pragma: no cover
+            pytest.fail("expected ambiguity")
+
+
+class TestEqualityAndDisplay:
+    def test_eq_set_semantics(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert Interval(1, 2) != Interval(1, 3)
+
+    def test_eq_scalar_point_only(self):
+        assert Interval(2.0) == 2.0
+        assert Interval(1, 3) != 2.0
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(0, 1)}) == 2
+
+    def test_float_conversion_point(self):
+        assert float(Interval(2.5)) == 2.5
+
+    def test_float_conversion_wide_rejected(self):
+        with pytest.raises(TypeError):
+            float(Interval(1, 2))
+
+    def test_to_float_midpoint(self):
+        assert Interval(1, 3).to_float() == 2.0
+
+    def test_repr_roundtrip(self):
+        iv = Interval(1.25, 2.5)
+        assert eval(repr(iv)) == iv
+
+    def test_str_format(self):
+        assert str(Interval(1, 2)) == "[1, 2]"

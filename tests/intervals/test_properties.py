@@ -1,0 +1,155 @@
+"""Property-based tests: inclusion isotonicity of interval arithmetic.
+
+The defining property of the whole substrate: for any operation f and any
+point x inside interval [x], f(x) must lie inside f([x]).  Significance
+analysis is only sound if this holds for every elementary operation.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval
+from repro.intervals import functions as fn
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def interval_and_point(draw, values=finite):
+    a = draw(values)
+    b = draw(values)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(unit)
+    point = lo + t * (hi - lo)
+    return Interval(lo, hi), min(max(point, lo), hi)
+
+
+@given(interval_and_point(), interval_and_point())
+def test_add_isotonic(ap, bp):
+    (ia, a), (ib, b) = ap, bp
+    assert (ia + ib).contains(a + b)
+
+
+@given(interval_and_point(), interval_and_point())
+def test_sub_isotonic(ap, bp):
+    (ia, a), (ib, b) = ap, bp
+    assert (ia - ib).contains(a - b)
+
+
+@given(
+    interval_and_point(st.floats(min_value=-1e3, max_value=1e3)),
+    interval_and_point(st.floats(min_value=-1e3, max_value=1e3)),
+)
+def test_mul_isotonic(ap, bp):
+    (ia, a), (ib, b) = ap, bp
+    assert (ia * ib).contains(a * b)
+
+
+@given(
+    interval_and_point(st.floats(min_value=-1e3, max_value=1e3)),
+    interval_and_point(st.floats(min_value=0.5, max_value=1e3)),
+)
+def test_div_isotonic(ap, bp):
+    (ia, a), (ib, b) = ap, bp
+    assert (ia / ib).contains(a / b)
+
+
+@given(interval_and_point())
+def test_neg_abs_isotonic(ap):
+    ia, a = ap
+    assert (-ia).contains(-a)
+    assert abs(ia).contains(abs(a))
+
+
+@given(interval_and_point(st.floats(min_value=-30, max_value=30)))
+def test_exp_isotonic(ap):
+    ia, a = ap
+    assert fn.exp(ia).contains(math.exp(a))
+
+
+@given(interval_and_point(st.floats(min_value=1e-6, max_value=1e6)))
+def test_log_isotonic(ap):
+    ia, a = ap
+    assume(ia.lo > 0)
+    assert fn.log(ia).contains(math.log(a))
+
+
+@given(interval_and_point(st.floats(min_value=0.0, max_value=1e6)))
+def test_sqrt_isotonic(ap):
+    ia, a = ap
+    assume(ia.lo >= 0)
+    assert fn.sqrt(ia).contains(math.sqrt(a))
+
+
+@given(interval_and_point(st.floats(min_value=-100, max_value=100)))
+def test_sin_cos_isotonic(ap):
+    ia, a = ap
+    assert fn.sin(ia).contains(math.sin(a))
+    assert fn.cos(ia).contains(math.cos(a))
+
+
+@given(interval_and_point(st.floats(min_value=-10, max_value=10)))
+def test_tanh_erf_isotonic(ap):
+    ia, a = ap
+    assert fn.tanh(ia).contains(math.tanh(a))
+    assert fn.erf(ia).contains(math.erf(a))
+
+
+@given(
+    interval_and_point(st.floats(min_value=-20, max_value=20)),
+    st.integers(min_value=0, max_value=6),
+)
+def test_int_pow_isotonic(ap, n):
+    ia, a = ap
+    assert (ia**n).contains(a**n)
+
+
+@given(interval_and_point(st.floats(min_value=-50, max_value=50)))
+def test_round_floor_isotonic(ap):
+    ia, a = ap
+    assert fn.floor(ia).contains(math.floor(a))
+    assert fn.round_st(ia).contains(float(round(a)))
+
+
+@given(interval_and_point(), interval_and_point())
+def test_minmax_isotonic(ap, bp):
+    (ia, a), (ib, b) = ap, bp
+    assert fn.minimum(ia, ib).contains(min(a, b))
+    assert fn.maximum(ia, ib).contains(max(a, b))
+
+
+@given(interval_and_point())
+def test_clip_isotonic(ap):
+    ia, a = ap
+    assert fn.clip(ia, -1.0, 1.0).contains(min(max(a, -1.0), 1.0))
+
+
+@given(interval_and_point(), interval_and_point())
+def test_hull_contains_both(ap, bp):
+    (ia, _), (ib, _) = ap, bp
+    hull = ia.hull(ib)
+    assert hull.contains_interval(ia) and hull.contains_interval(ib)
+
+
+@given(interval_and_point())
+def test_split_partitions(ap):
+    ia, a = ap
+    assume(ia.width > 0)
+    left, right = ia.split()
+    assert left.hull(right) == ia
+    assert left.contains(a) or right.contains(a)
+
+
+@given(interval_and_point(st.floats(min_value=-1e3, max_value=1e3)))
+def test_width_subadditive_under_subset(ap):
+    ia, a = ap
+    sub = Interval(ia.lo + 0.25 * ia.width, ia.hi - 0.25 * ia.width)
+    assert sub.width <= ia.width + 1e-9
+    assert fn.exp(Interval(min(sub.lo, 30), min(sub.hi, 30))).width <= (
+        fn.exp(Interval(min(ia.lo, 30), min(ia.hi, 30))).width + 1e-9
+    )

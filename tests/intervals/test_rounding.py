@@ -1,0 +1,86 @@
+"""Tests for directed-rounding helpers."""
+
+import math
+
+import pytest
+
+from repro.intervals import rounding as rnd
+
+
+class TestDown:
+    def test_strictly_decreases_finite(self):
+        assert rnd.down(1.0) < 1.0
+
+    def test_one_ulp(self):
+        assert rnd.down(1.0) == math.nextafter(1.0, -math.inf)
+
+    def test_zero(self):
+        assert rnd.down(0.0) < 0.0
+
+    def test_negative(self):
+        assert rnd.down(-3.5) < -3.5
+
+    def test_neg_inf_fixed_point(self):
+        assert rnd.down(-math.inf) == -math.inf
+
+    def test_pos_inf_moves_down(self):
+        assert rnd.down(math.inf) < math.inf
+
+    def test_nan_passthrough(self):
+        assert math.isnan(rnd.down(math.nan))
+
+
+class TestUp:
+    def test_strictly_increases_finite(self):
+        assert rnd.up(1.0) > 1.0
+
+    def test_one_ulp(self):
+        assert rnd.up(1.0) == math.nextafter(1.0, math.inf)
+
+    def test_pos_inf_fixed_point(self):
+        assert rnd.up(math.inf) == math.inf
+
+    def test_nan_passthrough(self):
+        assert math.isnan(rnd.up(math.nan))
+
+
+class TestOutward:
+    def test_widens_both_sides(self):
+        lo, hi = rnd.outward(1.0, 2.0)
+        assert lo < 1.0 < 2.0 < hi
+
+    def test_degenerate_becomes_proper(self):
+        lo, hi = rnd.outward(5.0, 5.0)
+        assert lo < 5.0 < hi
+
+
+class TestModeSwitch:
+    def test_disabled_is_identity(self):
+        with rnd.rounded_mode(False):
+            assert rnd.down(1.0) == 1.0
+            assert rnd.up(1.0) == 1.0
+
+    def test_mode_restored_after_context(self):
+        assert rnd.rounding_enabled()
+        with rnd.rounded_mode(False):
+            assert not rnd.rounding_enabled()
+        assert rnd.rounding_enabled()
+
+    def test_mode_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with rnd.rounded_mode(False):
+                raise RuntimeError("boom")
+        assert rnd.rounding_enabled()
+
+    def test_set_rounding_explicit(self):
+        rnd.set_rounding(False)
+        try:
+            assert not rnd.rounding_enabled()
+        finally:
+            rnd.set_rounding(True)
+
+    def test_nested_contexts(self):
+        with rnd.rounded_mode(False):
+            with rnd.rounded_mode(True):
+                assert rnd.rounding_enabled()
+            assert not rnd.rounding_enabled()

@@ -1,0 +1,89 @@
+"""Tests for automatic interval splitting (the §2.2 extension)."""
+
+import pytest
+
+from repro.intervals import (
+    AmbiguousComparisonError,
+    Box,
+    Interval,
+    evaluate_with_splitting,
+    split_until_decidable,
+)
+
+
+def branchy_abs(x: Interval) -> Interval:
+    """|x| implemented with a branch — ambiguous when x spans 0."""
+    if x >= 0.0:
+        return x
+    return -x
+
+
+class TestSplitUntilDecidable:
+    def test_no_split_needed(self):
+        result = split_until_decidable(
+            lambda b: branchy_abs(b[0]), Box([Interval(1, 2)])
+        )
+        assert result.value == Interval(1, 2)
+        assert result.splits == 0
+        assert result.complete and not result.point_sampled
+
+    def test_splits_on_ambiguity(self):
+        result = split_until_decidable(
+            lambda b: branchy_abs(b[0]), Box([Interval(-1, 1)])
+        )
+        assert result.splits >= 1
+        assert result.complete
+        # Hull of |x| over [-1, 1] is [0, 1] (plus a measure-tiny sliver).
+        assert result.value.contains(0.0) and result.value.contains(1.0)
+        assert result.value.hi <= 1.0 + 1e-6
+
+    def test_boundary_tie_resolved_by_point_sampling(self):
+        # [-1, 0] >= 0 is ambiguous at every bisection depth; the sliver
+        # must end up point-sampled, not failed.
+        result = split_until_decidable(
+            lambda b: branchy_abs(b[0]), Box([Interval(-1, 0)])
+        )
+        assert result.complete
+        assert result.point_sampled
+
+    def test_evaluated_boxes_cover_domain(self):
+        result = split_until_decidable(
+            lambda b: branchy_abs(b[0]), Box([Interval(-2, 2)])
+        )
+        total = sum(b[0].width for b in result.boxes + result.point_sampled)
+        assert total == pytest.approx(4.0, rel=1e-3)
+
+    def test_hopeless_function_raises(self):
+        def always_ambiguous(_b: Box) -> Interval:
+            raise AmbiguousComparisonError("<", Interval(0, 1), Interval(0, 1))
+
+        with pytest.raises(AmbiguousComparisonError):
+            split_until_decidable(
+                always_ambiguous, Box([Interval(0, 1)]), max_depth=2
+            )
+
+    def test_depth_zero_point_samples_immediately(self):
+        result = split_until_decidable(
+            lambda b: branchy_abs(b[0]), Box([Interval(-1, 1)]), max_depth=0
+        )
+        assert result.splits == 0
+        assert result.point_sampled
+
+
+class TestEvaluateWithSplitting:
+    def test_multivariate_max(self):
+        def f(x: Interval, y: Interval) -> Interval:
+            if x >= y:
+                return x
+            return y
+
+        result = evaluate_with_splitting(
+            f, [Interval(0, 1), Interval(0.5, 1.5)], max_depth=10
+        )
+        assert result.value.contains(1.5)
+        assert result.value.contains(0.5)
+
+    def test_decidable_direct(self):
+        result = evaluate_with_splitting(lambda x: x + 1.0, [Interval(0, 1)])
+        assert result.splits == 0
+        assert result.value.contains(1.5)

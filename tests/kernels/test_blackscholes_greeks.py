@@ -1,0 +1,65 @@
+"""AD-computed greeks vs the Black-Scholes closed forms."""
+
+import math
+
+import pytest
+
+from repro.kernels.blackscholes.greeks import (
+    Greeks,
+    analytic_call_greeks,
+    greeks,
+)
+
+CASES = [
+    (100.0, 100.0, 0.05, 0.2, 1.0),  # at the money
+    (120.0, 100.0, 0.03, 0.25, 0.5),  # in the money
+    (80.0, 100.0, 0.02, 0.35, 2.0),  # out of the money
+    (55.0, 60.0, 0.07, 0.15, 0.25),  # short-dated
+]
+
+
+class TestCallGreeks:
+    @pytest.mark.parametrize("case", CASES)
+    def test_all_greeks_match_closed_form(self, case):
+        measured = greeks(*case)
+        analytic = analytic_call_greeks(*case)
+        for name in ("price", "delta", "dual_delta", "rho", "vega", "theta", "gamma"):
+            assert getattr(measured, name) == pytest.approx(
+                getattr(analytic, name), rel=1e-8, abs=1e-10
+            ), name
+
+    def test_delta_bounds(self):
+        for case in CASES:
+            delta = greeks(*case).delta
+            assert 0.0 < delta < 1.0
+
+    def test_gamma_positive(self):
+        for case in CASES:
+            assert greeks(*case).gamma > 0.0
+
+    def test_vega_positive(self):
+        for case in CASES:
+            assert greeks(*case).vega > 0.0
+
+
+class TestPutGreeks:
+    @pytest.mark.parametrize("case", CASES)
+    def test_put_call_delta_parity(self, case):
+        call = greeks(*case)
+        put = greeks(*case, put=True)
+        # dC/dS - dP/dS = 1 by put-call parity.
+        assert call.delta - put.delta == pytest.approx(1.0, rel=1e-9)
+
+    def test_put_delta_negative(self):
+        assert greeks(100.0, 100.0, 0.05, 0.2, 1.0, put=True).delta < 0.0
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_gamma_identical_for_puts(self, case):
+        # Gamma is the same for calls and puts.
+        assert greeks(*case).gamma == pytest.approx(
+            greeks(*case, put=True).gamma, rel=1e-8
+        )
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_put_rho_negative(self, case):
+        assert greeks(*case, put=True).rho < 0.0

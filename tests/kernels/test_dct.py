@@ -1,0 +1,215 @@
+"""Tests for the DCT benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.images import natural_image
+from repro.kernels.dct import (
+    BLOCK,
+    N_DIAGONALS,
+    analyse_dct,
+    analyse_dct_block,
+    basis_tensor,
+    blockify,
+    dct_block,
+    dct_image,
+    dct_perforated,
+    dct_roundtrip_reference,
+    dct_significance,
+    diagonal_cells,
+    diagonal_significance,
+    idct_block,
+    quant_matrix,
+    roundtrip_from_coefficients,
+    unblockify,
+    zigzag_order,
+)
+from repro.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def image():
+    return natural_image(64, 64, seed=7)
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        basis = basis_tensor().reshape(64, 64)  # (vu, yx)
+        gram = basis @ basis.T
+        assert np.allclose(gram, np.eye(64), atol=1e-12)
+
+    def test_dc_basis_constant(self):
+        basis = basis_tensor()
+        assert np.allclose(basis[0, 0], basis[0, 0, 0, 0])
+
+    def test_idct_inverts_dct(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(0, 255, (BLOCK, BLOCK))
+        coeffs = dct_image(block[None])[0]
+        basis = basis_tensor()
+        restored = np.einsum("vuyx,vu->yx", basis, coeffs)
+        assert np.allclose(restored, block, atol=1e-9)
+
+    def test_generic_block_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(0, 255, (BLOCK, BLOCK))
+        generic = np.array(dct_block(block.tolist()))
+        vectorised = dct_image(block[None])[0]
+        assert np.allclose(generic, vectorised, atol=1e-9)
+
+    def test_generic_idct_matches(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.uniform(-50, 50, (BLOCK, BLOCK))
+        generic = np.array(idct_block(coeffs.tolist()))
+        basis = basis_tensor()
+        vectorised = np.einsum("vuyx,vu->yx", basis, coeffs)
+        assert np.allclose(generic, vectorised, atol=1e-9)
+
+
+class TestBlocking:
+    def test_blockify_roundtrip(self, image):
+        blocks = blockify(image)
+        assert blocks.shape == (64, BLOCK, BLOCK)
+        assert np.array_equal(unblockify(blocks, image.shape), image)
+
+    def test_blockify_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            blockify(np.zeros((10, 16)))
+
+    def test_blockify_layout(self, image):
+        blocks = blockify(image)
+        assert np.array_equal(blocks[0], image[:8, :8])
+        assert np.array_equal(blocks[1], image[:8, 8:16])
+
+
+class TestZigzagAndDiagonals:
+    def test_zigzag_complete(self):
+        order = zigzag_order()
+        assert len(order) == 64 and len(set(order)) == 64
+        assert order[0] == (0, 0)
+
+    def test_zigzag_consecutive_same_or_adjacent_diagonal(self):
+        order = zigzag_order()
+        for (v1, u1), (v2, u2) in zip(order, order[1:]):
+            assert abs((v2 + u2) - (v1 + u1)) <= 1
+
+    def test_diagonal_cells_partition(self):
+        all_cells = [c for d in range(N_DIAGONALS) for c in diagonal_cells(d)]
+        assert len(all_cells) == 64 and len(set(all_cells)) == 64
+
+    def test_diagonal_cells_bounds(self):
+        with pytest.raises(ValueError):
+            diagonal_cells(15)
+
+    def test_diagonal_significance_monotone(self):
+        sigs = [diagonal_significance(d) for d in range(N_DIAGONALS)]
+        assert sigs[0] == 1.0
+        assert all(a > b for a, b in zip(sigs, sigs[1:]))
+
+
+class TestQuantisation:
+    def test_quality_50_is_reference(self):
+        assert np.array_equal(quant_matrix(50), np.array(quant_matrix(50)))
+
+    def test_higher_quality_milder(self):
+        assert np.all(quant_matrix(90) <= quant_matrix(50))
+
+    def test_lower_quality_harsher(self):
+        assert np.all(quant_matrix(10) >= quant_matrix(50))
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            quant_matrix(0)
+        with pytest.raises(ValueError):
+            quant_matrix(101)
+
+    def test_steps_at_least_one(self):
+        assert quant_matrix(100).min() >= 1.0
+
+
+class TestRoundtrip:
+    def test_reference_reasonable_quality(self, image):
+        out = dct_roundtrip_reference(image)
+        assert psnr(image, out) > 30.0  # quality-75 JPEG-ish
+
+    def test_output_range(self, image):
+        out = dct_roundtrip_reference(image)
+        assert out.min() >= 0.0 and out.max() <= 255.0
+
+
+class TestAnalysis:
+    def test_dc_most_significant(self, image):
+        block = blockify(image)[3]
+        sig_map = analyse_dct_block(block)
+        assert sig_map[0, 0] == sig_map.max()
+
+    def test_block_shape_validated(self):
+        with pytest.raises(ValueError):
+            analyse_dct_block(np.zeros((4, 4)))
+
+    def test_figure4_wave_pattern(self, image):
+        analysis = analyse_dct(image, samples=3)
+        means = analysis.diagonal_means()
+        # Wave decay: low diagonals dominate high diagonals.
+        assert means[0] == max(means)
+        assert np.mean(means[:3]) > 3 * np.mean(means[-3:])
+
+    def test_zigzag_profile_downward_trend(self, image):
+        analysis = analyse_dct(image, samples=3)
+        profile = analysis.zigzag_profile()
+        first_half = np.mean(profile[:16])
+        second_half = np.mean(profile[-16:])
+        assert first_half > second_half
+
+    def test_normalised_to_one(self, image):
+        analysis = analyse_dct(image, samples=2)
+        assert analysis.significance_map.max() == pytest.approx(1.0)
+
+
+class TestSignificanceVersion:
+    def test_ratio_one_exact(self, image):
+        run = dct_significance(image, 1.0)
+        assert np.allclose(run.output, dct_roundtrip_reference(image))
+
+    def test_ratio_zero_dc_only(self, image):
+        run = dct_significance(image, 0.0)
+        # Only the DC diagonal: every 8x8 block is constant.
+        blocks = blockify(run.output)
+        assert np.allclose(blocks.std(axis=(1, 2)), 0.0, atol=1e-9)
+
+    def test_quality_monotone(self, image):
+        ref = dct_roundtrip_reference(image)
+        values = [
+            min(psnr(ref, dct_significance(image, r).output), 99.0)
+            for r in (0.0, 0.2, 0.5, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_energy_monotone(self, image):
+        energies = [dct_significance(image, r).joules for r in (0.0, 0.5, 1.0)]
+        assert energies == sorted(energies)
+
+    def test_task_count(self, image):
+        run = dct_significance(image, 0.5)
+        assert run.stats.total == N_DIAGONALS + 1  # 15 diagonals + reconstruct
+
+
+class TestPerforated:
+    def test_ratio_one_exact(self, image):
+        run = dct_perforated(image, 1.0)
+        assert np.allclose(run.output, dct_roundtrip_reference(image))
+
+    def test_sig_beats_perforation(self, image):
+        ref = dct_roundtrip_reference(image)
+        for ratio in (0.2, 0.5, 0.8):
+            sig_q = min(psnr(ref, dct_significance(image, ratio).output), 99.0)
+            perf_q = min(psnr(ref, dct_perforated(image, ratio).output), 99.0)
+            assert sig_q >= perf_q
+
+    def test_perforation_misses_low_frequencies(self, image):
+        # At low ratios raster-order perforation loses low-freq ACs that
+        # the diagonal selection keeps -> visibly worse.
+        ref = dct_roundtrip_reference(image)
+        sig_q = psnr(ref, dct_significance(image, 0.2).output)
+        perf_q = psnr(ref, dct_perforated(image, 0.2).output)
+        assert sig_q - perf_q > 1.5

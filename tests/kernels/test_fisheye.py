@@ -1,0 +1,220 @@
+"""Tests for the Fisheye benchmark."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.images import radial_scene
+from repro.kernels.fisheye import (
+    LensConfig,
+    analyse_bicubic,
+    analyse_inverse_mapping,
+    bicubic_interp,
+    bicubic_sample,
+    bilinear_sample,
+    block_significance,
+    cubic_weights,
+    default_config,
+    fisheye_perforated,
+    fisheye_reference,
+    fisheye_significance,
+    inverse_map_grid,
+    inverse_map_point,
+    make_fisheye_input,
+)
+from repro.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config(96, 64)
+
+
+@pytest.fixture(scope="module")
+def input_image(config):
+    return make_fisheye_input(radial_scene(96, 64), config)
+
+
+class TestGeometry:
+    def test_centre_maps_to_centre(self, config):
+        cx_o, cy_o = config.out_center
+        sx, sy = inverse_map_point(config, cx_o, cy_o)
+        cx_i, cy_i = config.in_center
+        assert sx == pytest.approx(cx_i, abs=1e-3)
+        assert sy == pytest.approx(cy_i, abs=1e-3)
+
+    def test_corner_maps_to_inscribed_circle(self, config):
+        sx, sy = inverse_map_point(config, 0.0, 0.0)
+        cx_i, cy_i = config.in_center
+        r_d = math.hypot(sx - cx_i, sy - cy_i)
+        assert r_d == pytest.approx(min(cx_i, cy_i), rel=1e-3)
+
+    def test_all_output_pixels_land_inside_input(self, config):
+        ys, xs = np.mgrid[0 : config.out_height, 0 : config.out_width]
+        sx, sy = inverse_map_grid(config, xs.astype(float), ys.astype(float))
+        assert sx.min() >= 0 and sx.max() <= config.in_width - 1
+        assert sy.min() >= 0 and sy.max() <= config.in_height - 1
+
+    def test_radial_monotonicity(self, config):
+        # Larger output radius -> larger input radius.
+        cx_o, cy_o = config.out_center
+        cx_i, cy_i = config.in_center
+        radii = []
+        for r_frac in (0.2, 0.5, 0.8):
+            x = cx_o + r_frac * cx_o
+            sx, sy = inverse_map_point(config, x, cy_o)
+            radii.append(math.hypot(sx - cx_i, sy - cy_i))
+        assert radii == sorted(radii)
+
+    def test_compression_grows_with_radius(self, config):
+        # d(r_d)/d(r_p) shrinks toward the border (periphery compressed).
+        cx_o, cy_o = config.out_center
+        step = 1.0
+
+        def gain(x):
+            sx1, _ = inverse_map_point(config, x, cy_o)
+            sx2, _ = inverse_map_point(config, x + step, cy_o)
+            return abs(sx2 - sx1)
+
+        assert gain(cx_o + 2) > gain(config.out_width - 4)
+
+    def test_grid_matches_scalar(self, config):
+        xs = np.array([[3.0, 40.0]])
+        ys = np.array([[5.0, 30.0]])
+        gx, gy = inverse_map_grid(config, xs, ys)
+        for i in range(2):
+            sx, sy = inverse_map_point(config, xs[0, i], ys[0, i])
+            assert gx[0, i] == pytest.approx(sx, rel=1e-12)
+            assert gy[0, i] == pytest.approx(sy, rel=1e-12)
+
+
+class TestBicubic:
+    def test_weights_partition_unity(self):
+        for t in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert sum(cubic_weights(t)) == pytest.approx(1.0)
+
+    def test_interp_at_grid_points(self):
+        window = [[float(10 * r + c) for c in range(4)] for r in range(4)]
+        assert bicubic_interp(window, 0.0, 0.0) == pytest.approx(window[1][1])
+        assert bicubic_interp(window, 1.0, 1.0) == pytest.approx(window[2][2])
+
+    def test_interp_reproduces_linear(self):
+        window = [[float(r + c) for c in range(4)] for r in range(4)]
+        assert bicubic_interp(window, 0.5, 0.5) == pytest.approx(3.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            bicubic_interp([[1.0] * 3] * 3, 0.5, 0.5)
+
+    def test_sample_matches_scalar(self, input_image):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(2, input_image.shape[1] - 3, 10)
+        ys = rng.uniform(2, input_image.shape[0] - 3, 10)
+        sampled = bicubic_sample(input_image, xs, ys)
+        for x, y, v in zip(xs, ys, sampled):
+            ix, iy = int(np.floor(x)), int(np.floor(y))
+            window = [
+                [float(input_image[iy + r - 1, ix + c - 1]) for c in range(4)]
+                for r in range(4)
+            ]
+            expected = min(max(bicubic_interp(window, x - ix, y - iy), 0.0), 255.0)
+            assert v == pytest.approx(expected, rel=1e-9)
+
+    def test_bilinear_at_grid_points(self, input_image):
+        out = bilinear_sample(input_image, np.array([5.0]), np.array([7.0]))
+        assert out[0] == pytest.approx(input_image[7, 5])
+
+    def test_bilinear_midpoint(self):
+        img = np.array([[0.0, 10.0], [20.0, 30.0]])
+        out = bilinear_sample(img, np.array([0.5]), np.array([0.5]))
+        assert out[0] == pytest.approx(15.0)
+
+
+class TestPipeline:
+    def test_reference_output_range(self, input_image, config):
+        out = fisheye_reference(input_image, config)
+        assert out.shape == (config.out_height, config.out_width)
+        assert out.min() >= 0.0 and out.max() <= 255.0
+
+    def test_correction_recovers_scene_structure(self, config):
+        scene = radial_scene(config.out_width, config.out_height)
+        distorted = make_fisheye_input(scene, config)
+        corrected = fisheye_reference(distorted, config)
+        centre = (slice(16, 48), slice(24, 72))
+        corr = np.corrcoef(corrected[centre].ravel(), scene[centre].ravel())[0, 1]
+        assert corr > 0.8  # centre is well reconstructed
+
+
+class TestAnalyses:
+    def test_figure6_inner_pairs_dominate(self):
+        analysis = analyse_bicubic(positions=3)
+        assert set(analysis.ranking()[:2]) == {"c", "e"}
+
+    def test_figure6_corners_least(self):
+        analysis = analyse_bicubic(positions=3)
+        assert set(analysis.ranking()[-2:]) == {"b", "h"}
+
+    def test_figure6_window_validation(self):
+        with pytest.raises(ValueError):
+            analyse_bicubic(window=np.zeros((3, 3)))
+
+    def test_figure5_border_more_significant(self, input_image, config):
+        analysis = analyse_inverse_mapping(
+            input_image, config, grid=(7, 9), jitter_samples=6
+        )
+        profile = analysis.radial_profile(config, bins=4)
+        assert profile[-1] > 1.2 * profile[0]
+
+    def test_figure5_normalised(self, input_image, config):
+        analysis = analyse_inverse_mapping(
+            input_image, config, grid=(4, 5), jitter_samples=2
+        )
+        assert analysis.significance.max() == pytest.approx(1.0)
+
+
+class TestSignificanceVersion:
+    def test_ratio_one_exact(self, input_image, config):
+        run = fisheye_significance(input_image, config, 1.0)
+        assert np.allclose(run.output, fisheye_reference(input_image, config))
+
+    def test_ratio_zero_still_reasonable(self, input_image, config):
+        # The 96x64 test config is deliberately tiny (blocks are coarse
+        # relative to the frame); at benchmark scale (256x192) the fully
+        # approximate run reaches ~30 dB — see EXPERIMENTS.md.
+        ref = fisheye_reference(input_image, config)
+        run = fisheye_significance(input_image, config, 0.0)
+        assert psnr(ref, run.output) > 12.0  # approximation, not garbage
+
+    def test_quality_monotone(self, input_image, config):
+        ref = fisheye_reference(input_image, config)
+        values = [
+            min(psnr(ref, fisheye_significance(input_image, config, r).output), 99.0)
+            for r in (0.0, 0.5, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_block_significance_radial(self, config):
+        centre = block_significance(config, 28, 36, 44, 52)
+        corner = block_significance(config, 0, 16, 0, 32)
+        assert corner > centre
+        assert 0.0 <= centre <= 1.0 and corner == 1.0
+
+    def test_border_blocks_accurate_at_ratio_zero(self, input_image, config):
+        ref = fisheye_reference(input_image, config)
+        run = fisheye_significance(input_image, config, 0.0, block=(16, 16))
+        corner = (slice(0, 16), slice(0, 16))
+        assert np.allclose(run.output[corner], ref[corner])
+
+
+class TestPerforated:
+    def test_ratio_one_exact(self, input_image, config):
+        run = fisheye_perforated(input_image, config, 1.0)
+        assert np.allclose(run.output, fisheye_reference(input_image, config))
+
+    def test_sig_beats_perforation(self, input_image, config):
+        ref = fisheye_reference(input_image, config)
+        for ratio in (0.2, 0.5, 0.8):
+            sig_q = psnr(ref, fisheye_significance(input_image, config, ratio).output)
+            perf_q = psnr(ref, fisheye_perforated(input_image, config, ratio).output)
+            assert sig_q > perf_q

@@ -1,0 +1,110 @@
+"""Tests for the Maclaurin running example."""
+
+import math
+
+import pytest
+
+from repro.kernels.maclaurin import (
+    analyse_maclaurin,
+    maclaurin_series,
+    maclaurin_tasks,
+    pow_term,
+    pow_term_fast,
+)
+
+
+class TestSeries:
+    def test_matches_closed_form(self):
+        x, n = 0.3, 20
+        value = maclaurin_series(x, n)
+        assert value == pytest.approx((1 - x**n) / (1 - x))
+
+    def test_single_term(self):
+        assert maclaurin_series(0.5, 1) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            maclaurin_series(0.5, 0)
+
+    def test_negative_x(self):
+        value = maclaurin_series(-0.5, 30)
+        assert value == pytest.approx(1.0 / 1.5, rel=1e-6)
+
+
+class TestTaskBodies:
+    def test_pow_term_writes_output(self):
+        out = [0.0] * 4
+        assert pow_term(out, 2.0, 3) == 8.0
+        assert out[3] == 8.0
+
+    def test_pow_term_fast_close(self):
+        out = [0.0] * 6
+        pow_term_fast(out, 0.7, 5)
+        assert out[5] == pytest.approx(0.7**5, rel=1e-3)
+
+    def test_pow_term_fast_exponent_zero(self):
+        out = [0.0]
+        assert pow_term_fast(out, 0.7, 0) == 1.0
+
+    def test_pow_term_fast_zero_base(self):
+        out = [0.0, 0.0]
+        assert pow_term_fast(out, 0.0, 1) == 0.0
+
+    def test_pow_term_fast_negative_base(self):
+        out = [0.0] * 4
+        pow_term_fast(out, -0.5, 3)
+        assert out[3] == pytest.approx(-0.125, rel=1e-3)
+
+
+class TestTasks:
+    def test_ratio_one_is_exact(self):
+        value, _ = maclaurin_tasks(0.49, 10, 1.0)
+        assert value == pytest.approx(maclaurin_series(0.49, 10))
+
+    def test_ratio_zero_still_close(self):
+        exact = maclaurin_series(0.49, 10)
+        value, _ = maclaurin_tasks(0.49, 10, 0.0)
+        assert value == pytest.approx(exact, rel=1e-2)
+
+    def test_error_decreases_with_ratio(self):
+        exact = maclaurin_series(0.49, 10)
+        errors = []
+        for ratio in (0.0, 0.5, 1.0):
+            value, _ = maclaurin_tasks(0.49, 10, ratio)
+            errors.append(abs(value - exact))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_energy_increases_with_ratio(self):
+        energies = []
+        for ratio in (0.0, 0.5, 1.0):
+            _, rt = maclaurin_tasks(0.49, 10, ratio)
+            energies.append(rt.total_energy.total)
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_significance_ordering_listing7(self):
+        # The (n-i+1)/(n+2) formula: earlier terms more significant.
+        _, rt = maclaurin_tasks(0.49, 8, 0.5)
+        group = rt.history[0]
+        accurate = [r.task for r in group.results if r.was_accurate]
+        dropped = [r.task for r in group.results if not r.was_accurate]
+        if accurate and dropped:
+            assert min(t.significance for t in accurate) >= max(
+                t.significance for t in dropped
+            )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            maclaurin_tasks(0.5, 0, 0.5)
+
+
+class TestAnalysis:
+    def test_partition_level(self):
+        assert analyse_maclaurin().partition_level == 1
+
+    def test_significances_sum_to_one(self):
+        result = analyse_maclaurin()
+        assert sum(result.normalised.values()) == pytest.approx(1.0)
+
+    def test_custom_width(self):
+        result = analyse_maclaurin(x_hat=0.2, width=0.2, n=4)
+        assert result.term_significances["term0"] == pytest.approx(0.0, abs=1e-9)

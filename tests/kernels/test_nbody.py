@@ -1,0 +1,222 @@
+"""Tests for the N-Body benchmark."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels.nbody import (
+    RegionGrid,
+    analyse_nbody,
+    forces_full,
+    lattice_system,
+    lj_pair_force,
+    lj_potential,
+    nbody_perforated,
+    nbody_significance,
+    pair_forces,
+    potential_energy,
+    region_significance,
+    simulate_reference,
+)
+from repro.metrics import aggregate_relative_error
+
+
+@pytest.fixture(scope="module")
+def system():
+    return lattice_system(side=5, seed=42)
+
+
+class TestPhysics:
+    def test_potential_zero_at_sigma(self):
+        assert lj_potential(1.0) == pytest.approx(0.0)
+
+    def test_potential_minimum_at_equilibrium(self):
+        r_min = 2 ** (1 / 6)
+        v_min = lj_potential(r_min**2)
+        assert v_min == pytest.approx(-1.0)
+        assert lj_potential((r_min * 0.95) ** 2) > v_min
+        assert lj_potential((r_min * 1.05) ** 2) > v_min
+
+    def test_force_zero_at_equilibrium(self):
+        r_min = 2 ** (1 / 6)
+        fx, fy, fz = lj_pair_force(r_min, 0.0, 0.0)
+        assert fx == pytest.approx(0.0, abs=1e-12)
+
+    def test_force_repulsive_close(self):
+        fx, _, _ = lj_pair_force(0.9, 0.0, 0.0)
+        assert fx > 0  # pushes atoms apart
+
+    def test_force_attractive_far(self):
+        fx, _, _ = lj_pair_force(1.5, 0.0, 0.0)
+        assert fx < 0
+
+    def test_force_decays_fast(self):
+        f1, _, _ = lj_pair_force(1.5, 0.0, 0.0)
+        f3, _, _ = lj_pair_force(3.0, 0.0, 0.0)
+        assert abs(f3) < abs(f1) / 50
+
+    def test_pair_force_matches_gradient(self):
+        # F = -dV/dr, central difference check.
+        r, h = 1.3, 1e-6
+        fx, _, _ = lj_pair_force(r, 0.0, 0.0)
+        dv = (lj_potential((r + h) ** 2) - lj_potential((r - h) ** 2)) / (2 * h)
+        assert fx == pytest.approx(-dv, rel=1e-4)
+
+
+class TestForces:
+    def test_newton_third_law(self, system):
+        forces = forces_full(system.positions)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_pair_forces_matches_scalar(self, system):
+        pos = system.positions[:4]
+        forces = pair_forces(pos[:1], pos[1:])
+        expected = np.zeros(3)
+        for j in range(1, 4):
+            d = pos[0] - pos[j]
+            expected += np.array(lj_pair_force(*d))
+        assert np.allclose(forces[0], expected)
+
+    def test_exclude_self(self, system):
+        pos = system.positions[:5]
+        forces = pair_forces(pos, pos, exclude_self=True)
+        assert np.all(np.isfinite(forces))
+
+    def test_potential_energy_negative_for_lattice(self, system):
+        assert potential_energy(system.positions) < 0
+
+
+class TestSimulation:
+    def test_reference_deterministic(self, system):
+        a = simulate_reference(system, steps=2)
+        b = simulate_reference(system, steps=2)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_input_not_mutated(self, system):
+        before = system.positions.copy()
+        simulate_reference(system, steps=2)
+        assert np.array_equal(system.positions, before)
+
+    def test_energy_roughly_conserved(self, system):
+        state = simulate_reference(system, steps=5, dt=0.002)
+        def total(s):
+            kinetic = 0.5 * np.sum(s.velocities**2)
+            return kinetic + potential_energy(s.positions)
+        drift = abs(total(state) - total(system))
+        assert drift < 0.05 * abs(total(system))
+
+    def test_lattice_zero_net_momentum(self, system):
+        assert np.allclose(system.velocities.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_lattice_min_separation_safe(self, system):
+        delta = system.positions[:, None] - system.positions[None, :]
+        r = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
+        np.fill_diagonal(r, np.inf)
+        assert r.min() > 0.9  # no explosive overlaps
+
+
+class TestRegions:
+    def test_members_partition_all_particles(self, system):
+        grid = RegionGrid.fit(system.positions, grid=3)
+        members = grid.members(system.positions)
+        total = np.concatenate(list(members.values()))
+        assert sorted(total) == list(range(system.count))
+
+    def test_members_keyed_correctly(self, system):
+        grid = RegionGrid.fit(system.positions, grid=3)
+        regions = grid.region_of(system.positions)
+        for region, idx in grid.members(system.positions).items():
+            assert np.all(regions[idx] == region)
+
+    def test_chebyshev_distance(self):
+        grid = RegionGrid(grid=4, lo=np.zeros(3), cell=np.ones(3))
+        a = grid.region_of(np.array([[0.5, 0.5, 0.5]]))[0]
+        b = grid.region_of(np.array([[3.5, 2.5, 0.5]]))[0]
+        assert grid.chebyshev(a, b) == 3
+
+    def test_distance_classes_cover_all_regions(self):
+        grid = RegionGrid(grid=3, lo=np.zeros(3), cell=np.ones(3))
+        classes = grid.distance_classes(13)  # centre cell
+        covered = [r for rs in classes.values() for r in rs]
+        assert sorted(covered) == list(range(27))
+
+    def test_region_significance_decay(self):
+        sigs = [region_significance(d) for d in range(6)]
+        assert sigs[0] == sigs[1] == 1.0
+        assert all(a >= b for a, b in zip(sigs[1:], sigs[2:]))
+        assert sigs[-1] >= 0.05
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            RegionGrid.fit(np.zeros((4, 3)), grid=0)
+
+
+class TestAnalysis:
+    def test_distance_anticorrelated(self):
+        small = lattice_system(side=3, seed=1)
+        result = analyse_nbody(small.positions, target=13)
+        assert result.distance_rank_correlation < -0.9
+
+    def test_nearest_atom_most_significant(self):
+        small = lattice_system(side=3, seed=1)
+        result = analyse_nbody(small.positions, target=13)
+        nearest = int(np.argmin(result.distances))
+        assert result.significances[nearest] == pytest.approx(1.0)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            analyse_nbody(np.zeros((3, 3)), target=7)
+
+
+class TestSignificanceVersion:
+    def test_ratio_one_exact(self, system):
+        ref = simulate_reference(system, steps=2)
+        run, state = nbody_significance(system, 1.0, steps=2, grid=3)
+        assert np.allclose(run.output, ref.positions, atol=1e-9)
+
+    def test_ratio_zero_tiny_error(self, system):
+        ref = simulate_reference(system, steps=2)
+        run, _ = nbody_significance(system, 0.0, steps=2, grid=3)
+        err = aggregate_relative_error(ref.positions, run.output)
+        assert err < 1e-3  # near regions pinned accurate
+
+    def test_energy_monotone(self, system):
+        energies = [
+            nbody_significance(system, r, steps=2, grid=3)[0].joules
+            for r in (0.0, 0.5, 1.0)
+        ]
+        assert energies == sorted(energies)
+
+    def test_error_monotone(self, system):
+        ref = simulate_reference(system, steps=2)
+        errors = [
+            aggregate_relative_error(
+                ref.positions,
+                nbody_significance(system, r, steps=2, grid=3)[0].output,
+            )
+            for r in (0.0, 0.5, 1.0)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestPerforated:
+    def test_ratio_one_exact(self, system):
+        ref = simulate_reference(system, steps=2)
+        run, _ = nbody_perforated(system, 1.0, steps=2)
+        assert np.allclose(run.output, ref.positions, atol=1e-9)
+
+    def test_sig_much_better_than_perforation(self, system):
+        ref = simulate_reference(system, steps=2)
+        sig_err = aggregate_relative_error(
+            ref.positions,
+            nbody_significance(system, 0.2, steps=2, grid=3)[0].output,
+        )
+        perf_err = aggregate_relative_error(
+            ref.positions, nbody_perforated(system, 0.2, steps=2)[0].output
+        )
+        assert perf_err > 5 * sig_err
+
+    def test_no_task_overhead_energy(self, system):
+        run, _ = nbody_perforated(system, 1.0, steps=2)
+        assert run.energy.overhead == 0.0

@@ -1,0 +1,91 @@
+"""Deeper physics validation of the N-Body substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels.nbody import (
+    System,
+    forces_full,
+    lj_pair_force,
+    lj_potential,
+    potential_energy,
+    simulate_reference,
+    velocity_verlet,
+)
+
+
+def two_atoms(separation: float) -> System:
+    positions = np.array([[0.0, 0.0, 0.0], [separation, 0.0, 0.0]])
+    velocities = np.zeros((2, 3))
+    return System(positions=positions, velocities=velocities)
+
+
+class TestTwoBody:
+    def test_equilibrium_is_stationary(self):
+        r_min = 2 ** (1 / 6)
+        state = simulate_reference(two_atoms(r_min), steps=20, dt=0.002)
+        displacement = np.abs(state.positions - two_atoms(r_min).positions)
+        assert displacement.max() < 1e-9
+
+    def test_symmetry_preserved(self):
+        # Mirror-symmetric initial conditions stay mirror-symmetric.
+        state = simulate_reference(two_atoms(1.3), steps=40, dt=0.002)
+        centre = state.positions.mean(axis=0)
+        assert centre == pytest.approx([0.65, 0.0, 0.0], abs=1e-12)
+
+    def test_oscillation_about_equilibrium(self):
+        # Released inside the well, the pair oscillates: the separation
+        # crosses the equilibrium distance.
+        system = two_atoms(1.3)
+        state = system.copy()
+        forces = forces_full(state.positions)
+        separations = []
+        for _ in range(400):
+            forces = velocity_verlet(state, forces, 0.004, forces_full)
+            separations.append(
+                float(np.linalg.norm(state.positions[1] - state.positions[0]))
+            )
+        r_min = 2 ** (1 / 6)
+        assert min(separations) < r_min < max(separations)
+
+    def test_total_energy_conserved_two_body(self):
+        system = two_atoms(1.25)
+        state = system.copy()
+        forces = forces_full(state.positions)
+
+        def total(s):
+            return 0.5 * np.sum(s.velocities**2) + potential_energy(s.positions)
+
+        initial = total(state)
+        for _ in range(200):
+            forces = velocity_verlet(state, forces, 0.002, forces_full)
+        assert total(state) == pytest.approx(initial, abs=1e-4)
+
+    def test_momentum_conserved(self):
+        system = two_atoms(1.2)
+        system.velocities[0] = [0.1, 0.05, -0.02]
+        system.velocities[1] = [-0.1, -0.05, 0.02]
+        state = simulate_reference(system, steps=50, dt=0.002)
+        assert np.allclose(state.velocities.sum(axis=0), 0.0, atol=1e-12)
+
+
+class TestPairPotentialShape:
+    def test_hard_core_repulsion(self):
+        assert lj_potential(0.8**2) > 10.0
+
+    def test_long_range_attraction_vanishes(self):
+        assert abs(lj_potential(5.0**2)) < 1e-3
+
+    def test_force_direction_consistency(self):
+        # Force on i at +x from j at origin: repulsive -> +x, attractive -> -x.
+        fx_close, _, _ = lj_pair_force(1.0, 0.0, 0.0)
+        fx_far, _, _ = lj_pair_force(2.0, 0.0, 0.0)
+        assert fx_close > 0 > fx_far
+
+    def test_rotational_symmetry(self):
+        f1 = lj_pair_force(1.3, 0.0, 0.0)
+        f2 = lj_pair_force(0.0, 1.3, 0.0)
+        assert f1[0] == pytest.approx(f2[1])
+        assert f1[1] == f2[0] == 0.0

@@ -1,0 +1,159 @@
+"""Tests for the Sobel benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.images import checkerboard, gradient_image, natural_image
+from repro.kernels.sobel import (
+    analyse_sobel,
+    analyse_sobel_pixel,
+    combine_image,
+    combine_parts_pixel,
+    part_contributions,
+    sobel_parts_pixel,
+    sobel_perforated,
+    sobel_pixel,
+    sobel_reference,
+    sobel_significance,
+)
+from repro.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def image():
+    return natural_image(64, 64, seed=5)
+
+
+class TestSequential:
+    def test_flat_image_zero_response(self):
+        flat = np.full((8, 8), 77.0)
+        assert np.allclose(sobel_reference(flat), 0.0)
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 255.0
+        out = sobel_reference(img)
+        assert out[4, 4] > 200.0  # clipped strong response at the edge
+        assert out[4, 0] == 0.0
+
+    def test_gradient_constant_response(self):
+        img = gradient_image(32, 32)
+        out = sobel_reference(img)
+        interior = out[2:-2, 2:-2]
+        assert interior.std() < 1.0  # linear ramp -> uniform response
+
+    def test_output_clipped(self, image):
+        out = sobel_reference(image)
+        assert out.min() >= 0.0 and out.max() <= 255.0
+
+    def test_parts_sum_to_reference(self, image):
+        parts = part_contributions(image)
+        tx = sum(parts[k][0] for k in "ABC")
+        ty = sum(parts[k][1] for k in "ABC")
+        assert np.allclose(combine_image(tx, ty), sobel_reference(image))
+
+    def test_pixel_matches_image_version(self, image):
+        out = sobel_reference(image)
+        for y, x in [(5, 5), (20, 33), (50, 10)]:
+            window = image[y - 1 : y + 2, x - 1 : x + 2].tolist()
+            assert sobel_pixel(window) == pytest.approx(out[y, x])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            sobel_parts_pixel([[1, 2], [3, 4]])
+
+    def test_combine_smoothing_optional(self):
+        parts = sobel_parts_pixel([[0.0] * 3] * 3)
+        assert combine_parts_pixel(parts) == 0.0
+        assert combine_parts_pixel(parts, smooth=True) == pytest.approx(1.0)
+
+
+class TestAnalysis:
+    def test_flat_window_exact_paper_ratios(self):
+        sigs = analyse_sobel_pixel(np.full((3, 3), 100.0))
+        assert sigs["A"] == pytest.approx(2 * sigs["B"], rel=1e-6)
+        assert sigs["A"] == pytest.approx(2 * sigs["C"], rel=1e-6)
+
+    def test_saturated_window_insignificant(self):
+        # A strong edge clips the output at 255 -> zero significance.
+        window = np.array([[0.0, 128.0, 255.0]] * 3) * 2
+        sigs = analyse_sobel_pixel(np.clip(window, 0, 255))
+        assert sigs["A"] < 1e-6
+
+    def test_aggregate_a_dominates(self, image):
+        result = analyse_sobel(image, samples=8)
+        assert result.block_significance["A"] > result.block_significance["B"]
+        assert result.block_significance["A"] > result.block_significance["C"]
+        assert 1.2 < result.a_to_b_ratio < 2.3
+
+    def test_window_shape_validated(self):
+        with pytest.raises(ValueError):
+            analyse_sobel_pixel(np.zeros((4, 4)))
+
+    def test_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            analyse_sobel(np.zeros((2, 2)))
+
+
+class TestSignificanceVersion:
+    def test_ratio_one_exact(self, image):
+        run = sobel_significance(image, 1.0)
+        assert np.allclose(run.output, sobel_reference(image))
+
+    def test_ratio_zero_keeps_a_block(self, image):
+        run = sobel_significance(image, 0.0)
+        # A tasks are pinned: output not all zero, roughly follows edges.
+        assert run.output.max() > 0.0
+        assert run.stats.accurate > 0
+
+    def test_quality_monotone(self, image):
+        ref = sobel_reference(image)
+        values = [
+            psnr(ref, sobel_significance(image, r).output)
+            for r in (0.0, 0.5, 0.8, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_energy_monotone(self, image):
+        energies = [
+            sobel_significance(image, r).joules for r in (0.0, 0.5, 1.0)
+        ]
+        assert energies == sorted(energies)
+
+    def test_stats_counts(self, image):
+        run = sobel_significance(image, 0.0, block_rows=16)
+        blocks = 64 // 16
+        # 3 conv tasks per block + 1 combine per block.
+        assert run.stats.total == blocks * 4
+
+
+class TestPerforated:
+    def test_ratio_one_exact(self, image):
+        run = sobel_perforated(image, 1.0)
+        assert np.allclose(run.output, sobel_reference(image))
+
+    def test_ratio_zero_black(self, image):
+        run = sobel_perforated(image, 0.0)
+        assert np.allclose(run.output, 0.0)
+        assert run.joules == 0.0
+
+    def test_replicate_fill(self, image):
+        run = sobel_perforated(image, 0.5, fill="replicate")
+        assert (run.output.sum(axis=1) > 0).mean() > 0.9  # rows filled
+
+    def test_invalid_fill(self, image):
+        with pytest.raises(ValueError):
+            sobel_perforated(image, 0.5, fill="mirror")
+
+    def test_sig_beats_perforation_on_quality(self, image):
+        ref = sobel_reference(image)
+        for ratio in (0.2, 0.5, 0.8):
+            sig_q = psnr(ref, sobel_significance(image, ratio).output)
+            perf_q = psnr(ref, sobel_perforated(image, ratio).output)
+            assert sig_q > perf_q
+
+    def test_perforation_cheaper_at_equal_ratio(self, image):
+        # The paper's energy observation: no task overhead.
+        sig = sobel_significance(image, 1.0)
+        perf = sobel_perforated(image, 1.0)
+        assert perf.joules < sig.joules

@@ -1,0 +1,59 @@
+"""Integration: kernels produce identical results on the threaded executor.
+
+The task bodies write disjoint output regions (the programming model's
+``out()`` contract), so thread-pool execution must be bit-identical to
+sequential execution at every ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.images import natural_image
+from repro.kernels.dct import dct_significance
+from repro.kernels.dct.tasks import ENERGY_MODEL as DCT_MODEL
+from repro.kernels.sobel import sobel_significance
+from repro.kernels.sobel.tasks import ENERGY_MODEL as SOBEL_MODEL
+from repro.runtime import TaskRuntime, ThreadedExecutor
+
+
+@pytest.fixture(scope="module")
+def image():
+    return natural_image(64, 64, seed=5)
+
+
+class TestThreadedParity:
+    @pytest.mark.parametrize("ratio", [0.0, 0.5, 1.0])
+    def test_sobel(self, image, ratio):
+        sequential = sobel_significance(image, ratio)
+        threaded = sobel_significance(
+            image,
+            ratio,
+            runtime=TaskRuntime(
+                executor=ThreadedExecutor(4), energy_model=SOBEL_MODEL
+            ),
+        )
+        assert np.array_equal(sequential.output, threaded.output)
+
+    @pytest.mark.parametrize("ratio", [0.2, 1.0])
+    def test_dct(self, image, ratio):
+        sequential = dct_significance(image, ratio)
+        threaded = dct_significance(
+            image,
+            ratio,
+            runtime=TaskRuntime(
+                executor=ThreadedExecutor(4), energy_model=DCT_MODEL
+            ),
+        )
+        assert np.array_equal(sequential.output, threaded.output)
+
+    def test_energy_model_identical(self, image):
+        sequential = sobel_significance(image, 0.5)
+        threaded = sobel_significance(
+            image,
+            0.5,
+            runtime=TaskRuntime(
+                executor=ThreadedExecutor(2), energy_model=SOBEL_MODEL
+            ),
+        )
+        # The analytic model depends on work, not wall time.
+        assert sequential.joules == pytest.approx(threaded.joules)

@@ -1,0 +1,92 @@
+"""Tests for the quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    aggregate_relative_error,
+    max_relative_error,
+    mean_absolute_error,
+    mse,
+    psnr,
+    relative_error,
+    rmse,
+)
+
+
+class TestMSEFamily:
+    def test_known_mse(self):
+        assert mse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(12.5)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_identical_zero(self):
+        assert mse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mae(self):
+        assert mean_absolute_error([0.0, 0.0], [3.0, -4.0]) == pytest.approx(3.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse([], [])
+
+    def test_2d_arrays(self):
+        a = np.zeros((4, 4))
+        b = np.ones((4, 4))
+        assert mse(a, b) == 1.0
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        assert psnr([1.0, 2.0], [1.0, 2.0]) == math.inf
+
+    def test_known_value(self):
+        # MSE = 1 with peak 255: 10*log10(255^2) ≈ 48.13 dB.
+        ref = np.zeros(100)
+        test = np.zeros(100)
+        test[:] = 1.0
+        assert psnr(ref, test) == pytest.approx(48.13, abs=0.01)
+
+    def test_custom_peak(self):
+        ref, test = np.zeros(10), np.ones(10)
+        assert psnr(ref, test, peak=1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_error(self):
+        ref = np.zeros(50)
+        small = psnr(ref, ref + 0.5)
+        big = psnr(ref, ref + 5.0)
+        assert small > big
+
+
+class TestRelativeError:
+    def test_simple(self):
+        assert relative_error([2.0], [2.2]) == pytest.approx(0.1)
+
+    def test_epsilon_guards_zero(self):
+        value = relative_error([0.0], [1e-6], epsilon=1.0)
+        assert value == pytest.approx(1e-6)
+
+    def test_max_relative_error(self):
+        assert max_relative_error([1.0, 10.0], [1.1, 10.1]) == pytest.approx(0.1)
+
+    def test_aggregate(self):
+        assert aggregate_relative_error([1.0, 3.0], [1.5, 3.5]) == pytest.approx(
+            1.0 / 4.0
+        )
+
+    def test_aggregate_zero_reference(self):
+        assert aggregate_relative_error([0.0], [0.0]) == 0.0
+        assert aggregate_relative_error([0.0], [1.0]) == math.inf
+
+    def test_aggregate_stable_for_tiny_elements(self):
+        ref = np.array([1e-12, 100.0])
+        test = np.array([1e-6, 100.0])
+        # Elementwise would explode; aggregate stays tiny.
+        assert aggregate_relative_error(ref, test) < 1e-7

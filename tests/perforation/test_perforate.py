@@ -1,0 +1,110 @@
+"""Tests for the loop-perforation primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perforation import (
+    interleaved,
+    modulo,
+    perforate_sequence,
+    perforated_indices,
+    perforated_range,
+    truncated,
+)
+
+
+class TestInterleaved:
+    def test_full_ratio(self):
+        assert interleaved(10, 1.0) == list(range(10))
+
+    def test_zero_ratio(self):
+        assert interleaved(10, 0.0) == []
+
+    def test_exact_count(self):
+        assert len(interleaved(100, 0.5)) == 50
+
+    def test_ceil_rounding(self):
+        assert len(interleaved(3, 0.5)) == 2
+
+    def test_spread_uniform(self):
+        indices = interleaved(100, 0.25)
+        gaps = [b - a for a, b in zip(indices, indices[1:])]
+        assert max(gaps) <= 5  # roughly every 4th
+
+    def test_includes_zero(self):
+        assert 0 in interleaved(64, 0.1)
+
+    def test_sorted_unique_in_range(self):
+        indices = interleaved(37, 0.43)
+        assert indices == sorted(set(indices))
+        assert all(0 <= i < 37 for i in indices)
+
+    def test_empty_loop(self):
+        assert interleaved(0, 0.5) == []
+
+
+class TestTruncated:
+    def test_prefix(self):
+        assert truncated(10, 0.3) == [0, 1, 2]
+
+    def test_full(self):
+        assert truncated(5, 1.0) == list(range(5))
+
+
+class TestModulo:
+    def test_every_other(self):
+        assert modulo(10, 0.5) == [0, 2, 4, 6, 8]
+
+    def test_zero(self):
+        assert modulo(10, 0.0) == []
+
+    def test_full(self):
+        assert modulo(10, 1.0) == list(range(10))
+
+
+class TestWrappers:
+    def test_perforated_indices_default_scheme(self):
+        assert perforated_indices(10, 0.5) == interleaved(10, 0.5)
+
+    def test_custom_scheme(self):
+        assert perforated_indices(10, 0.3, scheme=truncated) == [0, 1, 2]
+
+    def test_perforate_sequence(self):
+        items = list("abcdefghij")
+        kept = list(perforate_sequence(items, 0.3))
+        assert len(kept) == 3 and kept[0] == "a"
+
+    def test_perforated_range(self):
+        assert list(perforated_range(4, 0.5)) == interleaved(4, 0.5)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            perforated_indices(10, 1.5)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            perforated_indices(-1, 0.5)
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_interleaved_properties(count, ratio):
+    indices = interleaved(count, ratio)
+    assert len(indices) == min(count, math.ceil(ratio * count))
+    assert indices == sorted(set(indices))
+    assert all(0 <= i < count for i in indices)
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_all_schemes_respect_ratio_at_least(count, ratio):
+    for scheme in (interleaved, truncated):
+        executed = len(scheme(count, ratio))
+        assert executed >= math.floor(ratio * count)

@@ -1,0 +1,87 @@
+"""Tests for the closed-loop ratio controller."""
+
+import pytest
+
+from repro.runtime.controller import RatioController
+
+
+def linear_plant(ratio: float) -> float:
+    """Synthetic kernel: energy 40..120 J linear in the ratio."""
+    return 40.0 + 80.0 * ratio
+
+
+class TestValidation:
+    def test_budget_positive(self):
+        with pytest.raises(ValueError):
+            RatioController(energy_budget=0.0)
+
+    def test_initial_ratio_range(self):
+        with pytest.raises(ValueError):
+            RatioController(energy_budget=10.0, initial_ratio=1.5)
+
+    def test_negative_energy_rejected(self):
+        controller = RatioController(energy_budget=10.0)
+        with pytest.raises(ValueError):
+            controller.observe(-1.0)
+
+
+class TestControlLoop:
+    def _run(self, budget, frames=40, gain=0.2):
+        controller = RatioController(energy_budget=budget, gain=gain)
+        for _ in range(frames):
+            controller.observe(linear_plant(controller.ratio))
+        return controller
+
+    def test_converges_to_budget(self):
+        controller = self._run(budget=80.0)
+        assert controller.mean_energy(last=5) == pytest.approx(80.0, rel=0.05)
+        assert controller.settled
+
+    def test_converged_ratio_matches_plant(self):
+        controller = self._run(budget=80.0)
+        # 40 + 80 r = 80  =>  r = 0.5.
+        assert controller.ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_generous_budget_saturates_high(self):
+        controller = self._run(budget=500.0)
+        assert controller.ratio == 1.0
+
+    def test_impossible_budget_saturates_low(self):
+        controller = self._run(budget=10.0)
+        assert controller.ratio == 0.0
+
+    def test_over_budget_lowers_ratio(self):
+        controller = RatioController(energy_budget=50.0, initial_ratio=1.0)
+        updated = controller.observe(100.0)
+        assert updated < 1.0
+
+    def test_under_budget_raises_ratio(self):
+        controller = RatioController(energy_budget=100.0, initial_ratio=0.0)
+        updated = controller.observe(40.0)
+        assert updated > 0.0
+
+    def test_history_recorded(self):
+        controller = self._run(budget=80.0, frames=7)
+        assert len(controller.history) == 7
+
+    def test_mean_energy_requires_frames(self):
+        controller = RatioController(energy_budget=10.0)
+        with pytest.raises(ValueError):
+            controller.mean_energy()
+
+
+class TestOnRealKernel:
+    def test_sobel_stream_tracks_budget(self):
+        from repro.images import natural_image
+        from repro.kernels.sobel import sobel_significance
+
+        frames = [natural_image(64, 64, seed=s) for s in range(10)]
+        full_cost = sobel_significance(frames[0], 1.0).joules
+        budget = 0.8 * full_cost
+
+        controller = RatioController(energy_budget=budget, gain=0.4)
+        for frame in frames:
+            run = sobel_significance(frame, controller.ratio)
+            controller.observe(run.joules)
+
+        assert controller.mean_energy(last=4) <= 1.15 * budget

@@ -1,0 +1,141 @@
+"""Tests for the in()/out() dependence tracking."""
+
+import pytest
+
+from repro.runtime import (
+    DependencyCycleError,
+    DependencyGraph,
+    Task,
+    run_with_dependencies,
+)
+
+
+def task(fn=lambda: None, sig=1.0, approx=False):
+    return Task(
+        fn=fn,
+        approx_fn=(lambda: None) if approx else None,
+        significance=sig,
+        work=1.0,
+    )
+
+
+class TestEdges:
+    def test_raw_dependence(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])
+        g.add(task(), reads=["a"])
+        assert (0, 1) in g.edges()
+
+    def test_waw_dependence(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])
+        g.add(task(), writes=["a"])
+        assert (0, 1) in g.edges()
+
+    def test_war_dependence(self):
+        g = DependencyGraph()
+        g.add(task(), reads=["a"])
+        g.add(task(), writes=["a"])
+        assert (0, 1) in g.edges()
+
+    def test_independent_tasks_no_edge(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])
+        g.add(task(), writes=["b"])
+        assert g.edges() == set()
+
+    def test_read_read_no_edge(self):
+        g = DependencyGraph()
+        g.add(task(), reads=["a"])
+        g.add(task(), reads=["a"])
+        assert g.edges() == set()
+
+    def test_raw_goes_to_latest_writer(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])  # 0
+        g.add(task(), writes=["a"])  # 1
+        g.add(task(), reads=["a"])  # 2
+        edges = g.edges()
+        assert (1, 2) in edges and (0, 2) not in edges
+
+    def test_tuple_tags_supported(self):
+        g = DependencyGraph()
+        g.add(task(), writes=[("array", 0)])
+        g.add(task(), reads=[("array", 0)])
+        g.add(task(), reads=[("array", 1)])
+        edges = g.edges()
+        assert (0, 1) in edges and (0, 2) not in edges
+
+
+class TestWaves:
+    def test_chain_is_sequential(self):
+        g = DependencyGraph()
+        for _ in range(4):
+            g.add(task(), reads=["x"], writes=["x"])
+        assert g.waves() == [[0], [1], [2], [3]]
+
+    def test_independent_in_one_wave(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])
+        g.add(task(), writes=["b"])
+        g.add(task(), writes=["c"])
+        assert g.waves() == [[0, 1, 2]]
+
+    def test_diamond(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["src"])  # 0
+        g.add(task(), reads=["src"], writes=["l"])  # 1
+        g.add(task(), reads=["src"], writes=["r"])  # 2
+        g.add(task(), reads=["l", "r"])  # 3
+        assert g.waves() == [[0], [1, 2], [3]]
+
+    def test_empty_graph(self):
+        assert DependencyGraph().waves() == []
+
+
+class TestExecution:
+    def test_order_respects_dependences(self):
+        log = []
+        g = DependencyGraph()
+        g.add(task(lambda: log.append("producer")), writes=["a"])
+        g.add(task(lambda: log.append("consumer")), reads=["a"])
+        run_with_dependencies(g)
+        assert log == ["producer", "consumer"]
+
+    def test_ratio_semantics_preserved(self):
+        g = DependencyGraph()
+        g.add(task(sig=1.0), writes=["a"])
+        g.add(task(sig=0.2), reads=["a"])
+        g.add(task(sig=0.8), reads=["a"])
+        result = run_with_dependencies(g, ratio=2 / 3)
+        assert result.stats.accurate == 2
+        modes = {r.task.significance: r.mode.value for r in result.results}
+        assert modes[0.2] == "dropped"
+
+    def test_dropped_producer_consumer_still_runs(self):
+        # Significance policy is orthogonal to dependence order: a dropped
+        # producer's consumers still execute (with whatever data exists).
+        log = []
+        g = DependencyGraph()
+        g.add(task(lambda: log.append("p"), sig=0.1), writes=["a"])
+        g.add(task(lambda: log.append("c"), sig=1.0), reads=["a"])
+        result = run_with_dependencies(g, ratio=0.5)
+        assert log == ["c"]
+        assert result.stats.dropped == 1
+
+    def test_energy_measured(self):
+        g = DependencyGraph()
+        g.add(task(), writes=["a"])
+        result = run_with_dependencies(g, ratio=1.0)
+        assert result.energy.total > 0
+
+    def test_cycle_detection(self):
+        class Cyclic(DependencyGraph):
+            def edges(self):
+                return {(0, 1), (1, 0)}
+
+        g = Cyclic()
+        g.add(task())
+        g.add(task())
+        with pytest.raises(DependencyCycleError):
+            g.waves()

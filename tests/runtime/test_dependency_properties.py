@@ -1,0 +1,71 @@
+"""Property tests: random dependence graphs schedule correctly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import DependencyGraph, Task, run_with_dependencies
+
+TAGS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def io_decl(draw):
+    reads = draw(st.lists(st.sampled_from(TAGS), max_size=2, unique=True))
+    writes = draw(st.lists(st.sampled_from(TAGS), max_size=2, unique=True))
+    return reads, writes
+
+
+@given(st.lists(io_decl(), min_size=1, max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_waves_respect_every_edge(decls):
+    g = DependencyGraph()
+    for reads, writes in decls:
+        g.add(Task(fn=lambda: None), reads=reads, writes=writes)
+    waves = g.waves()
+
+    position = {}
+    for level, wave in enumerate(waves):
+        for index in wave:
+            position[index] = level
+
+    # Every task scheduled exactly once.
+    assert sorted(position) == list(range(len(decls)))
+    # Every dependence edge crosses strictly forward in wave order.
+    for a, b in g.edges():
+        assert position[a] < position[b]
+
+
+@given(st.lists(io_decl(), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_execution_order_linearises_edges(decls):
+    g = DependencyGraph()
+    log: list[int] = []
+    for i, (reads, writes) in enumerate(decls):
+        g.add(
+            Task(fn=lambda i=i: log.append(i)),
+            reads=reads,
+            writes=writes,
+        )
+    run_with_dependencies(g)
+
+    order = {task_index: position for position, task_index in enumerate(log)}
+    assert len(log) == len(decls)
+    for a, b in g.edges():
+        assert order[a] < order[b]
+
+
+@given(st.lists(io_decl(), min_size=2, max_size=10), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_ratio_counts_match_flat_scheduler(decls, ratio):
+    from repro.runtime import plan_modes
+
+    tasks = [Task(fn=lambda: None, significance=(i % 5) / 5.0 + 0.1) for i in range(len(decls))]
+    g = DependencyGraph()
+    for task, (reads, writes) in zip(tasks, decls):
+        g.add(task, reads=reads, writes=writes)
+
+    result = run_with_dependencies(g, ratio=ratio)
+    flat_modes = plan_modes(tasks, ratio)
+    assert result.stats.accurate == sum(
+        1 for m in flat_modes if m.value == "accurate"
+    )

@@ -1,0 +1,88 @@
+"""Tests for the energy models."""
+
+import pytest
+
+from repro.runtime import (
+    AnalyticEnergyModel,
+    EnergyBreakdown,
+    ExecutionMode,
+    Task,
+    TaskResult,
+    TimingEnergyModel,
+    perforation_energy,
+)
+
+
+def result(work=100.0, approx_work=10.0, mode=ExecutionMode.ACCURATE, secs=0.0):
+    task = Task(
+        fn=lambda: None,
+        approx_fn=lambda: None,
+        work=work,
+        approx_work=approx_work,
+    )
+    return TaskResult(task, mode, None, secs)
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = EnergyBreakdown(dynamic=1.0, overhead=2.0, static=3.0)
+        assert b.total == 6.0
+
+    def test_add(self):
+        b = EnergyBreakdown(1, 2, 3) + EnergyBreakdown(10, 20, 30)
+        assert (b.dynamic, b.overhead, b.static) == (11, 22, 33)
+
+    def test_default_zero(self):
+        assert EnergyBreakdown().total == 0.0
+
+
+class TestAnalyticModel:
+    MODEL = AnalyticEnergyModel(
+        energy_per_op=1.0, task_overhead=5.0, static_power=10.0, throughput=100.0
+    )
+
+    def test_accurate_task(self):
+        e = self.MODEL.measure([result(work=100.0)])
+        assert e.dynamic == 100.0
+        assert e.overhead == 5.0
+        assert e.static == pytest.approx(10.0 * 100.0 / 100.0)
+
+    def test_approximate_task_cheaper(self):
+        acc = self.MODEL.measure([result(mode=ExecutionMode.ACCURATE)])
+        app = self.MODEL.measure([result(mode=ExecutionMode.APPROXIMATE)])
+        assert app.total < acc.total
+
+    def test_dropped_costs_only_overhead(self):
+        e = self.MODEL.measure([result(mode=ExecutionMode.DROPPED)])
+        assert e.dynamic == 0.0 and e.overhead == 5.0
+
+    def test_monotone_in_work(self):
+        small = self.MODEL.measure([result(work=10.0)])
+        big = self.MODEL.measure([result(work=1000.0)])
+        assert big.total > small.total
+
+    def test_empty_batch(self):
+        assert self.MODEL.measure([]).total == 0.0
+
+
+class TestPerforationEnergy:
+    MODEL = AnalyticEnergyModel(
+        energy_per_op=1.0, task_overhead=5.0, static_power=0.0
+    )
+
+    def test_no_task_overhead(self):
+        e = perforation_energy(self.MODEL, executed_work=100.0)
+        assert e.overhead == 0.0 and e.dynamic == 100.0
+
+    def test_cheaper_than_tasks_at_equal_work(self):
+        task_energy = self.MODEL.measure([result(work=100.0)])
+        perf_energy = perforation_energy(self.MODEL, executed_work=100.0)
+        assert perf_energy.total < task_energy.total
+
+
+class TestTimingModel:
+    def test_power_times_time(self):
+        model = TimingEnergyModel(active_power=50.0, static_power=10.0)
+        e = model.measure([result(secs=2.0), result(secs=1.0)])
+        assert e.dynamic == pytest.approx(150.0)
+        assert e.static == pytest.approx(30.0)

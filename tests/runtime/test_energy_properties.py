@@ -1,0 +1,68 @@
+"""Property tests: energy accounting invariants under random task sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    AnalyticEnergyModel,
+    ExecutionMode,
+    Task,
+    TaskResult,
+    plan_modes,
+)
+
+task_spec = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),  # significance
+    st.floats(min_value=0.0, max_value=1e6),  # work
+    st.floats(min_value=0.0, max_value=1e5),  # approx work
+    st.booleans(),  # has approx version
+)
+
+MODEL = AnalyticEnergyModel(
+    energy_per_op=1e-6, task_overhead=1e-3, static_power=0.0
+)
+
+
+def build(specs):
+    return [
+        Task(
+            fn=lambda: None,
+            approx_fn=(lambda: None) if has_approx else None,
+            significance=sig,
+            work=work,
+            approx_work=min(approx, work),
+        )
+        for sig, work, approx, has_approx in specs
+    ]
+
+
+def energy_at(tasks, ratio):
+    modes = plan_modes(tasks, ratio)
+    results = [TaskResult(t, m, None, 0.0) for t, m in zip(tasks, modes)]
+    return MODEL.measure(results).total
+
+
+@given(st.lists(task_spec, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_energy_monotone_in_ratio(specs):
+    tasks = build(specs)
+    energies = [energy_at(tasks, r) for r in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    for a, b in zip(energies, energies[1:]):
+        assert a <= b + 1e-9
+
+
+@given(st.lists(task_spec, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_full_ratio_counts_all_work(specs):
+    tasks = build(specs)
+    expected = sum(t.work for t in tasks) * MODEL.energy_per_op
+    expected += len(tasks) * MODEL.task_overhead
+    assert energy_at(tasks, 1.0) == expected
+
+
+@given(st.lists(task_spec, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_overhead_always_charged(specs):
+    tasks = build(specs)
+    # Even fully dropped groups pay the per-task overhead.
+    assert energy_at(tasks, 0.0) >= len(tasks) * MODEL.task_overhead - 1e-12

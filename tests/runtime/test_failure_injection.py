@@ -1,0 +1,87 @@
+"""Failure-injection tests: how the runtime behaves when tasks misbehave."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AnalyticEnergyModel,
+    DependencyGraph,
+    SequentialExecutor,
+    Task,
+    TaskRuntime,
+    ThreadedExecutor,
+    run_with_dependencies,
+)
+
+
+def failing(message="injected failure"):
+    def body():
+        raise RuntimeError(message)
+
+    return body
+
+
+class TestTaskFailures:
+    def test_sequential_propagates_with_message(self):
+        rt = TaskRuntime()
+        rt.submit(failing("boom-42"))
+        with pytest.raises(RuntimeError, match="boom-42"):
+            rt.taskwait()
+
+    def test_threaded_propagates(self):
+        rt = TaskRuntime(executor=ThreadedExecutor(2))
+        rt.submit(lambda: None)
+        rt.submit(failing())
+        with pytest.raises(RuntimeError, match="injected"):
+            rt.taskwait()
+
+    def test_group_consumed_even_after_failure(self):
+        rt = TaskRuntime()
+        rt.submit(failing())
+        with pytest.raises(RuntimeError):
+            rt.taskwait()
+        # The failed group was popped; a fresh submission starts clean.
+        rt.submit(lambda: 1)
+        group = rt.taskwait()
+        assert group.stats.total == 1
+
+    def test_failing_approx_version(self):
+        rt = TaskRuntime()
+        rt.submit(
+            lambda: "accurate",
+            significance=0.1,
+            approx_fn=failing("approx broke"),
+        )
+        with pytest.raises(RuntimeError, match="approx broke"):
+            rt.taskwait(ratio=0.0)
+
+    def test_dropped_failing_task_never_runs(self):
+        rt = TaskRuntime()
+        rt.submit(failing(), significance=0.1)  # no approx -> dropped
+        group = rt.taskwait(ratio=0.0)
+        assert group.stats.dropped == 1
+
+    def test_dependency_failure_stops_downstream(self):
+        log = []
+        g = DependencyGraph()
+        g.add(Task(fn=failing()), writes=["a"])
+        g.add(Task(fn=lambda: log.append("consumer")), reads=["a"])
+        with pytest.raises(RuntimeError):
+            run_with_dependencies(g)
+        assert log == []  # the consumer wave never started
+
+
+class TestBadMeasurements:
+    def test_nan_output_poisons_psnr_not_crash(self):
+        from repro.metrics import mse
+
+        value = mse([1.0, 2.0], [float("nan"), 2.0])
+        assert np.isnan(value)
+
+    def test_energy_model_with_zero_tasks(self):
+        model = AnalyticEnergyModel()
+        assert model.measure([]).total == 0.0
+
+    def test_executor_rejects_inconsistent_plan(self):
+        with pytest.raises(ValueError):
+            SequentialExecutor().run([Task(fn=lambda: None)], [])

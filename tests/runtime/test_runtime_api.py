@@ -1,0 +1,124 @@
+"""Tests for the TaskRuntime submit/taskwait API."""
+
+import pytest
+
+from repro.runtime import (
+    AnalyticEnergyModel,
+    ExecutionMode,
+    GroupStats,
+    TaskRuntime,
+)
+
+
+def rt():
+    return TaskRuntime(
+        energy_model=AnalyticEnergyModel(
+            energy_per_op=1.0, task_overhead=0.0, static_power=0.0
+        )
+    )
+
+
+class TestSubmitAndWait:
+    def test_basic_flow(self):
+        runtime = rt()
+        out = []
+        for i in range(4):
+            runtime.submit(out.append, args=(i,), significance=0.5, work=1.0)
+        group = runtime.taskwait(ratio=1.0)
+        assert out == [0, 1, 2, 3]
+        assert group.stats.accurate == 4
+
+    def test_group_consumed_after_wait(self):
+        runtime = rt()
+        runtime.submit(lambda: None)
+        assert runtime.pending() == 1
+        runtime.taskwait()
+        assert runtime.pending() == 0
+
+    def test_labels_isolate_groups(self):
+        runtime = rt()
+        runtime.submit(lambda: "a", label="g1")
+        runtime.submit(lambda: "b", label="g2")
+        g1 = runtime.taskwait("g1")
+        assert g1.stats.total == 1
+        assert runtime.pending("g2") == 1
+
+    def test_wait_all(self):
+        runtime = rt()
+        runtime.submit(lambda: None, label="g1")
+        runtime.submit(lambda: None, label="g2")
+        groups = runtime.wait_all(ratio=1.0)
+        assert set(groups) == {"g1", "g2"}
+
+    def test_empty_taskwait(self):
+        group = rt().taskwait("nothing")
+        assert group.stats.total == 0
+
+    def test_ratio_passes_through(self):
+        runtime = rt()
+        for s in (0.9, 0.5, 0.1):
+            runtime.submit(lambda: None, significance=s, work=1.0)
+        group = runtime.taskwait(ratio=1 / 3)
+        assert group.stats.accurate == 1
+        assert group.stats.dropped == 2
+
+    def test_task_ids_unique_across_groups(self):
+        runtime = rt()
+        t1 = runtime.submit(lambda: None, label="a")
+        t2 = runtime.submit(lambda: None, label="b")
+        assert t1.task_id != t2.task_id
+
+
+class TestAccounting:
+    def test_energy_counts_executed_work(self):
+        runtime = rt()
+        runtime.submit(lambda: None, significance=1.0, work=10.0)
+        runtime.submit(lambda: None, significance=0.1, work=7.0)
+        group = runtime.taskwait(ratio=0.5)
+        assert group.energy.dynamic == pytest.approx(10.0)
+
+    def test_history_and_total_energy(self):
+        runtime = rt()
+        runtime.submit(lambda: None, work=3.0, label="a")
+        runtime.taskwait("a")
+        runtime.submit(lambda: None, work=4.0, label="b")
+        runtime.taskwait("b")
+        assert len(runtime.history) == 2
+        assert runtime.total_energy.dynamic == pytest.approx(7.0)
+
+    def test_reset(self):
+        runtime = rt()
+        runtime.submit(lambda: None)
+        runtime.taskwait()
+        runtime.submit(lambda: None)
+        runtime.reset()
+        assert runtime.pending() == 0 and not runtime.history
+
+    def test_group_values(self):
+        runtime = rt()
+        runtime.submit(lambda: 7, significance=1.0)
+        runtime.submit(lambda: 8, significance=0.0)
+        group = runtime.taskwait(ratio=0.0)
+        assert group.values() == [7, None]
+
+
+class TestGroupStats:
+    def test_from_results_counts(self):
+        runtime = rt()
+        runtime.submit(lambda: None, significance=1.0, work=2.0)
+        runtime.submit(
+            lambda: None,
+            significance=0.1,
+            approx_fn=lambda: None,
+            work=2.0,
+            approx_work=1.0,
+        )
+        runtime.submit(lambda: None, significance=0.1, work=2.0)
+        group = runtime.taskwait(ratio=0.0)
+        stats = group.stats
+        assert (stats.accurate, stats.approximate, stats.dropped) == (1, 1, 1)
+        assert stats.executed_work == pytest.approx(3.0)
+        assert stats.accurate_ratio == pytest.approx(1 / 3)
+
+    def test_empty_stats(self):
+        assert GroupStats().accurate_ratio == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the ratio-driven significance scheduler."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import ExecutionMode, Task, plan_modes
+
+
+def tasks_with(sigs, approx=False):
+    return [
+        Task(
+            fn=lambda: None,
+            approx_fn=(lambda: None) if approx else None,
+            significance=s,
+        )
+        for s in sigs
+    ]
+
+
+class TestRatioSemantics:
+    def test_ratio_one_all_accurate(self):
+        modes = plan_modes(tasks_with([0.1, 0.5, 0.9]), 1.0)
+        assert all(m is ExecutionMode.ACCURATE for m in modes)
+
+    def test_ratio_zero_drops_everything_unforced(self):
+        modes = plan_modes(tasks_with([0.1, 0.5, 0.9]), 0.0)
+        assert all(m is ExecutionMode.DROPPED for m in modes)
+
+    def test_ceil_rule(self):
+        # ceil(0.5 * 3) = 2 accurate tasks.
+        modes = plan_modes(tasks_with([0.1, 0.5, 0.9]), 0.5)
+        assert sum(m is ExecutionMode.ACCURATE for m in modes) == 2
+
+    def test_most_significant_chosen(self):
+        modes = plan_modes(tasks_with([0.1, 0.9, 0.5]), 1 / 3)
+        assert modes[1] is ExecutionMode.ACCURATE
+        assert modes[0] is ExecutionMode.DROPPED
+
+    def test_approx_fn_used_when_present(self):
+        modes = plan_modes(tasks_with([0.1, 0.9], approx=True), 0.5)
+        assert modes[0] is ExecutionMode.APPROXIMATE
+        assert modes[1] is ExecutionMode.ACCURATE
+
+    def test_forced_full_significance(self):
+        # sig 1.0 tasks are accurate even at ratio 0 (Sobel's A tasks).
+        modes = plan_modes(tasks_with([1.0, 0.5, 1.0]), 0.0)
+        assert modes[0] is ExecutionMode.ACCURATE
+        assert modes[2] is ExecutionMode.ACCURATE
+        assert modes[1] is ExecutionMode.DROPPED
+
+    def test_forced_counts_toward_ratio(self):
+        # 1 forced + ratio needing 2 -> exactly 2 accurate.
+        modes = plan_modes(tasks_with([1.0, 0.5, 0.4, 0.3]), 0.5)
+        assert sum(m is ExecutionMode.ACCURATE for m in modes) == 2
+
+    def test_tie_break_by_submission_order(self):
+        modes = plan_modes(tasks_with([0.5, 0.5, 0.5]), 1 / 3)
+        assert modes[0] is ExecutionMode.ACCURATE
+        assert modes[1] is ExecutionMode.DROPPED
+
+    def test_empty_group(self):
+        assert plan_modes([], 0.5) == []
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            plan_modes(tasks_with([0.5]), 1.5)
+        with pytest.raises(ValueError):
+            plan_modes(tasks_with([0.5]), -0.1)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=40),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_properties(sigs, ratio):
+    tasks = tasks_with(sigs)
+    modes = plan_modes(tasks, ratio)
+    accurate = [i for i, m in enumerate(modes) if m is ExecutionMode.ACCURATE]
+    n_acc = len(accurate)
+
+    # At least the requested fraction runs accurately.
+    assert n_acc >= math.ceil(ratio * len(sigs))
+    # Full-significance tasks always run accurately.
+    for i, s in enumerate(sigs):
+        if s >= 1.0:
+            assert modes[i] is ExecutionMode.ACCURATE
+    # Significance is respected: every accurate task has significance >=
+    # every non-accurate task (up to tie-breaking equality).
+    dropped = [i for i, m in enumerate(modes) if m is not ExecutionMode.ACCURATE]
+    if accurate and dropped:
+        assert min(sigs[i] for i in accurate) >= max(sigs[i] for i in dropped) - 1e-12

@@ -1,0 +1,62 @@
+"""Tests for Task and TaskResult."""
+
+import pytest
+
+from repro.runtime import ExecutionMode, Task, TaskResult
+
+
+class TestValidation:
+    def test_significance_bounds(self):
+        with pytest.raises(ValueError):
+            Task(fn=lambda: None, significance=1.5)
+        with pytest.raises(ValueError):
+            Task(fn=lambda: None, significance=-0.1)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Task(fn=lambda: None, work=-1.0)
+        with pytest.raises(ValueError):
+            Task(fn=lambda: None, approx_work=-1.0)
+
+    def test_defaults(self):
+        t = Task(fn=lambda: 42)
+        assert t.significance == 1.0 and t.label == "default"
+        assert t.approx_fn is None
+
+
+class TestRun:
+    def test_accurate_runs_fn(self):
+        t = Task(fn=lambda a, b: a + b, args=(1, 2))
+        assert t.run(ExecutionMode.ACCURATE) == 3
+
+    def test_kwargs_passed(self):
+        t = Task(fn=lambda a, b=0: a + b, args=(1,), kwargs={"b": 5})
+        assert t.run(ExecutionMode.ACCURATE) == 6
+
+    def test_approximate_runs_approx_fn(self):
+        t = Task(fn=lambda: "slow", approx_fn=lambda: "fast")
+        assert t.run(ExecutionMode.APPROXIMATE) == "fast"
+
+    def test_approximate_without_fn_rejected(self):
+        t = Task(fn=lambda: None)
+        with pytest.raises(ValueError, match="no approximate version"):
+            t.run(ExecutionMode.APPROXIMATE)
+
+    def test_dropped_returns_none(self):
+        t = Task(fn=lambda: "never")
+        assert t.run(ExecutionMode.DROPPED) is None
+
+
+class TestWork:
+    def test_executed_work_per_mode(self):
+        t = Task(fn=lambda: None, approx_fn=lambda: None, work=10.0, approx_work=2.0)
+        assert t.executed_work(ExecutionMode.ACCURATE) == 10.0
+        assert t.executed_work(ExecutionMode.APPROXIMATE) == 2.0
+        assert t.executed_work(ExecutionMode.DROPPED) == 0.0
+
+
+class TestTaskResult:
+    def test_was_accurate(self):
+        t = Task(fn=lambda: None)
+        assert TaskResult(t, ExecutionMode.ACCURATE, None, 0.0).was_accurate
+        assert not TaskResult(t, ExecutionMode.DROPPED, None, 0.0).was_accurate

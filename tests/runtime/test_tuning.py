@@ -1,0 +1,111 @@
+"""Tests for the ratio-knob autotuners."""
+
+import math
+
+import pytest
+
+from repro.runtime import best_quality_under_energy, min_ratio_for_quality
+
+
+def monotone_psnr(ratio: float) -> tuple[float, float]:
+    """Synthetic benchmark: PSNR 20..60 dB, energy 100..400 J."""
+    return 20.0 + 40.0 * ratio, 100.0 + 300.0 * ratio
+
+
+def monotone_error(ratio: float) -> tuple[float, float]:
+    """Synthetic benchmark: error 10%..0%, energy 50..200 J."""
+    return 0.10 * (1.0 - ratio), 50.0 + 150.0 * ratio
+
+
+class TestMinRatioForQuality:
+    def test_finds_threshold(self):
+        result = min_ratio_for_quality(monotone_psnr, target_quality=40.0)
+        assert result.satisfied
+        assert result.quality >= 40.0
+        # True threshold is ratio 0.5; bisection lands just above.
+        assert 0.5 <= result.ratio <= 0.5 + 1 / 32
+
+    def test_target_met_at_zero(self):
+        result = min_ratio_for_quality(monotone_psnr, target_quality=10.0)
+        assert result.ratio == 0.0 and result.satisfied
+
+    def test_unsatisfiable(self):
+        result = min_ratio_for_quality(monotone_psnr, target_quality=70.0)
+        assert not result.satisfied
+        assert result.ratio == 1.0
+
+    def test_lower_is_better_mode(self):
+        result = min_ratio_for_quality(
+            monotone_error, target_quality=0.02, higher_is_better=False
+        )
+        assert result.satisfied
+        assert result.quality <= 0.02
+        assert 0.8 <= result.ratio <= 0.8 + 1 / 32
+
+    def test_probe_caching(self):
+        calls = []
+
+        def counted(ratio):
+            calls.append(ratio)
+            return monotone_psnr(ratio)
+
+        min_ratio_for_quality(counted, target_quality=40.0)
+        assert len(calls) == len(set(calls))  # no repeated evaluations
+
+    def test_tolerance_controls_precision(self):
+        coarse = min_ratio_for_quality(
+            monotone_psnr, target_quality=40.0, tolerance=0.25
+        )
+        fine = min_ratio_for_quality(
+            monotone_psnr, target_quality=40.0, tolerance=1 / 256
+        )
+        assert fine.ratio <= coarse.ratio
+
+
+class TestBestQualityUnderEnergy:
+    def test_fits_budget(self):
+        result = best_quality_under_energy(monotone_psnr, energy_budget=250.0)
+        assert result.satisfied
+        assert result.energy <= 250.0
+        assert result.ratio == pytest.approx(0.5)
+
+    def test_unlimited_budget_full_ratio(self):
+        result = best_quality_under_energy(monotone_psnr, energy_budget=1e9)
+        assert result.ratio == 1.0
+
+    def test_impossible_budget(self):
+        result = best_quality_under_energy(monotone_psnr, energy_budget=10.0)
+        assert not result.satisfied
+        assert result.ratio == 0.0  # cheapest point returned
+
+    def test_lower_is_better(self):
+        result = best_quality_under_energy(
+            monotone_error, energy_budget=125.0, higher_is_better=False
+        )
+        assert result.energy <= 125.0
+        assert result.quality == pytest.approx(0.05)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            best_quality_under_energy(monotone_psnr, 100.0, grid=1)
+
+
+class TestOnRealKernel:
+    def test_dct_autotune(self):
+        from repro.images import natural_image
+        from repro.kernels.dct import dct_roundtrip_reference, dct_significance
+        from repro.metrics import psnr
+
+        image = natural_image(48, 48, seed=7)
+        reference = dct_roundtrip_reference(image)
+
+        def evaluate(ratio):
+            run = dct_significance(image, ratio)
+            return min(psnr(reference, run.output), 99.0), run.joules
+
+        result = min_ratio_for_quality(evaluate, target_quality=35.0)
+        assert result.satisfied
+        assert result.quality >= 35.0
+        # And the tuned point is cheaper than the fully accurate run.
+        full_energy = evaluate(1.0)[1]
+        assert result.energy < full_energy

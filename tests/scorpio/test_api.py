@@ -1,0 +1,158 @@
+"""Tests for the Analysis session (Table 1 macros)."""
+
+import pytest
+
+from repro.ad import ADouble
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+from repro.scorpio import Analysis, analyse_function
+from repro.scorpio.api import AnalysisStateError
+
+
+class TestInputMacro:
+    def test_interval_spec(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1), name="x")
+        assert x.value == Interval(0, 1)
+        assert x.node.label == "x"
+
+    def test_lo_hi_spec(self):
+        an = Analysis()
+        with an:
+            x = an.input(0.5, lo=0.0, hi=1.0)
+        assert x.value == Interval(0, 1)
+
+    def test_lo_without_hi_rejected(self):
+        an = Analysis()
+        with an:
+            with pytest.raises(ValueError):
+                an.input(0.5, lo=0.0)
+
+    def test_width_spec(self):
+        an = Analysis()
+        with an:
+            x = an.input(1.0, width=1.0)
+        assert x.value == Interval(0.5, 1.5)
+
+    def test_scalar_spec_degenerate(self):
+        an = Analysis()
+        with an:
+            x = an.input(2.0)
+        assert x.value == Interval(2.0, 2.0)
+
+    def test_default_names(self):
+        an = Analysis()
+        with an:
+            a = an.input(1.0)
+            b = an.input(2.0)
+        assert a.node.label == "x0" and b.node.label == "x1"
+
+
+class TestIntermediateOutputMacros:
+    def test_intermediate_labels_node(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1))
+            z = an.intermediate(x * 2.0, "z")
+        assert z.node.label == "z"
+
+    def test_intermediate_rejects_plain_values(self):
+        an = Analysis()
+        with an:
+            an.input(1.0)
+            with pytest.raises(TypeError):
+                an.intermediate(3.0, "z")
+
+    def test_output_rejects_plain_values(self):
+        an = Analysis()
+        with an:
+            an.input(1.0)
+            with pytest.raises(TypeError):
+                an.output(3.0)
+
+    def test_foreign_tape_rejected(self):
+        an1 = Analysis()
+        with an1:
+            x1 = an1.input(1.0)
+        an2 = Analysis()
+        with an2:
+            an2.input(1.0)
+            with pytest.raises(AnalysisStateError):
+                an2.intermediate(x1, "oops")
+
+
+class TestAnalyse:
+    def test_requires_inputs(self):
+        an = Analysis()
+        with an:
+            pass
+        with pytest.raises(AnalysisStateError, match="inputs"):
+            an.analyse()
+
+    def test_requires_outputs(self):
+        an = Analysis()
+        with an:
+            an.input(1.0)
+        with pytest.raises(AnalysisStateError, match="outputs"):
+            an.analyse()
+
+    def test_result_cached(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1))
+            an.output(x * 2.0)
+        assert an.analyse() is an.analyse()
+
+    def test_simplify_flag(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1))
+            acc = ADouble.constant(0.0)
+            for _ in range(3):
+                acc = acc + x
+            an.output(acc)
+        report = an.analyse(simplify=False)
+        assert len(report.simplified_graph) == len(report.raw_graph)
+
+    def test_vector_outputs_use_vector_mode(self):
+        # y1 = u, y2 = -u: the scalar summed-seed adjoint of u would cancel
+        # to 0; vector mode must keep u significant.
+        an = Analysis()
+        with an:
+            x = an.input(Interval(1.0, 2.0))
+            u = an.intermediate(x * 3.0, "u")
+            an.output(u + 0.0, name="y1")
+            an.output(-u, name="y2")
+        report = an.analyse()
+        assert report.significance_of("u") > 1.0
+
+
+class TestAnalyseFunction:
+    def test_interval_specs(self):
+        report = analyse_function(
+            lambda x: op.sin(x), [Interval(0.0, 1.0)], names=["x"]
+        )
+        assert report.input_significances()["x"] > 0
+
+    def test_tuple_specs(self):
+        report = analyse_function(lambda x: x * x, [(1.0, 2.0)])
+        assert len(report.input_ids) == 1
+
+    def test_scalar_specs(self):
+        report = analyse_function(lambda x, y: x + y, [1.0, 2.0])
+        assert len(report.input_ids) == 2
+
+    def test_vector_result(self):
+        report = analyse_function(
+            lambda x: (x * 2.0, x * 3.0), [Interval(0, 1)]
+        )
+        assert len(report.output_ids) == 2
+
+    def test_names_applied(self):
+        report = analyse_function(
+            lambda a, b: a * b,
+            [Interval(0, 1), Interval(1, 2)],
+            names=["alpha", "beta"],
+        )
+        assert set(report.input_significances()) == {"alpha", "beta"}

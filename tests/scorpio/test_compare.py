@@ -1,0 +1,79 @@
+"""Tests for the significance-regression diff tool."""
+
+import pytest
+
+from repro.kernels.maclaurin import analyse_maclaurin
+from repro.scorpio import Analysis, compare_reports
+from repro.intervals import Interval
+
+
+def simple_report(weight_a=3.0, weight_b=1.0, extra=False):
+    an = Analysis()
+    with an:
+        x = an.input(Interval(0, 1), name="x")
+        a = an.intermediate(x * weight_a, "a")
+        b = an.intermediate(x * weight_b, "b")
+        total = a + b
+        if extra:
+            c = an.intermediate(x * 0.1, "c")
+            total = total + c
+        an.output(total, name="y")
+    return an.analyse()
+
+
+class TestCompareReports:
+    def test_identical_reports(self):
+        diff = compare_reports(simple_report(), simple_report())
+        assert not diff.ranking_changed
+        assert not diff.partition_moved
+        assert diff.max_drift() == pytest.approx(0.0, abs=1e-12)
+        assert not diff.added_labels and not diff.removed_labels
+
+    def test_ranking_flip_detected(self):
+        old = simple_report(weight_a=3.0, weight_b=1.0)
+        new = simple_report(weight_a=1.0, weight_b=3.0)
+        diff = compare_reports(old, new)
+        assert diff.ranking_changed
+        assert diff.max_drift() > 0.1
+
+    def test_added_and_removed_labels(self):
+        old = simple_report()
+        new = simple_report(extra=True)
+        diff = compare_reports(old, new)
+        assert diff.added_labels == ["c"]
+        assert compare_reports(new, old).removed_labels == ["c"]
+
+    def test_drift_signs(self):
+        old = simple_report(weight_a=3.0, weight_b=1.0)
+        new = simple_report(weight_a=2.0, weight_b=2.0)
+        diff = compare_reports(old, new)
+        assert diff.drift["a"] < 0 < diff.drift["b"]
+
+    def test_proportional_scaling_is_no_drift(self):
+        # Doubling every weight scales all significances equally; the
+        # normalised comparison must report (near) zero drift.
+        old = simple_report(weight_a=3.0, weight_b=1.0)
+        new = simple_report(weight_a=6.0, weight_b=2.0)
+        diff = compare_reports(old, new)
+        assert diff.max_drift() < 1e-9
+        assert not diff.ranking_changed
+
+    def test_maclaurin_stable_across_nearby_ranges(self):
+        old = analyse_maclaurin(x_hat=0.49).report
+        new = analyse_maclaurin(x_hat=0.47).report
+        diff = compare_reports(old, new)
+        assert not diff.ranking_changed
+        assert diff.max_drift() < 0.05
+
+    def test_partition_move_detected(self):
+        old = analyse_maclaurin(delta=1e-4).report
+        new = analyse_maclaurin(delta=1e6).report  # variance never found
+        diff = compare_reports(old, new)
+        assert diff.partition_moved
+
+    def test_to_text(self):
+        diff = compare_reports(
+            simple_report(), simple_report(weight_a=1.0, weight_b=3.0)
+        )
+        text = diff.to_text()
+        assert "CHANGED" in text and "partition level" in text

@@ -1,0 +1,75 @@
+"""Tests for the @significance decorator API."""
+
+import pytest
+
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+from repro.scorpio.decorators import AnalysedFunction, significance
+
+
+@significance(x=(0.0, 1.0), y=Interval(2.0, 3.0))
+def model(x, y):
+    return op.exp(x) * y
+
+
+class TestDecorator:
+    def test_still_callable(self):
+        import math
+
+        assert model(0.0, 2.0) == pytest.approx(2.0)
+        assert model(1.0, 2.0) == pytest.approx(2.0 * math.e)
+
+    def test_wrapped_metadata(self):
+        assert model.__name__ == "model"
+
+    def test_analyse_returns_report(self):
+        report = model.analyse()
+        sigs = report.input_significances()
+        assert set(sigs) == {"x", "y"}
+        assert sigs["x"] > 0 and sigs["y"] > 0
+
+    def test_analysis_cached(self):
+        assert model.analyse() is model.analyse()
+
+    def test_reanalyse_after_range_change(self):
+        @significance(a=(0.0, 1.0), b=(0.0, 1.0))
+        def weighted(a, b):
+            return 5.0 * a + b
+
+        first = weighted.analyse()
+        weighted.ranges["b"] = Interval(0.0, 100.0)
+        second = weighted.reanalyse()
+        assert second is not first
+        assert second.input_significances()["b"] > first.input_significances()["b"]
+
+    def test_ranking_helper(self):
+        @significance(a=(0.0, 1.0), b=(0.0, 1.0))
+        def weighted(a, b):
+            return 5.0 * a + b
+
+        ranking = weighted.ranking()
+        assert ranking[0][0] == "a"
+
+    def test_report_text(self):
+        assert "significance analysis report" in model.report_text()
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError, match="unknown parameter"):
+
+            @significance(x=(0, 1), z=(0, 1))
+            def f(x):
+                return x
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(TypeError, match="missing range"):
+
+            @significance(x=(0, 1))
+            def f(x, y):
+                return x + y
+
+    def test_bare_decorator_rejected(self):
+        with pytest.raises(TypeError, match="keyword"):
+            significance(lambda x: x)
+
+    def test_type(self):
+        assert isinstance(model, AnalysedFunction)

@@ -1,0 +1,147 @@
+"""Tests for the DynDFG graph structure."""
+
+import pytest
+
+from repro.ad import ADouble, Tape
+from repro.scorpio import DynDFG
+from repro.scorpio.dyndfg import DFGNode
+
+
+def make_node(nid, parents=(), op="op", label=None, sig=None):
+    return DFGNode(
+        id=nid,
+        op=op,
+        label=label,
+        value=1.0,
+        adjoint=None,
+        significance=sig,
+        parents=tuple(parents),
+    )
+
+
+def diamond():
+    # 0 -> 1, 0 -> 2, (1,2) -> 3 (output)
+    return DynDFG(
+        [
+            make_node(0, op="input"),
+            make_node(1, (0,)),
+            make_node(2, (0,)),
+            make_node(3, (1, 2)),
+        ],
+        outputs=[3],
+    )
+
+
+class TestLevels:
+    def test_output_level_zero(self):
+        g = diamond()
+        assert g[3].level == 0
+
+    def test_bfs_levels(self):
+        g = diamond()
+        assert g[1].level == 1 and g[2].level == 1
+        assert g[0].level == 2
+
+    def test_height(self):
+        assert diamond().height == 3
+
+    def test_level_accessor(self):
+        g = diamond()
+        assert [n.id for n in g.level(1)] == [1, 2]
+
+    def test_levels_mapping(self):
+        levels = diamond().levels()
+        assert sorted(levels) == [0, 1, 2]
+
+    def test_shortest_path_level(self):
+        # 0 -> 1 -> 3 and 0 -> 3 directly: level(0) must be 1 (shortest).
+        g = DynDFG(
+            [
+                make_node(0, op="input"),
+                make_node(1, (0,)),
+                make_node(3, (1, 0)),
+            ],
+            outputs=[3],
+        )
+        assert g[0].level == 1
+
+    def test_unreachable_node_has_no_level(self):
+        g = DynDFG(
+            [make_node(0, op="input"), make_node(1, (0,)), make_node(2, (0,))],
+            outputs=[1],
+        )
+        assert g[2].level is None
+
+
+class TestStructure:
+    def test_missing_output_rejected(self):
+        with pytest.raises(ValueError):
+            DynDFG([make_node(0)], outputs=[5])
+
+    def test_children_map(self):
+        g = diamond()
+        children = g.children_map()
+        assert sorted(children[0]) == [1, 2]
+        assert children[3] == []
+
+    def test_inputs(self):
+        assert [n.id for n in diamond().inputs()] == [0]
+
+    def test_output_nodes(self):
+        assert [n.id for n in diamond().output_nodes()] == [3]
+
+    def test_labelled(self):
+        g = DynDFG(
+            [make_node(0, label="x"), make_node(1, (0,), label="x")],
+            outputs=[1],
+        )
+        assert len(g.labelled("x")) == 2
+
+    def test_contains_len_iter(self):
+        g = diamond()
+        assert 2 in g and 9 not in g
+        assert len(g) == 4
+        assert [n.id for n in g] == [0, 1, 2, 3]
+
+
+class TestRemoveAbove:
+    def test_truncation(self):
+        g = diamond().remove_above(1)
+        assert set(g.nodes) == {1, 2, 3}
+
+    def test_parent_pruning(self):
+        g = diamond().remove_above(1)
+        assert g[1].parents == ()
+
+    def test_original_untouched(self):
+        g = diamond()
+        g.remove_above(0)
+        assert len(g) == 4
+
+
+class TestFromTapeAndExport:
+    def test_from_tape(self):
+        with Tape() as tape:
+            x = ADouble.input(1.0, label="x", tape=tape)
+            y = x * 2.0 + 1.0
+            tape.adjoint({y.node.index: 1.0})
+        g = DynDFG.from_tape(tape, [y.node.index], {0: 0.5})
+        assert g[0].significance == 0.5
+        assert g[y.node.index].level == 0
+        assert g[0].is_input
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        clone = g.copy()
+        clone.nodes[0].label = "mutated"
+        assert g[0].label is None
+
+    def test_to_dot_mentions_all_nodes(self):
+        dot = diamond().to_dot("T")
+        for nid in range(4):
+            assert f"n{nid}" in dot
+        assert dot.startswith('digraph "T"')
+
+    def test_display_name(self):
+        assert make_node(3, label="foo").display_name == "foo"
+        assert make_node(3, op="mul").display_name == "mul#3"

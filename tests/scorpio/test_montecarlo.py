@@ -1,0 +1,124 @@
+"""Tests for the Monte-Carlo significance cross-check."""
+
+import math
+
+import pytest
+
+from repro.intervals import Box, Interval
+from repro.scorpio import (
+    analyse_function,
+    perturbation_significance,
+    rank_correlation,
+    sobol_style_significance,
+)
+from repro.ad import intrinsics as op
+
+
+def linear(coeffs):
+    def fn(xs):
+        return sum(c * x for c, x in zip(coeffs, xs))
+
+    return fn
+
+
+class TestPerturbation:
+    def test_linear_scores_proportional_to_coefficients(self):
+        fn = linear([1.0, 5.0, 0.0])
+        box = Box([Interval(-1, 1)] * 3)
+        scores = perturbation_significance(fn, box, samples=64)
+        assert scores[1] > scores[0] > scores[2]
+        assert scores[1] == pytest.approx(10.0, rel=0.05)
+        assert scores[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_accepts_interval_sequence(self):
+        scores = perturbation_significance(
+            linear([2.0]), [Interval(0, 1)], samples=16
+        )
+        assert scores[0] == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        fn = linear([1.0, 2.0])
+        box = Box([Interval(0, 1)] * 2)
+        a = perturbation_significance(fn, box, samples=32, seed=1)
+        b = perturbation_significance(fn, box, samples=32, seed=1)
+        assert a == b
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            perturbation_significance(linear([1.0]), [Interval(0, 1)], samples=1)
+
+    def test_endpoints_always_probed(self):
+        # With exactly 2 samples the full range must still be measured for
+        # monotone functions (endpoints are deterministic probes).
+        scores = perturbation_significance(
+            linear([3.0]), [Interval(0, 2)], samples=2
+        )
+        assert scores[0] == pytest.approx(6.0)
+
+
+class TestSobolStyle:
+    def test_ranks_linear_model(self):
+        fn = linear([0.5, 4.0, 1.0])
+        box = Box([Interval(-1, 1)] * 3)
+        scores = sobol_style_significance(fn, box, samples=256)
+        assert scores[1] > scores[2] > scores[0]
+
+    def test_irrelevant_input_scores_zero(self):
+        fn = linear([1.0, 0.0])
+        box = Box([Interval(-1, 1)] * 2)
+        scores = sobol_style_significance(fn, box, samples=128)
+        assert scores[1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRankCorrelation:
+    def test_perfect(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        assert rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_vector(self):
+        assert rank_correlation([1, 1, 1], [1, 1, 1]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1, 2])
+
+    def test_short_vectors(self):
+        assert rank_correlation([1], [5]) == 1.0
+
+
+class TestCrossValidation:
+    """The paper's future-work idea: MC must agree with IA+AD rankings."""
+
+    def test_rankings_agree_on_weighted_sum(self):
+        weights = [0.5, 3.0, 1.5, 0.1]
+        box = [Interval(-1, 1)] * 4
+        report = analyse_function(
+            lambda *xs: sum(w * x for w, x in zip(weights, xs)), box
+        )
+        ia_scores = [
+            report.input_significances()[f"x{i}"] for i in range(4)
+        ]
+        mc_scores = perturbation_significance(
+            linear(weights), Box(box), samples=128
+        )
+        assert rank_correlation(ia_scores, mc_scores) == pytest.approx(1.0)
+
+    def test_rankings_agree_on_nonlinear_model(self):
+        def taped(x, y, z):
+            return op.exp(x) + 0.1 * op.sin(y) + 3.0 * z
+
+        def plain(args):
+            x, y, z = args
+            return math.exp(x) + 0.1 * math.sin(y) + 3.0 * z
+
+        box = [Interval(0, 0.5), Interval(0, 0.5), Interval(0, 0.5)]
+        report = analyse_function(taped, box)
+        ia_scores = [report.input_significances()[f"x{i}"] for i in range(3)]
+        mc_scores = perturbation_significance(plain, Box(box), samples=256)
+        assert rank_correlation(ia_scores, mc_scores) >= 0.99

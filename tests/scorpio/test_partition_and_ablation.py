@@ -1,0 +1,106 @@
+"""Tests for the task-partition suggester and the ablation variants."""
+
+import pytest
+
+from repro.ad import ADouble, Tape
+from repro.intervals import Interval
+from repro.kernels.maclaurin import analyse_maclaurin
+from repro.scorpio import (
+    SIGNIFICANCE_VARIANTS,
+    propose_tasks,
+    render_partition,
+    score_tape,
+)
+
+
+@pytest.fixture(scope="module")
+def maclaurin_report():
+    return analyse_maclaurin().report
+
+
+class TestProposeTasks:
+    def test_one_suggestion_per_term(self, maclaurin_report):
+        suggestions = propose_tasks(maclaurin_report)
+        names = {s.name for s in suggestions}
+        assert {"term0", "term1", "term2", "term3", "term4"} <= names
+
+    def test_sorted_by_significance(self, maclaurin_report):
+        suggestions = propose_tasks(maclaurin_report)
+        values = [s.significance for s in suggestions]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_task_normalised_to_one(self, maclaurin_report):
+        suggestions = propose_tasks(maclaurin_report)
+        assert suggestions[0].significance == pytest.approx(1.0)
+        assert suggestions[0].name == "term1"
+
+    def test_term0_droppable(self, maclaurin_report):
+        suggestions = propose_tasks(maclaurin_report, drop_threshold=1e-6)
+        term0 = next(s for s in suggestions if s.name == "term0")
+        assert term0.droppable
+
+    def test_clause_rendering(self, maclaurin_report):
+        suggestion = propose_tasks(maclaurin_report)[0]
+        assert suggestion.clause() == "significance(1.000)"
+
+
+class TestRenderPartition:
+    def test_listing7_style(self, maclaurin_report):
+        text = render_partition(propose_tasks(maclaurin_report), "maclaurin")
+        assert "rt.submit(compute_term1, significance=1.000" in text
+        assert "rt.taskwait('maclaurin', ratio=wait_ratio)" in text
+
+    def test_droppable_rendered_as_constant(self, maclaurin_report):
+        text = render_partition(
+            propose_tasks(maclaurin_report, drop_threshold=1e-6)
+        )
+        assert "replace with constant" in text
+
+
+class TestAblationVariants:
+    @pytest.fixture(scope="class")
+    def tape(self):
+        tape = Tape()
+        with tape:
+            x = ADouble.input(Interval(-0.01, 0.99), label="x", tape=tape)
+            acc = ADouble.constant(0.0)
+            self_terms = []
+            for i in range(5):
+                t = x**i
+                self_terms.append(t.node.index)
+                acc = acc + t
+            tape.adjoint({acc.node.index: Interval(1.0)})
+        tape.term_ids = self_terms  # type: ignore[attr-defined]
+        return tape
+
+    def test_all_variants_available(self):
+        assert set(SIGNIFICANCE_VARIANTS) == {
+            "width_product",
+            "first_order",
+            "value_width",
+            "derivative_mag",
+        }
+
+    def test_width_product_recovers_ranking(self, tape):
+        scores = score_tape(tape, "width_product")
+        values = [scores[t] for t in tape.term_ids]
+        assert values[0] == pytest.approx(0.0, abs=1e-9)
+        assert all(a > b for a, b in zip(values[1:], values[2:]))
+
+    def test_first_order_recovers_ranking(self, tape):
+        scores = score_tape(tape, "first_order")
+        values = [scores[t] for t in tape.term_ids[1:]]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_derivative_mag_cannot_rank(self, tape):
+        scores = score_tape(tape, "derivative_mag")
+        values = [scores[t] for t in tape.term_ids[1:]]
+        assert max(values) == pytest.approx(min(values), rel=1e-9)
+
+    def test_unknown_variant_rejected(self, tape):
+        with pytest.raises(KeyError, match="unknown significance variant"):
+            score_tape(tape, "nope")
+
+    def test_scores_nonnegative(self, tape):
+        for variant in SIGNIFICANCE_VARIANTS:
+            assert all(v >= 0 for v in score_tape(tape, variant).values())

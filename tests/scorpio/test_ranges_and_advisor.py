@@ -1,0 +1,138 @@
+"""Tests for the range study and the approximation advisor (§6 future work)."""
+
+import pytest
+
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+from repro.kernels.blackscholes.sequential import black_scholes_blocks
+from repro.scorpio import (
+    Analysis,
+    RangeStudy,
+    analyse_over_ranges,
+    render_advice,
+    suggest_approximations,
+)
+
+
+def weighted_sum(a, b):
+    return 3.0 * a + 0.5 * b
+
+
+class TestRangeStudy:
+    def test_stable_ranking(self):
+        study = analyse_over_ranges(
+            weighted_sum,
+            [
+                [Interval(0, 1), Interval(0, 1)],
+                [Interval(-2, 2), Interval(-2, 2)],
+                [Interval(5, 6), Interval(5, 6)],
+            ],
+            names=["a", "b"],
+        )
+        assert study.ranking_stability() == pytest.approx(1.0)
+        assert study.most_significant() == "a"
+
+    def test_input_dependent_ranking_detected(self):
+        # f = a*b: over boxes where |a| dominates, b is more significant,
+        # and vice versa — the instability §6 warns about.
+        study = analyse_over_ranges(
+            lambda a, b: a * b,
+            [
+                [Interval(10, 11), Interval(0, 0.1)],
+                [Interval(0, 0.1), Interval(10, 11)],
+            ],
+            names=["a", "b"],
+        )
+        assert study.ranking_stability() < 0.5
+
+    def test_aggregate_min_max(self):
+        study = analyse_over_ranges(
+            weighted_sum,
+            [[Interval(0, 1), Interval(0, 1)], [Interval(0, 2), Interval(0, 2)]],
+            names=["a", "b"],
+        )
+        agg = study.aggregate()
+        assert agg["a"]["max"] >= agg["a"]["mean"] >= agg["a"]["min"]
+
+    def test_single_box_trivially_stable(self):
+        study = analyse_over_ranges(
+            weighted_sum, [[Interval(0, 1), Interval(0, 1)]], names=["a", "b"]
+        )
+        assert study.ranking_stability() == 1.0
+
+    def test_empty_boxes_rejected(self):
+        with pytest.raises(ValueError):
+            analyse_over_ranges(weighted_sum, [])
+
+    def test_to_text(self):
+        study = analyse_over_ranges(
+            weighted_sum,
+            [[Interval(0, 1), Interval(0, 1)]],
+            names=["a", "b"],
+        )
+        text = study.to_text()
+        assert "ranking stability" in text and "a" in text
+
+
+def blackscholes_report():
+    an = Analysis()
+    with an:
+        s = an.input(100.0, width=4.0, name="S")
+        k = an.input(95.0, width=4.0, name="K")
+        r = an.input(0.03, width=0.002, name="r")
+        v = an.input(0.3, width=0.02, name="v")
+        t = an.input(1.0, width=0.05, name="T")
+        blocks = black_scholes_blocks(s, k, r, v, t)
+        an.output(blocks["call"], name="price")
+    return an.analyse()
+
+
+class TestAdvisor:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return blackscholes_report()
+
+    def test_suggests_blackscholes_cd_ops(self, report):
+        suggestions = suggest_approximations(report)
+        ops = {s.op for s in suggestions}
+        # The paper's manual choice: exp/sqrt-family ops in the least
+        # significant blocks (one erf is the d2-side CDF of block C).
+        assert "erf" in ops or "log" in ops or "sqrt" in ops
+
+    def test_high_significance_ops_spared(self, report):
+        suggestions = suggest_approximations(report, significance_threshold=0.25)
+        assert all(s.significance <= 0.25 for s in suggestions)
+
+    def test_sorted_by_score(self, report):
+        suggestions = suggest_approximations(report)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_threshold_zero_spares_everything_significant(self, report):
+        none_allowed = suggest_approximations(report, significance_threshold=-1.0)
+        assert none_allowed == []
+
+    def test_replacement_names_valid(self, report):
+        import repro.fastmath as fm
+
+        for s in suggest_approximations(report):
+            assert hasattr(fm, s.replacement)
+            assert s.cost_saving > 0
+
+    def test_render_advice(self, report):
+        text = render_advice(suggest_approximations(report))
+        assert "fastapprox" in text
+
+    def test_render_empty(self):
+        assert "no low-significance" in render_advice([])
+
+    def test_trig_ops_suggestable(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0.0, 0.1), name="x")
+            big = an.intermediate(x * 100.0, "big")
+            small = op.sin(x) * 1e-4
+            an.output(big + small, name="y")
+        report = an.analyse()
+        suggestions = suggest_approximations(report)
+        assert any(s.op == "sin" for s in suggestions)

@@ -1,0 +1,96 @@
+"""Tests for the SignificanceReport views and rendering."""
+
+import pytest
+
+from repro.ad import ADouble
+from repro.intervals import Interval
+from repro.scorpio import Analysis
+
+
+def make_report():
+    an = Analysis(delta=1e-6)
+    with an:
+        x = an.input(Interval(0, 1), name="x")
+        a = an.intermediate(x * 3.0, "big")
+        b = an.intermediate(x * 0.1, "small")
+        an.output(a + b, name="y")
+    return an.analyse()
+
+
+class TestViews:
+    def test_significance_of(self):
+        report = make_report()
+        assert report.significance_of("big") > report.significance_of("small")
+
+    def test_significance_of_unknown(self):
+        with pytest.raises(KeyError):
+            make_report().significance_of("nope")
+
+    def test_significance_of_ambiguous_label(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1))
+            an.intermediate(x * 2.0, "dup")
+            an.intermediate(x * 3.0, "dup")
+            an.output(x * 4.0)
+        report = an.analyse()
+        with pytest.raises(KeyError, match="ambiguous"):
+            report.significance_of("dup")
+
+    def test_labelled_significances_accumulate(self):
+        an = Analysis()
+        with an:
+            x = an.input(Interval(0, 1))
+            acc = ADouble.constant(0.0)
+            for _ in range(3):
+                t = x * 1.0
+                an.intermediate(t, "term")
+                acc = acc + t
+            an.output(acc)
+        report = an.analyse()
+        per_term = report.labelled_significances()["term"]
+        assert per_term == pytest.approx(3.0, rel=1e-6)
+
+    def test_outputs_excluded_from_labelled(self):
+        report = make_report()
+        assert "y" not in report.labelled_significances()
+
+    def test_normalised_sums_to_one(self):
+        values = make_report().normalised_significances()
+        assert sum(values.values()) == pytest.approx(1.0)
+
+    def test_input_significances(self):
+        report = make_report()
+        assert set(report.input_significances()) == {"x"}
+
+    def test_ranking_sorted(self):
+        ranking = make_report().ranking()
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_graph_property_is_scan_graph(self):
+        report = make_report()
+        assert report.graph is report.scan.graph
+
+    def test_task_partition(self):
+        report = make_report()
+        assert report.task_partition() == report.scan.task_nodes
+
+
+class TestRendering:
+    def test_to_text_mentions_labels(self):
+        text = make_report().to_text()
+        assert "big" in text and "small" in text
+        assert "significance analysis report" in text
+
+    def test_to_text_unnormalised(self):
+        text = make_report().to_text(normalised=False)
+        assert "normalised" not in text.splitlines()[-3]
+
+    def test_to_text_reports_level(self):
+        text = make_report().to_text()
+        assert "variance level" in text or "no significance variance" in text
+
+    def test_to_dot(self):
+        dot = make_report().to_dot()
+        assert dot.startswith('digraph "Gout"')

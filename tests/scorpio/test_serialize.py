@@ -1,0 +1,79 @@
+"""Tests for JSON serialisation of analysis results."""
+
+import json
+
+import pytest
+
+from repro.intervals import Interval
+from repro.kernels.maclaurin import analyse_maclaurin
+from repro.scorpio.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    interval_to_json,
+    report_to_dict,
+    report_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return analyse_maclaurin().report
+
+
+class TestIntervalJson:
+    def test_interval(self):
+        assert interval_to_json(Interval(1, 2)) == {"lo": 1.0, "hi": 2.0}
+
+    def test_scalars_pass_through(self):
+        assert interval_to_json(3.5) == 3.5
+        assert interval_to_json(None) is None
+
+    def test_unknown_types_reprd(self):
+        assert isinstance(interval_to_json(object()), str)
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_structure(self, report):
+        data = graph_to_dict(report.simplified_graph)
+        restored = graph_from_dict(data)
+        assert len(restored) == len(report.simplified_graph)
+        for node in report.simplified_graph:
+            clone = restored[node.id]
+            assert clone.op == node.op
+            assert clone.label == node.label
+            assert clone.parents == node.parents
+            assert clone.significance == node.significance
+
+    def test_levels_recomputed(self, report):
+        restored = graph_from_dict(graph_to_dict(report.simplified_graph))
+        for node in report.simplified_graph:
+            assert restored[node.id].level == node.level
+
+    def test_interval_values_restored(self, report):
+        restored = graph_from_dict(graph_to_dict(report.raw_graph))
+        original = report.raw_graph
+        node = original.labelled("term1")[0]
+        assert restored[node.id].value == node.value
+
+    def test_json_serialisable(self, report):
+        text = json.dumps(graph_to_dict(report.raw_graph))
+        assert "term1" in text
+
+
+class TestReportJson:
+    def test_dict_fields(self, report):
+        data = report_to_dict(report)
+        assert data["partition_level"] == 1
+        assert "term1" in data["labelled_significances"]
+        assert data["raw_graph_size"] >= data["simplified_graph_size"]
+
+    def test_json_parses(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["normalised_significances"]["term0"] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_graph_embedded(self, report):
+        data = report_to_dict(report)
+        restored = graph_from_dict(data["graph"])
+        assert restored.outputs == list(report.graph.outputs)

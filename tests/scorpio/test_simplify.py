@@ -1,0 +1,142 @@
+"""Tests for S4: aggregation-node elimination."""
+
+from repro.ad import ADouble, Tape
+from repro.scorpio import DynDFG, simplify
+from repro.scorpio.dyndfg import DFGNode
+
+
+def node(nid, parents=(), op="op", label=None):
+    return DFGNode(
+        id=nid,
+        op=op,
+        label=label,
+        value=1.0,
+        adjoint=None,
+        significance=None,
+        parents=tuple(parents),
+    )
+
+
+class TestChainCollapse:
+    def _accumulation_graph(self, n_terms=4):
+        """const -> add -> add -> ... with one term node feeding each add."""
+        nodes = [node(0, op="const")]
+        prev = 0
+        nid = 1
+        term_ids = []
+        for _ in range(n_terms):
+            term = node(nid, op="mul")
+            term_ids.append(nid)
+            nid += 1
+            acc = node(nid, (prev, term.id), op="add")
+            prev = nid
+            nid += 1
+            nodes.extend([term, acc])
+        return DynDFG(nodes, outputs=[prev]), term_ids, prev
+
+    def test_chain_collapsed_to_single_node(self):
+        graph, terms, out = self._accumulation_graph()
+        simplified = simplify(graph)
+        adds = [n for n in simplified if n.op == "add"]
+        assert len(adds) == 1 and adds[0].id == out
+
+    def test_terms_become_direct_parents(self):
+        graph, terms, out = self._accumulation_graph()
+        simplified = simplify(graph)
+        assert set(simplified[out].parents) == set(terms)
+
+    def test_terms_all_on_level_one(self):
+        graph, terms, out = self._accumulation_graph()
+        simplified = simplify(graph)
+        assert {simplified[t].level for t in terms} == {1}
+
+    def test_const_seed_dropped(self):
+        graph, _, out = self._accumulation_graph()
+        simplified = simplify(graph)
+        assert all(n.op != "const" for n in simplified)
+
+    def test_merged_ids_recorded(self):
+        graph, _, out = self._accumulation_graph(3)
+        simplified = simplify(graph)
+        # Two absorbed adds plus the absorbed const seed.
+        assert len(simplified[out].merged) == 3
+
+    def test_sub_chains_also_collapse(self):
+        nodes = [
+            node(0, op="input"),
+            node(1, (0,), op="mul"),
+            node(2, (0,), op="mul"),
+            node(3, (1,), op="add"),
+            node(4, (3, 2), op="sub"),
+        ]
+        graph = DynDFG(nodes, outputs=[4])
+        simplified = simplify(graph)
+        assert set(simplified[4].parents) == {1, 2}
+
+
+class TestNoOverCollapse:
+    def test_shared_adds_not_absorbed(self):
+        # The inner add has TWO consumers; absorbing it would be wrong.
+        nodes = [
+            node(0, op="input"),
+            node(1, (0,), op="add"),
+            node(2, (1,), op="add"),
+            node(3, (1, 2), op="mul"),
+        ]
+        graph = DynDFG(nodes, outputs=[3])
+        simplified = simplify(graph)
+        assert 1 in simplified.nodes
+
+    def test_mul_chains_untouched(self):
+        nodes = [
+            node(0, op="input"),
+            node(1, (0,), op="mul"),
+            node(2, (1,), op="mul"),
+        ]
+        graph = DynDFG(nodes, outputs=[2])
+        simplified = simplify(graph)
+        assert len(simplified) == 3
+
+    def test_add_feeding_mul_kept(self):
+        # (a + b) * (c + d): the adds feed a mul, not another add.
+        nodes = [
+            node(0, op="input"),
+            node(1, op="input"),
+            node(2, op="input"),
+            node(3, op="input"),
+            node(4, (0, 1), op="add"),
+            node(5, (2, 3), op="add"),
+            node(6, (4, 5), op="mul"),
+        ]
+        graph = DynDFG(nodes, outputs=[6])
+        simplified = simplify(graph)
+        assert len(simplified) == 7
+
+    def test_labels_and_significance_preserved(self):
+        nodes = [
+            node(0, op="input", label="x"),
+            node(1, (0,), op="mul"),
+            node(2, (1,), op="add"),
+        ]
+        nodes[2].significance = 0.7
+        graph = DynDFG(nodes, outputs=[2])
+        simplified = simplify(graph)
+        assert simplified[0].label == "x"
+        assert simplified[2].significance == 0.7
+
+
+class TestOnRealTape:
+    def test_maclaurin_structure(self):
+        with Tape() as tape:
+            x = ADouble.input(1.0, label="x", tape=tape)
+            acc = ADouble.constant(0.0)
+            terms = []
+            for i in range(4):
+                t = x**i
+                terms.append(t.node.index)
+                acc = acc + t
+            tape.adjoint({acc.node.index: 1.0})
+        graph = simplify(DynDFG.from_tape(tape, [acc.node.index]))
+        out = acc.node.index
+        assert set(graph[out].parents) == set(terms)
+        assert {graph[t].level for t in terms} == {1}

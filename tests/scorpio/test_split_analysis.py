@@ -1,0 +1,80 @@
+"""Tests for significance analysis with automatic interval splitting."""
+
+import pytest
+
+from repro.intervals import AmbiguousComparisonError, Interval
+from repro.scorpio import analyse_with_splitting
+
+
+def branchy_abs_times(x, y):
+    """|x| * y with an explicit branch (ambiguous when x spans 0)."""
+    if x >= 0.0:
+        return x * y
+    return (-x) * y
+
+
+def branchless(x, y):
+    return x * y + y
+
+
+class TestAnalyseWithSplitting:
+    def test_branchless_single_box(self):
+        study = analyse_with_splitting(
+            branchless, [Interval(0, 1), Interval(0, 1)], names=["x", "y"]
+        )
+        assert len(study.boxes) == 1
+        assert not study.skipped
+
+    def test_branchy_covers_domain(self):
+        study = analyse_with_splitting(
+            branchy_abs_times,
+            [Interval(-1.0, 2.0), Interval(1.0, 1.5)],
+            names=["x", "y"],
+            point_tolerance=1e-2,
+        )
+        assert len(study.boxes) > 1
+        area = sum(
+            b[0].width * b[1].width
+            for b in list(study.boxes) + list(study.skipped)
+        )
+        assert area == pytest.approx(3.0 * 0.5, rel=1e-9)
+
+    def test_no_box_straddles_the_branch(self):
+        study = analyse_with_splitting(
+            branchy_abs_times,
+            [Interval(-1.0, 2.0), Interval(1.0, 1.5)],
+            names=["x", "y"],
+            point_tolerance=1e-2,
+        )
+        for box in study.boxes:
+            assert not (box[0].lo < -1e-9 < box[0].hi - 1e-9)
+
+    def test_boundary_slivers_skipped_not_fatal(self):
+        study = analyse_with_splitting(
+            branchy_abs_times,
+            [Interval(-1.0, 1.0), Interval(1.0, 1.1)],
+            names=["x", "y"],
+            point_tolerance=1e-2,
+        )
+        assert study.skipped  # the x ~ 0 boundary region
+
+    def test_depth_exhaustion_raises(self):
+        with pytest.raises(AmbiguousComparisonError):
+            analyse_with_splitting(
+                branchy_abs_times,
+                [Interval(-1.0, 2.0), Interval(1.0, 1.5)],
+                max_depth=1,
+                point_tolerance=1e-12,
+            )
+
+    def test_aggregate_significances_sane(self):
+        study = analyse_with_splitting(
+            branchy_abs_times,
+            [Interval(-1.0, 2.0), Interval(1.0, 1.5)],
+            names=["x", "y"],
+            point_tolerance=1e-2,
+        )
+        agg = study.aggregate()
+        # Somewhere in the domain x matters a lot (near |x| = 2).
+        assert agg["x"]["max"] > 1.0
+        assert agg["x"]["min"] >= 0.0

@@ -1,0 +1,77 @@
+"""Smoke tests: every bundled example must run end to end.
+
+Examples are loaded by path (the ``examples/`` directory is not a
+package) and executed with reduced workload arguments.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(module, argv, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["example"] + argv)
+    module.main()
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch):
+        run_main(load_example("quickstart"), [], monkeypatch)
+        out = capsys.readouterr().out
+        assert "term1" in out and "ratio" in out
+
+    def test_significance_explorer(self, capsys, monkeypatch):
+        run_main(load_example("significance_explorer"), [], monkeypatch)
+        out = capsys.readouterr().out
+        assert "rank correlation" in out and "digraph" in out
+
+    def test_image_pipeline(self, capsys, monkeypatch, tmp_path):
+        run_main(
+            load_example("image_pipeline"),
+            ["--size", "64", "--out-dir", str(tmp_path)],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "Sobel" in out and "DCT" in out
+        assert (tmp_path / "sobel_approx.pgm").exists()
+
+    def test_molecular_dynamics(self, capsys, monkeypatch):
+        run_main(
+            load_example("molecular_dynamics"),
+            ["--side", "4", "--steps", "2"],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "rank correlation" in out and "drift" in out
+
+    def test_risk_engine(self, capsys, monkeypatch):
+        run_main(load_example("risk_engine"), ["--count", "1024"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "ranking" in out and "selective run" in out
+
+    def test_streaming_pipeline(self, capsys, monkeypatch):
+        run_main(
+            load_example("streaming_pipeline"),
+            ["--size", "48", "--frames", "6"],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "streaming" in out and "mean energy" in out
+
+    def test_autotuning(self, capsys, monkeypatch):
+        run_main(load_example("autotuning"), ["--size", "48"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "minimum ratio" in out and "best quality" in out

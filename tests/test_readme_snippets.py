@@ -1,0 +1,45 @@
+"""The README's code snippets must keep working verbatim."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_has_python_snippets(self):
+        assert len(python_blocks()) >= 2
+
+    def test_snippets_execute(self, capsys):
+        namespace: dict = {}
+        for block in python_blocks():
+            exec(compile(block, "<README>", "exec"), namespace)
+        out = capsys.readouterr().out
+        assert "term1" in out  # the analysis report was printed
+
+    def test_quickstart_numbers(self):
+        # Re-run the quickstart flow and assert the documented behaviour.
+        namespace: dict = {}
+        for block in python_blocks():
+            exec(compile(block, "<README>", "exec"), namespace)
+        report = namespace["report"]
+        normalised = report.normalised_significances()
+        terms = {k: v for k, v in normalised.items() if k.startswith("term")}
+        assert terms["term0"] == pytest.approx(0.0, abs=1e-9)
+        assert max(terms, key=terms.get) == "term1"
+
+    def test_mentioned_files_exist(self):
+        text = README.read_text(encoding="utf-8")
+        root = README.parent
+        for name in ("DESIGN.md", "EXPERIMENTS.md", "docs/THEORY.md", "docs/BENCHMARKS.md"):
+            assert name in text
+            assert (root / name).exists()
+        for example in re.findall(r"`(\w+\.py)` ", text):
+            assert (root / "examples" / example).exists(), example
