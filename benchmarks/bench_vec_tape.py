@@ -1,0 +1,172 @@
+"""repro.vec speedup benchmark: batched vs scalar interval-adjoint runs.
+
+Not a paper figure — the engineering case for the ``repro.vec``
+subsystem.  The scalar engine records one tape *per analysed point*; the
+batched engine records one array-valued tape for the whole batch and
+runs a single lane-parallel reverse sweep.  Both produce rigorous
+(outward-rounded) enclosures, so the significance *ordering* must agree
+wherever the scalar values are decisively separated.
+
+Asserted while benchmarking:
+
+* 4096-option BlackScholes portfolio: the batched analysis is >= 10x
+  faster than 4096 scalar per-option analyses and yields the same block
+  ranking (on every pair separated by more than rounding noise);
+* Maclaurin series across lanes: per-term ordering matches the scalar
+  run in every lane.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.kernels.blackscholes import make_portfolio
+from repro.kernels.blackscholes.analysis import (
+    analyse_option,
+    analyse_portfolio_vec,
+)
+from repro.scorpio import Analysis
+from repro.vec import VAnalysis
+
+N_OPTIONS = 4096
+N_LANES = 256
+N_TERMS = 8
+_BLOCKS = ("A", "B", "C", "D")
+
+
+# ----------------------------------------------------------------------
+# Maclaurin: one tape per lane vs one batched tape
+# ----------------------------------------------------------------------
+
+
+def _maclaurin_scalar(x_hats):
+    """One scalar Analysis per lane (the pre-vec way)."""
+    out = []
+    for x_hat in x_hats:
+        an = Analysis()
+        with an:
+            x = an.input(float(x_hat), width=0.5, name="x")
+            result = None
+            for i in range(N_TERMS):
+                term = x**i
+                an.intermediate(term, f"term{i}")
+                result = term if result is None else result + term
+            an.output(result, name="y")
+        out.append(an.analyse(simplify=False).labelled_significances())
+    return out
+
+
+def _maclaurin_vec(x_hats):
+    """All lanes on one batched tape, one reverse sweep."""
+    va = VAnalysis(lane_shape=x_hats.shape)
+    with va:
+        x = va.input(x_hats, width=0.5, name="x")
+        result = None
+        for i in range(N_TERMS):
+            term = x**i
+            va.intermediate(term, f"term{i}")
+            result = term if result is None else result + term
+        va.output(result, name="y")
+    return va.analyse().labelled_significances()
+
+
+@pytest.fixture(scope="module")
+def maclaurin_points():
+    rng = np.random.default_rng(17)
+    return rng.uniform(0.1, 0.7, size=N_LANES)
+
+
+def test_maclaurin_scalar_loop(benchmark, maclaurin_points):
+    reports = benchmark.pedantic(
+        _maclaurin_scalar, args=(maclaurin_points,), rounds=2, iterations=1
+    )
+    assert len(reports) == N_LANES
+    benchmark.extra_info["note"] = f"{N_LANES} scalar tapes, {N_TERMS} terms"
+
+
+def test_maclaurin_vec_batch(benchmark, maclaurin_points):
+    lanes = benchmark.pedantic(
+        _maclaurin_vec, args=(maclaurin_points,), rounds=5, iterations=1
+    )
+    # Per-lane term ordering must match the scalar engine's.
+    scalar = _maclaurin_scalar(maclaurin_points)
+    labels = [f"term{i}" for i in range(N_TERMS)]
+    for k in range(N_LANES):
+        s_rank = sorted(labels, key=lambda l: scalar[k][l], reverse=True)
+        v_rank = sorted(labels, key=lambda l: float(lanes[l][k]), reverse=True)
+        assert v_rank == s_rank
+    benchmark.extra_info["note"] = f"one batched tape, {N_LANES} lanes"
+
+
+# ----------------------------------------------------------------------
+# BlackScholes: 4096-option portfolio, the issue's acceptance criterion
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def big_portfolio():
+    return make_portfolio(count=N_OPTIONS, seed=23)
+
+
+def _portfolio_scalar(p):
+    return [
+        analyse_option(
+            float(p.spots[i]),
+            float(p.strikes[i]),
+            float(p.rates[i]),
+            float(p.volatilities[i]),
+            float(p.expiries[i]),
+        )
+        for i in range(p.count)
+    ]
+
+
+def _portfolio_vec(p):
+    return analyse_portfolio_vec(
+        p.spots, p.strikes, p.rates, p.volatilities, p.expiries
+    )
+
+
+def test_blackscholes_vec_speedup(benchmark, big_portfolio):
+    """>=10x over scalar at 4096 options, identical decisive rankings."""
+    t0 = time.perf_counter()
+    scalar = _portfolio_scalar(big_portfolio)
+    t_scalar = time.perf_counter() - t0
+
+    vec_report = benchmark.pedantic(
+        _portfolio_vec, args=(big_portfolio,), rounds=3, iterations=1
+    )
+    t0 = time.perf_counter()
+    _portfolio_vec(big_portfolio)
+    t_vec = time.perf_counter() - t0
+
+    speedup = t_scalar / t_vec
+    benchmark.extra_info["scalar_seconds"] = round(t_scalar, 3)
+    benchmark.extra_info["vec_seconds"] = round(t_vec, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= 10.0, (
+        f"batched sweep only {speedup:.1f}x faster "
+        f"({t_scalar:.2f}s scalar vs {t_vec:.2f}s vec)"
+    )
+
+    # Same top-k ordering, lane by lane, on decisively separated pairs
+    # (blocks C and D tie exactly for many options; the order inside a
+    # rounding-noise tie is not meaningful in either engine).
+    lanes = vec_report.labelled_significances()
+    for i in range(N_OPTIONS):
+        for a in _BLOCKS:
+            for b in _BLOCKS:
+                gap = scalar[i][a] - scalar[i][b]
+                if gap > 1e-9 * max(scalar[i][a], scalar[i][b]):
+                    assert float(lanes[a][i]) > float(lanes[b][i]), (
+                        f"option {i}: scalar ranks {a} above {b} "
+                        f"but vec does not"
+                    )
+
+    # Per-option block order depends on the market parameters across a
+    # draw this wide (the paper's Section 4.1.5 ordering is for its
+    # specific option sample — tests/vec checks it there); what must hold
+    # distribution-free is that block A dominates on average.
+    means = vec_report.mean_significances()
+    assert means["A"] == max(means[b] for b in _BLOCKS)

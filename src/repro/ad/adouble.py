@@ -91,9 +91,18 @@ class ADouble:
     # ------------------------------------------------------------------
     # Recording helpers
     # ------------------------------------------------------------------
+    def _coerce(self, value: Any) -> Any:
+        """Coerce a passive operand to this value's algebra.
+
+        Subclasses carrying other algebras (e.g. the batched
+        :class:`repro.vec.vadouble.VADouble`) override this one hook and
+        inherit all the arithmetic below.
+        """
+        return _coerce_const(value, self.interval_mode)
+
     def _make(self, op: str, value: Any, parents: tuple, partials: tuple) -> "ADouble":
         node = self.tape.record(op, value, parents, partials)
-        return ADouble(value, node, self.tape)
+        return type(self)(value, node, self.tape)
 
     def record_unary(self, op: str, value: Any, partial: Any) -> "ADouble":
         """Append a unary elementary function node (used by intrinsics)."""
@@ -119,7 +128,7 @@ class ADouble:
                 (a.node.index, b.node.index),
                 (partial_self_fn(a.value, b.value), partial_other_fn(a.value, b.value)),
             )
-        const = _coerce_const(other, self.interval_mode)
+        const = self._coerce(other)
         if reflected:
             value = value_fn(const, self.value)
             partial = partial_other_fn(const, self.value)
@@ -219,7 +228,7 @@ class ADouble:
         if isinstance(exponent, (int, float)) and float(exponent).is_integer():
             n = int(exponent)
             if n == 0:
-                one = _coerce_const(1.0, self.interval_mode)
+                one = self._coerce(1.0)
                 # x**0 == 1 with zero sensitivity to x; keep the data-flow
                 # edge so the DynDFG still shows the dependence (Fig. 3).
                 return self.record_unary("pow0", one, 0.0)
@@ -235,8 +244,7 @@ class ADouble:
     def __rpow__(self, base: _Operand) -> "ADouble":
         from . import intrinsics as _in
 
-        base_const = _coerce_const(base, self.interval_mode)
-        return _in.exp(self * ifn.log(base_const))
+        return _in.exp(self * _in.log(self._coerce(base)))
 
     # ------------------------------------------------------------------
     # Comparisons (interval semantics; ambiguous -> error)

@@ -32,6 +32,7 @@ from .geometry import LensConfig, inverse_map_point
 __all__ = [
     "InverseMappingAnalysis",
     "analyse_inverse_mapping",
+    "coordinate_significance_vec",
     "BicubicAnalysis",
     "analyse_bicubic",
 ]
@@ -111,18 +112,84 @@ def _pixel_significance(
     return sigs["x_frac"] + sigs["y_frac"]
 
 
+def coordinate_significance_vec(
+    config: LensConfig,
+    input_image: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    coord_uncertainty: float = 0.5,
+) -> np.ndarray:
+    """Batched coordinate-imprecision significance for many output pixels.
+
+    Every ``(xs[k], ys[k])`` output pixel becomes one lane of a single
+    batched tape: the per-lane fractional source coordinates are the two
+    interval inputs, the per-lane (centred) 4x4 windows enter as passive
+    lane constants, and one reverse sweep yields the Figure 5 significance
+    of every sampled pixel at once.  Mirrors
+    :func:`_pixel_significance` lane-for-lane.
+    """
+    from repro.vec import IntervalArray, VAnalysis
+
+    input_image = np.asarray(input_image, dtype=np.float64)
+    h, w = input_image.shape
+    xs = np.asarray(xs, dtype=np.float64).ravel()
+    ys = np.asarray(ys, dtype=np.float64).ravel()
+    n = xs.size
+    fx = np.empty(n)
+    fy = np.empty(n)
+    windows = np.empty((n, 4, 4))
+    for k in range(n):
+        mx, my = inverse_map_point(config, float(xs[k]), float(ys[k]))
+        ix = int(math.floor(mx))
+        iy = int(math.floor(my))
+        win = np.array(
+            [
+                [
+                    input_image[
+                        min(max(iy + r - 1, 0), h - 1),
+                        min(max(ix + c - 1, 0), w - 1),
+                    ]
+                    for c in range(4)
+                ]
+                for r in range(4)
+            ]
+        )
+        windows[k] = win - win.mean()
+        fx[k] = mx - ix
+        fy[k] = my - iy
+
+    va = VAnalysis(lane_shape=(n,))
+    with va:
+        tx = va.input(
+            IntervalArray.centered(fx, coord_uncertainty), name="x_frac"
+        )
+        ty = va.input(
+            IntervalArray.centered(fy, coord_uncertainty), name="y_frac"
+        )
+        window = [[windows[:, r, c] for c in range(4)] for r in range(4)]
+        value = bicubic_interp(window, tx, ty)
+        va.output(value, name="pixel")
+    sigs = va.analyse().input_significances()
+    return sigs["x_frac"] + sigs["y_frac"]
+
+
 def analyse_inverse_mapping(
     input_image: np.ndarray,
     config: LensConfig,
     grid: tuple[int, int] = (12, 16),
     jitter_samples: int = 4,
     seed: int = 17,
+    vec: bool = False,
 ) -> InverseMappingAnalysis:
     """Figure 5: coordinate significance over a grid of output pixels.
 
     Each grid cell's significance is the mean over ``jitter_samples``
     randomly jittered pixels inside the cell, averaging out the phase of
     the scene content so the radial envelope of the lens shows through.
+
+    With ``vec=True`` all ``grid_h * grid_w * jitter_samples`` pixels are
+    analysed as lanes of one batched tape (same jittered positions, one
+    reverse sweep total) instead of one scalar tape each.
     """
     input_image = np.asarray(input_image, dtype=np.float64)
     gh, gw = grid
@@ -133,27 +200,41 @@ def analyse_inverse_mapping(
     cell_h = (config.out_height - 2 * margin) / gh
     rng = np.random.default_rng(seed)
     xs_grid, ys_grid = np.meshgrid(xs, ys)
-    sig = np.zeros((gh, gw), dtype=np.float64)
+    # Jittered sample positions, drawn in the same rng order regardless of
+    # engine so scalar and batched runs analyse identical pixels.
+    px_all = np.empty((gh, gw, jitter_samples))
+    py_all = np.empty((gh, gw, jitter_samples))
     for j in range(gh):
         for i in range(gw):
-            total = 0.0
-            for _ in range(jitter_samples):
-                px = float(
-                    np.clip(
-                        xs_grid[j, i] + rng.uniform(-cell_w / 2, cell_w / 2),
-                        margin,
-                        config.out_width - 1 - margin,
-                    )
+            for s in range(jitter_samples):
+                px_all[j, i, s] = np.clip(
+                    xs_grid[j, i] + rng.uniform(-cell_w / 2, cell_w / 2),
+                    margin,
+                    config.out_width - 1 - margin,
                 )
-                py = float(
-                    np.clip(
-                        ys_grid[j, i] + rng.uniform(-cell_h / 2, cell_h / 2),
-                        margin,
-                        config.out_height - 1 - margin,
-                    )
+                py_all[j, i, s] = np.clip(
+                    ys_grid[j, i] + rng.uniform(-cell_h / 2, cell_h / 2),
+                    margin,
+                    config.out_height - 1 - margin,
                 )
-                total += _pixel_significance(config, input_image, px, py)
-            sig[j, i] = total / jitter_samples
+    if vec:
+        lane_sig = coordinate_significance_vec(
+            config, input_image, px_all.ravel(), py_all.ravel()
+        )
+        sig = lane_sig.reshape(gh, gw, jitter_samples).mean(axis=2)
+    else:
+        sig = np.zeros((gh, gw), dtype=np.float64)
+        for j in range(gh):
+            for i in range(gw):
+                total = 0.0
+                for s in range(jitter_samples):
+                    total += _pixel_significance(
+                        config,
+                        input_image,
+                        float(px_all[j, i, s]),
+                        float(py_all[j, i, s]),
+                    )
+                sig[j, i] = total / jitter_samples
     peak = sig.max()
     if peak > 0:
         sig = sig / peak

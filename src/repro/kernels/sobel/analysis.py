@@ -21,7 +21,13 @@ from repro.scorpio import Analysis
 
 from .sequential import combine_parts_pixel, sobel_parts_pixel
 
-__all__ = ["SobelAnalysis", "analyse_sobel_pixel", "analyse_sobel"]
+__all__ = [
+    "SobelAnalysis",
+    "analyse_sobel_pixel",
+    "analyse_sobel_windows_vec",
+    "analyse_sobel_map",
+    "analyse_sobel",
+]
 
 
 @dataclass
@@ -82,26 +88,129 @@ def analyse_sobel_pixel(
     }
 
 
+def analyse_sobel_windows_vec(
+    windows: np.ndarray, pixel_uncertainty: float = 0.5
+) -> list[dict[str, float]]:
+    """Block significances for a stack of 3x3 windows — one batched tape.
+
+    ``windows`` has shape ``(n, 3, 3)``; each window becomes one lane, so
+    a single reverse sweep replaces ``n`` scalar analyses.
+    """
+    from repro.vec import IntervalArray, VAnalysis
+
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 3 or windows.shape[1:] != (3, 3):
+        raise ValueError(f"expected (n, 3, 3) windows, got {windows.shape}")
+    va = VAnalysis(lane_shape=(windows.shape[0],))
+    with va:
+        taped = [
+            [
+                va.input(
+                    IntervalArray.centered(
+                        windows[:, dy, dx], pixel_uncertainty
+                    ),
+                    name=f"p{dy}{dx}",
+                )
+                for dx in range(3)
+            ]
+            for dy in range(3)
+        ]
+        parts = sobel_parts_pixel(taped)
+        for key, value in parts.items():
+            va.intermediate(value, key)
+        va.output(combine_parts_pixel(parts, smooth=True), name="pixel")
+    sigs = va.analyse().labelled_significances()
+    return [
+        {
+            "A": float(sigs["a_x"][i] + sigs["a_y"][i]),
+            "B": float(sigs["b_x"][i] + sigs["b_y"][i]),
+            "C": float(sigs["c_x"][i] + sigs["c_y"][i]),
+        }
+        for i in range(windows.shape[0])
+    ]
+
+
+def analyse_sobel_map(
+    image: np.ndarray, pixel_uncertainty: float = 0.5
+) -> dict[str, np.ndarray]:
+    """Per-pixel block significance maps over the *whole* image.
+
+    Every pixel of ``image`` is one lane of a single batched tape
+    (edge-padded windows, like the reference filter), so the full H×W
+    significance map of each block costs one recording and one reverse
+    sweep — the scalar engine would need one tape per pixel.  Returns
+    ``{"A": map, "B": map, "C": map}`` with each map shaped like ``image``.
+    """
+    from repro.vec import IntervalArray, VAnalysis
+
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2 or min(image.shape) < 3:
+        raise ValueError("image too small for a 3x3 filter")
+    padded = np.pad(image, 1, mode="edge")
+    h, w = image.shape
+    va = VAnalysis(lane_shape=(h, w))
+    with va:
+        taped = [
+            [
+                va.input(
+                    IntervalArray.centered(
+                        padded[dy : dy + h, dx : dx + w], pixel_uncertainty
+                    ),
+                    name=f"p{dy}{dx}",
+                )
+                for dx in range(3)
+            ]
+            for dy in range(3)
+        ]
+        parts = sobel_parts_pixel(taped)
+        for key, value in parts.items():
+            va.intermediate(value, key)
+        va.output(combine_parts_pixel(parts, smooth=True), name="pixel")
+    sigs = va.analyse().labelled_significances()
+    return {
+        "A": sigs["a_x"] + sigs["a_y"],
+        "B": sigs["b_x"] + sigs["b_y"],
+        "C": sigs["c_x"] + sigs["c_y"],
+    }
+
+
 def analyse_sobel(
     image: np.ndarray,
     samples: int = 16,
     pixel_uncertainty: float = 0.5,
     seed: int = 3,
+    vec: bool = False,
 ) -> SobelAnalysis:
-    """Profile-driven analysis over sampled interior pixels of ``image``."""
+    """Profile-driven analysis over sampled interior pixels of ``image``.
+
+    With ``vec=True`` the sampled windows are analysed as lanes of one
+    batched tape (same sampled pixels, one reverse sweep total).
+    """
     image = np.asarray(image, dtype=np.float64)
     h, w = image.shape
     if h < 3 or w < 3:
         raise ValueError("image too small for a 3x3 filter")
     rng = np.random.default_rng(seed)
-    per_pixel: list[dict[str, float]] = []
+    positions = []
     for _ in range(samples):
         y = int(rng.integers(1, h - 1))
         x = int(rng.integers(1, w - 1))
-        window = image[y - 1 : y + 2, x - 1 : x + 2]
-        per_pixel.append(
-            analyse_sobel_pixel(window, pixel_uncertainty=pixel_uncertainty)
+        positions.append((y, x))
+    if vec:
+        windows = np.stack(
+            [image[y - 1 : y + 2, x - 1 : x + 2] for y, x in positions]
         )
+        per_pixel = analyse_sobel_windows_vec(
+            windows, pixel_uncertainty=pixel_uncertainty
+        )
+    else:
+        per_pixel = [
+            analyse_sobel_pixel(
+                image[y - 1 : y + 2, x - 1 : x + 2],
+                pixel_uncertainty=pixel_uncertainty,
+            )
+            for y, x in positions
+        ]
     mean = {
         key: float(np.mean([p[key] for p in per_pixel]))
         for key in ("A", "B", "C")

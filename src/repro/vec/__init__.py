@@ -1,0 +1,55 @@
+"""repro.vec — vectorized interval arrays + batched interval-adjoint engine.
+
+The scalar engine (:mod:`repro.intervals` + :mod:`repro.ad`) records one
+tape node per elementary operation per analysed point.  Significance
+analysis over a portfolio of options or an image of pixels repeats the
+*same* DynDFG thousands of times with different data — a textbook SIMD
+situation.  This package batches that: an
+:class:`~repro.vec.ivec.IntervalArray` holds one interval per lane as two
+NumPy arrays with outward-rounded endpoint arithmetic, and a
+:class:`~repro.vec.vtape.VTape` records one array-valued node per
+operation, so a single reverse sweep yields every lane's interval adjoint
+``∇[uj][y]`` and per-lane significance (Eq. 11) at once.
+
+The kernels don't change: :class:`~repro.vec.vadouble.VADouble` subclasses
+the scalar :class:`~repro.ad.adouble.ADouble` and the
+:mod:`repro.ad.intrinsics` overloads dispatch on the value type, so any
+function written against ``op.sqrt`` / ``op.exp`` / ``op.clip`` runs on
+either engine.  Results flow back into the existing scorpio pipeline
+through :mod:`repro.vec.bridge` (any lane lowers to a scalar tape).
+"""
+
+from .ivec import (
+    AmbiguousLaneComparisonError,
+    IntervalArray,
+    as_interval_array,
+)
+from .significance import (
+    VecSignificanceReport,
+    normalise_lanes,
+    significance_lanes,
+    significance_map_lanes,
+)
+from .vadouble import VADouble
+from .vanalysis import VAnalysis, analyse_function_lanes
+from .vtape import VNode, VTape
+from .bridge import lane_report, lift, lower, lower_tape
+
+__all__ = [
+    "IntervalArray",
+    "AmbiguousLaneComparisonError",
+    "as_interval_array",
+    "VADouble",
+    "VTape",
+    "VNode",
+    "VAnalysis",
+    "analyse_function_lanes",
+    "VecSignificanceReport",
+    "significance_lanes",
+    "significance_map_lanes",
+    "normalise_lanes",
+    "lift",
+    "lower",
+    "lower_tape",
+    "lane_report",
+]

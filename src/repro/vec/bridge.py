@@ -1,0 +1,131 @@
+"""Scalar ↔ batched adapters.
+
+The batched engine intentionally keeps the scalar node layout
+(:class:`repro.vec.vtape.VNode` *is* :class:`repro.ad.tape.Node`), so a
+lane of a swept :class:`~repro.vec.vtape.VTape` can be *lowered* to an
+ordinary scalar :class:`~repro.ad.tape.Tape` — same indices, ops, labels
+and edges, with every :class:`~repro.vec.ivec.IntervalArray` sliced down to
+that lane's :class:`~repro.intervals.Interval`.  The lowered tape is
+indistinguishable from one the scalar engine recorded, which means the
+entire existing scorpio post-processing stack (DynDFG construction,
+Algorithm 1 simplify, variance scan, reports, JSON serialisation) runs on
+batched results without modification.
+
+The other direction, *lifting*, broadcasts scalar intervals into lanes —
+used to seed batched computations from scalar configuration values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.ad.tape import Node, Tape
+from repro.intervals import Interval
+
+from .ivec import IntervalArray, as_interval_array
+from .vtape import VTape
+
+__all__ = ["lift", "lower", "lower_value", "lower_tape", "lane_report"]
+
+
+def lift(
+    value: Interval | float | np.ndarray | Sequence[Interval],
+    shape: tuple[int, ...] | int,
+) -> IntervalArray:
+    """Broadcast a scalar interval / array of midpoints into lanes."""
+    if isinstance(shape, int):
+        shape = (shape,)
+    if (
+        isinstance(value, Sequence)
+        and value
+        and isinstance(value[0], Interval)
+    ):
+        arr = IntervalArray.from_intervals(value)
+        return arr.reshape(shape) if arr.shape != shape else arr
+    return as_interval_array(value, shape)
+
+
+def lower(array: IntervalArray, lane: int | tuple[int, ...]) -> Interval:
+    """Extract one lane of an :class:`IntervalArray` as an ``Interval``."""
+    return array.lane(lane)
+
+
+def lower_value(value: Any, lane: int | tuple[int, ...]) -> Any:
+    """Lower any node value/partial/adjoint to its scalar lane equivalent."""
+    if isinstance(value, IntervalArray):
+        return value.lane(lane)
+    if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            return float(value)
+        return float(value[lane])
+    return value
+
+
+def lower_tape(vtape: VTape, lane: int | tuple[int, ...]) -> Tape:
+    """Slice one lane of a batched tape into a scalar :class:`Tape`.
+
+    Node indices, ops, parents and labels are preserved verbatim; values,
+    partials and (if the batched sweep already ran) adjoints are lowered
+    per :func:`lower_value`.  The result is a valid scalar DynDFG recording
+    ready for :meth:`Tape.adjoint` or :class:`DynDFG.from_tape`.
+    """
+    shape = vtape.require_lane_shape()
+    if isinstance(lane, (int, np.integer)):
+        lane = (
+            (int(lane),)
+            if len(shape) == 1
+            else tuple(int(i) for i in np.unravel_index(int(lane), shape))
+        )
+    tape = Tape()
+    for vnode in vtape:
+        node = Node(
+            index=vnode.index,
+            op=vnode.op,
+            value=lower_value(vnode.value, lane),
+            parents=vnode.parents,
+            partials=tuple(
+                lower_value(p, lane) for p in vnode.partials
+            ),
+            label=vnode.label,
+        )
+        if vnode.adjoint is not None:
+            node.adjoint = lower_value(vnode.adjoint, lane)
+        tape.nodes.append(node)
+    return tape
+
+
+def lane_report(
+    vreport: "Any",
+    lane: int | tuple[int, ...],
+    *,
+    delta: float = 1e-6,
+    simplify: bool = True,
+):
+    """Full scalar scorpio analysis of one lane of a batched report.
+
+    Lowers the lane's tape, recomputes Eq. 11 per node from the lowered
+    values/adjoints, then runs Algorithm 1 (simplify + variance scan) —
+    producing a :class:`repro.scorpio.report.SignificanceReport` identical
+    in kind to what the scalar :class:`repro.scorpio.api.Analysis` yields.
+    """
+    from repro.scorpio.dyndfg import DynDFG
+    from repro.scorpio.report import SignificanceReport
+    from repro.scorpio.significance import significance_map
+    from repro.scorpio.simplify import simplify as _simplify
+    from repro.scorpio.variance import find_significance_variance
+
+    tape = lower_tape(vreport.tape, lane)
+    sig = significance_map(tape)
+    raw = DynDFG.from_tape(tape, list(vreport.output_ids), sig)
+    simplified = _simplify(raw) if simplify else raw
+    scan = find_significance_variance(simplified, delta=delta)
+    return SignificanceReport(
+        raw_graph=raw,
+        simplified_graph=simplified,
+        scan=scan,
+        input_ids=list(vreport.input_ids),
+        intermediate_ids=list(vreport.intermediate_ids),
+        output_ids=list(vreport.output_ids),
+    )

@@ -1,0 +1,243 @@
+"""Per-lane significance — Eq. 11 of the paper, over a batch.
+
+For a batched variable with lane values ``[uj]_k`` and lane adjoints
+``∇[uj]_k[y_k]`` the per-lane significance is::
+
+    S_{y_k}(uj_k) = w([uj]_k · ∇[uj]_k[y_k])
+
+i.e. exactly the scalar Eq. 11 applied independently in every lane.  One
+reverse sweep over a :class:`~repro.vec.vtape.VTape` therefore produces a
+whole *significance map* — e.g. the per-pixel significance image of a
+Sobel filter, or the per-option significance profile of a BlackScholes
+portfolio — where the scalar engine would need one full tape per lane.
+
+:class:`VecSignificanceReport` is the lane-parallel analogue of
+:class:`repro.scorpio.report.SignificanceReport`: the same labelled /
+normalised / ranking views, but every significance is an ``ndarray`` over
+the lane shape.  Individual lanes can be dropped back into the full scalar
+scorpio pipeline (Algorithm 1 simplify + variance scan) via
+:mod:`repro.vec.bridge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.intervals import Interval
+
+from .ivec import IntervalArray, as_interval_array
+from .vtape import VTape
+
+__all__ = [
+    "significance_lanes",
+    "significance_map_lanes",
+    "normalise_lanes",
+    "VecSignificanceReport",
+]
+
+
+def significance_lanes(value: Any, adjoint: Any) -> np.ndarray:
+    """Eq. 11 per lane: width of the per-lane interval product.
+
+    ``value``/``adjoint`` may be :class:`IntervalArray`, scalar
+    :class:`Interval`, ``ndarray`` or ``float`` — non-array operands
+    broadcast against the array one.  ``adjoint is None`` (node never
+    reached by the sweep) yields zeros.
+    """
+    shape = None
+    if isinstance(value, IntervalArray):
+        shape = value.shape
+    elif isinstance(adjoint, IntervalArray):
+        shape = adjoint.shape
+    if shape is None:
+        raise TypeError(
+            "significance_lanes needs at least one IntervalArray operand"
+        )
+    if adjoint is None:
+        return np.zeros(shape)
+    va = as_interval_array(value, shape)
+    aa = as_interval_array(adjoint, shape)
+    return (va * aa).width
+
+
+def significance_map_lanes(tape: VTape) -> dict[int, np.ndarray]:
+    """Per-lane significance for every node of a swept :class:`VTape`."""
+    return {
+        node.index: significance_lanes(node.value, node.adjoint)
+        for node in tape
+    }
+
+
+def normalise_lanes(values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Scale each lane's significances to sum to 1 across labels.
+
+    Lanes whose total significance is 0 are left unnormalised (all-zero),
+    mirroring :func:`repro.scorpio.significance.normalise`.
+    """
+    if not values:
+        return {}
+    total = np.zeros_like(next(iter(values.values())))
+    for arr in values.values():
+        total = total + arr
+    safe = np.where(total > 0.0, total, 1.0)
+    return {
+        label: np.where(total > 0.0, arr / safe, arr)
+        for label, arr in values.items()
+    }
+
+
+@dataclass
+class VecSignificanceReport:
+    """Result of one batched significance analysis (all lanes at once)."""
+
+    tape: VTape
+    significances: dict[int, np.ndarray]
+    input_ids: list[int]
+    intermediate_ids: list[int]
+    output_ids: list[int]
+    lane_shape: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.lane_shape:
+            self.lane_shape = self.tape.require_lane_shape()
+
+    # ------------------------------------------------------------------
+    # Views (ndarray-valued analogues of SignificanceReport)
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return int(np.prod(self.lane_shape)) if self.lane_shape else 1
+
+    def significance_of(self, label: str) -> np.ndarray:
+        """Per-lane significance of the node registered under ``label``."""
+        nodes = [n for n in self.tape if n.label == label]
+        if not nodes:
+            raise KeyError(f"no registered variable named {label!r}")
+        if len(nodes) > 1:
+            raise KeyError(
+                f"label {label!r} is ambiguous ({len(nodes)} nodes); "
+                "use labelled_significances()"
+            )
+        return self.significances[nodes[0].index]
+
+    def labelled_significances(self) -> dict[str, np.ndarray]:
+        """Per-lane significance per registered label (repeats accumulate)."""
+        out: dict[str, np.ndarray] = {}
+        output_ids = set(self.output_ids)
+        for node in self.tape:
+            if node.label is None or node.index in output_ids:
+                continue
+            sig = self.significances[node.index]
+            if node.label in out:
+                out[node.label] = out[node.label] + sig
+            else:
+                out[node.label] = sig
+        return out
+
+    def normalised_significances(self) -> dict[str, np.ndarray]:
+        return normalise_lanes(self.labelled_significances())
+
+    def input_significances(self) -> dict[str, np.ndarray]:
+        ids = set(self.input_ids)
+        return {
+            (n.label or f"x{n.index}"): self.significances[n.index]
+            for n in self.tape
+            if n.index in ids
+        }
+
+    def mean_significances(self) -> dict[str, float]:
+        """Lane-averaged labelled significances (one float per label).
+
+        This is the batch-level summary used to rank variables across the
+        whole portfolio/image, comparable to averaging scalar per-lane
+        reports.
+        """
+        return {
+            label: float(np.mean(arr))
+            for label, arr in self.labelled_significances().items()
+        }
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Labels ranked by lane-averaged significance, highest first."""
+        return sorted(
+            self.mean_significances().items(),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+
+    def lane_ranking(self, lane: int | tuple[int, ...]) -> list[tuple[str, float]]:
+        """Labelled significances of one lane, most significant first."""
+        idx = self._lane_index(lane)
+        items = [
+            (label, float(arr[idx]))
+            for label, arr in self.labelled_significances().items()
+        ]
+        return sorted(items, key=lambda kv: kv[1], reverse=True)
+
+    def lane_report(self, lane: int | tuple[int, ...], **kwargs: Any):
+        """Lower one lane to a scalar tape and run the full scorpio pipeline.
+
+        Returns a :class:`repro.scorpio.report.SignificanceReport` for the
+        selected lane — simplify, variance scan and all.  Keyword arguments
+        are forwarded to :func:`repro.vec.bridge.lane_report`.
+        """
+        from .bridge import lane_report as _lane_report
+
+        return _lane_report(self, self._lane_index(lane), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Rendering / export
+    # ------------------------------------------------------------------
+    def to_text(self, normalised: bool = True) -> str:
+        """Batch-level summary (lane-averaged, SignificanceReport style)."""
+        sigs = (
+            self.normalised_significances()
+            if normalised
+            else self.labelled_significances()
+        )
+        means = {label: float(np.mean(arr)) for label, arr in sigs.items()}
+        lines = [
+            "batched significance analysis report",
+            "=" * 36,
+            f"lanes: {self.lane_shape}  tape nodes: {len(self.tape)}",
+        ]
+        kind = "normalised " if normalised else ""
+        lines.append(f"mean {kind}significances over lanes:")
+        width = max((len(k) for k in means), default=0)
+        for label, value in sorted(
+            means.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            lines.append(f"  {label:<{width}}  {value:.6f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (lane arrays as lists) for serialisation."""
+        return {
+            "lane_shape": list(self.lane_shape),
+            "labelled_significances": {
+                label: arr.tolist()
+                for label, arr in self.labelled_significances().items()
+            },
+            "mean_significances": self.mean_significances(),
+            "input_significances": {
+                label: arr.tolist()
+                for label, arr in self.input_significances().items()
+            },
+            "tape_nodes": len(self.tape),
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _lane_index(self, lane: int | tuple[int, ...]) -> tuple[int, ...]:
+        if isinstance(lane, (int, np.integer)):
+            if len(self.lane_shape) == 1:
+                return (int(lane),)
+            return tuple(
+                int(i)
+                for i in np.unravel_index(int(lane), self.lane_shape)
+            )
+        return tuple(int(i) for i in lane)

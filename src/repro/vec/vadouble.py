@@ -1,0 +1,130 @@
+"""Batched overloaded adjoint type — ``dco::ia1s::type`` over lanes.
+
+:class:`VADouble` is the lane-parallel counterpart of
+:class:`repro.ad.adouble.ADouble`: it wraps an
+:class:`~repro.vec.ivec.IntervalArray` and records one *array-valued* node
+per elementary operation on a :class:`~repro.vec.vtape.VTape`.  It
+subclasses ``ADouble`` and overrides exactly one algebra hook
+(:meth:`_coerce`) plus the few methods that inspect scalar ``Interval``
+internals, so every kernel written against the generic
+:mod:`repro.ad.intrinsics` overload set (BlackScholes, Sobel, bicubic,
+Maclaurin, ...) runs unchanged in batched mode — the same source, a second
+execution backend.
+
+Passive operands fold into operations without creating nodes, exactly as in
+the scalar type: a plain ``float`` broadcasts to every lane, an ``ndarray``
+supplies one point constant per lane (how per-pixel image windows enter the
+batched fisheye/Sobel analyses), and a scalar ``Interval`` broadcasts its
+bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ad.adouble import ADouble
+from repro.intervals import Interval
+
+from .ivec import IntervalArray, as_interval_array
+from .vtape import VTape
+
+__all__ = ["VADouble"]
+
+
+class VADouble(ADouble):
+    """A taped batch of interval-adjoint scalars (one lane each)."""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def input(
+        cls,
+        value: IntervalArray | Interval | np.ndarray | float,
+        label: str | None = None,
+        tape: VTape | None = None,
+    ) -> "VADouble":
+        """Register a lane-parallel input variable (INPUT over the batch)."""
+        from repro.ad.tape import require_tape
+
+        tape = require_tape(tape)
+        if not isinstance(tape, VTape):
+            raise TypeError("VADouble.input needs an active VTape")
+        if not isinstance(value, IntervalArray):
+            value = as_interval_array(value, tape.require_lane_shape())
+        node = tape.record_input(value, label=label)
+        return cls(value, node, tape)
+
+    @classmethod
+    def constant(
+        cls,
+        value: IntervalArray | Interval | np.ndarray | float,
+        tape: VTape | None = None,
+    ) -> "VADouble":
+        """Record an explicit constant node (e.g. an accumulator init)."""
+        from repro.ad.tape import require_tape
+
+        tape = require_tape(tape)
+        if not isinstance(tape, VTape):
+            raise TypeError("VADouble.constant needs an active VTape")
+        if not isinstance(value, IntervalArray):
+            value = as_interval_array(value, tape.require_lane_shape())
+        node = tape.record("const", value, (), ())
+        return cls(value, node, tape)
+
+    @property
+    def interval_mode(self) -> bool:
+        """Batched values always compute in (lane-wise) interval arithmetic."""
+        return True
+
+    @property
+    def lane_shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    # ------------------------------------------------------------------
+    # Algebra hook (everything arithmetic in ADouble routes through this)
+    # ------------------------------------------------------------------
+    def _coerce(self, value: Any) -> IntervalArray:
+        return as_interval_array(value, self.value.shape)
+
+    # ------------------------------------------------------------------
+    # Overrides that inspect scalar Interval internals in the base class
+    # ------------------------------------------------------------------
+    def __abs__(self) -> "VADouble":
+        iv: IntervalArray = self.value
+        # Per-lane |.| subgradient enclosure: +1 / -1 where the sign is
+        # fixed, [-1, 1] on lanes spanning 0 (not differentiable at 0).
+        spans = (iv.lo < 0) & (iv.hi > 0)
+        plo = np.where(iv.hi <= 0, -1.0, np.where(spans, -1.0, 1.0))
+        phi = np.where(iv.hi <= 0, -1.0, 1.0)
+        partial = IntervalArray(plo, phi)
+        return self.record_unary("abs", abs(iv), partial)
+
+    # -- comparisons: lane masks, ambiguous lanes raise (Section 2.2) ----
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self.value < self._cmp_operand(other)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self.value <= self._cmp_operand(other)
+
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self.value > self._cmp_operand(other)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self.value >= self._cmp_operand(other)
+
+    # ------------------------------------------------------------------
+    # Conversion / display
+    # ------------------------------------------------------------------
+    def to_double(self) -> np.ndarray:
+        """Per-lane midpoints (``toDouble()`` over the batch)."""
+        return self.value.midpoint
+
+    def __repr__(self) -> str:
+        return (
+            f"VADouble(lanes={self.value.shape}, node=#{self.node.index})"
+        )

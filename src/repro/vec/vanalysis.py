@@ -1,0 +1,207 @@
+"""Batched user-facing API — the Table 1 macros over lanes.
+
+:class:`VAnalysis` mirrors :class:`repro.scorpio.api.Analysis` verbatim,
+but every INPUT registers a *batch* of interval inputs (one per lane) and
+``ANALYSE`` runs one lane-parallel reverse sweep, yielding the per-lane
+significance of every registered variable in a single profile run::
+
+    va = VAnalysis(lane_shape=4096)
+    with va:
+        x = va.input(mids, width=1.0, name="x")      # 4096 INPUTs at once
+        result = VADouble.constant(0.0)
+        for i in range(5):
+            term = x ** i
+            va.intermediate(term, f"term{i}")
+        va.output(result + term, name="result")
+    vreport = va.analyse()                           # all lanes, one sweep
+    vreport.mean_significances()                     # batch-level ranking
+    vreport.lane_report(17)                          # full scorpio, lane 17
+
+Vector outputs are handled as in Section 2.3: all outputs are seeded in
+one sweep and per-lane significances sum over outputs via the hull-free
+per-output accumulation of :func:`significance_lanes` applied per output
+seed (see :meth:`VAnalysis.analyse`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.intervals import Interval
+
+from .ivec import IntervalArray, as_interval_array
+from .significance import VecSignificanceReport, significance_lanes
+from .vadouble import VADouble
+from .vtape import VTape
+
+__all__ = ["VAnalysis", "analyse_function_lanes"]
+
+
+class VAnalysisStateError(RuntimeError):
+    """Macro used out of order (e.g. ANALYSE before any OUTPUT)."""
+
+
+class VAnalysis:
+    """One lane-parallel significance-analysis profile run."""
+
+    def __init__(
+        self,
+        lane_shape: tuple[int, ...] | int | None = None,
+    ):
+        self.tape = VTape(lane_shape=lane_shape)
+        self._inputs: list[VADouble] = []
+        self._intermediates: list[VADouble] = []
+        self._outputs: list[VADouble] = []
+        self._analysed: VecSignificanceReport | None = None
+
+    # ------------------------------------------------------------------
+    # Context management (activates the tape)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "VAnalysis":
+        self.tape.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.tape.__exit__(*exc_info)
+
+    # ------------------------------------------------------------------
+    # Table 1 macros, batched
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        value: IntervalArray | np.ndarray | Interval | float,
+        *,
+        lo: Any = None,
+        hi: Any = None,
+        width: Any = None,
+        name: str | None = None,
+    ) -> VADouble:
+        """``INPUT`` over every lane.
+
+        ``value`` may already be an :class:`IntervalArray`, or per-lane
+        midpoints (``ndarray``/scalar) combined with per-lane ``lo``/``hi``
+        bounds or a (broadcast) ``width``, exactly like the scalar macro.
+        """
+        if isinstance(value, IntervalArray):
+            iv = value
+        elif lo is not None or hi is not None:
+            if lo is None or hi is None:
+                raise ValueError("both lo and hi must be given")
+            iv = IntervalArray(lo, hi)
+        elif width is not None:
+            iv = IntervalArray.centered(value, 0.5 * np.asarray(width))
+        elif isinstance(value, Interval):
+            iv = as_interval_array(value, self.tape.require_lane_shape())
+        else:
+            iv = IntervalArray.point(value)
+        if iv.shape == () and self.tape.lane_shape:
+            iv = as_interval_array(iv.lane(0), self.tape.lane_shape)
+        if name is None:
+            name = f"x{len(self._inputs)}"
+        var = VADouble.input(iv, label=name, tape=self.tape)
+        self._inputs.append(var)
+        return var
+
+    def intermediate(self, var: VADouble, name: str | None = None) -> VADouble:
+        """``INTERMEDIATE``: tag the last computed batched node."""
+        if not isinstance(var, VADouble):
+            raise TypeError(
+                f"intermediate() expects a VADouble, got {type(var).__name__}"
+            )
+        if var.tape is not self.tape:
+            raise VAnalysisStateError("variable was recorded on another tape")
+        if name is None:
+            name = f"z{len(self._intermediates)}"
+        var.node.label = name
+        self._intermediates.append(var)
+        return var
+
+    def output(self, var: VADouble, name: str | None = None) -> VADouble:
+        """``OUTPUT``: register a batched output (seeded to 1 in every lane)."""
+        if not isinstance(var, VADouble):
+            raise TypeError(
+                f"output() expects a VADouble, got {type(var).__name__}"
+            )
+        if var.tape is not self.tape:
+            raise VAnalysisStateError("variable was recorded on another tape")
+        if name is None:
+            name = f"y{len(self._outputs)}"
+        var.node.label = name
+        self._outputs.append(var)
+        return var
+
+    def analyse(self) -> VecSignificanceReport:
+        """``ANALYSE``: one lane-parallel reverse sweep + per-lane Eq. 11."""
+        if not self._inputs:
+            raise VAnalysisStateError("no inputs registered (INPUT macro)")
+        if not self._outputs:
+            raise VAnalysisStateError("no outputs registered (OUTPUT macro)")
+        if self._analysed is not None:
+            return self._analysed
+
+        shape = self.tape.require_lane_shape()
+        if len(self._outputs) == 1:
+            self.tape.adjoint({self._outputs[0].node.index: 1.0})
+            sig = {
+                node.index: significance_lanes(node.value, node.adjoint)
+                for node in self.tape
+            }
+        else:
+            # Vector function, Section 2.3: S_y = Σ_i S_{y_i}.  Widths must
+            # be taken per output *before* summing (signed partials cancel
+            # otherwise), so run one sweep per output and accumulate the
+            # per-lane widths.  Adjoint attributes keep the hull for display.
+            sig = {
+                node.index: np.zeros(shape) for node in self.tape
+            }
+            hulls: dict[int, IntervalArray] = {}
+            for out in self._outputs:
+                adjoints = self.tape.adjoint({out.node.index: 1.0})
+                for node in self.tape:
+                    a = adjoints[node.index]
+                    sig[node.index] = sig[node.index] + significance_lanes(
+                        node.value, a
+                    )
+                    hulls[node.index] = (
+                        a
+                        if node.index not in hulls
+                        else hulls[node.index].hull(a)
+                    )
+            for node in self.tape:
+                node.adjoint = hulls[node.index]
+
+        self._analysed = VecSignificanceReport(
+            tape=self.tape,
+            significances=sig,
+            input_ids=[v.node.index for v in self._inputs],
+            intermediate_ids=[v.node.index for v in self._intermediates],
+            output_ids=[v.node.index for v in self._outputs],
+            lane_shape=shape,
+        )
+        return self._analysed
+
+
+def analyse_function_lanes(
+    fn: Callable[..., VADouble | Sequence[VADouble]],
+    inputs: Sequence[IntervalArray],
+    *,
+    names: Sequence[str] | None = None,
+) -> VecSignificanceReport:
+    """One-call batched analysis of ``fn`` over per-lane input boxes."""
+    if not inputs:
+        raise ValueError("need at least one batched input")
+    va = VAnalysis(lane_shape=inputs[0].shape)
+    with va:
+        args = [
+            va.input(spec, name=(names[i] if names else None))
+            for i, spec in enumerate(inputs)
+        ]
+        result = fn(*args)
+        if isinstance(result, VADouble):
+            va.output(result)
+        else:
+            for j, out in enumerate(result):
+                va.output(out, name=f"y{j}")
+    return va.analyse()

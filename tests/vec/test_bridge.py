@@ -1,0 +1,166 @@
+"""Tests for the scalar<->batched bridge and scorpio compatibility."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ad import intrinsics as op
+from repro.ad.adouble import ADouble
+from repro.ad.tape import Tape
+from repro.intervals import Interval
+from repro.scorpio import Analysis
+from repro.scorpio.report import SignificanceReport
+from repro.scorpio.serialize import report_to_dict, report_to_json
+from repro.vec import (
+    IntervalArray,
+    VADouble,
+    VAnalysis,
+    VTape,
+    lift,
+    lower,
+    lower_tape,
+)
+
+
+def _maclaurin(an_or_va, x):
+    result = None
+    for i in range(4):
+        term = x**i
+        an_or_va.intermediate(term, f"term{i}")
+        result = term if result is None else result + term
+    return result
+
+
+@pytest.fixture()
+def scalar_report():
+    an = Analysis()
+    with an:
+        x = an.input(0.45, width=1.0, name="x")
+        an.output(_maclaurin(an, x), name="y")
+    return an.analyse()
+
+
+@pytest.fixture()
+def vec_report():
+    mids = np.array([0.45, 0.1, 0.8])
+    va = VAnalysis(lane_shape=mids.shape)
+    with va:
+        x = va.input(mids, width=1.0, name="x")
+        va.output(_maclaurin(va, x), name="y")
+    return va.analyse()
+
+
+class TestLiftLower:
+    def test_lift_broadcast_and_pack(self):
+        arr = lift(Interval(1.0, 2.0), 3)
+        assert arr.to_intervals() == [Interval(1.0, 2.0)] * 3
+        packed = lift([Interval(0, 1), Interval(2, 3)], (2,))
+        assert packed.lane(1) == Interval(2, 3)
+        mids = lift(np.array([1.0, 2.0]), (2,))
+        assert mids.lane(0) == Interval(1.0)
+
+    def test_lower_roundtrip(self):
+        lanes = [Interval(0, 1), Interval(-2, 5)]
+        arr = IntervalArray.from_intervals(lanes)
+        assert [lower(arr, k) for k in range(2)] == lanes
+
+
+class TestLowerTape:
+    def test_structure_preserved(self):
+        lanes = [Interval(0.5, 1.0), Interval(2.0, 2.5)]
+        with VTape(lane_shape=2) as vtape:
+            x = VADouble.input(IntervalArray.from_intervals(lanes), label="x")
+            y = op.exp(x) * x + 1.0
+        vtape.adjoint({y.node.index: 1.0})
+        stape = lower_tape(vtape, 1)
+        assert len(stape) == len(vtape)
+        for sn, vn in zip(stape, vtape):
+            assert sn.op == vn.op
+            assert sn.parents == vn.parents
+            assert sn.label == vn.label
+            assert isinstance(sn.value, Interval)
+
+    def test_lane_matches_direct_scalar_run(self):
+        lanes = [Interval(0.5, 1.0), Interval(2.0, 2.5)]
+
+        def fn(x):
+            return op.exp(x) * x + op.sqrt(x)
+
+        with VTape(lane_shape=2) as vtape:
+            xv = VADouble.input(IntervalArray.from_intervals(lanes), label="x")
+            yv = fn(xv)
+        vtape.adjoint({yv.node.index: 1.0})
+
+        for k, iv in enumerate(lanes):
+            stape = lower_tape(vtape, k)
+            with Tape() as ref:
+                xr = ADouble.input(iv, label="x", tape=ref)
+                yr = fn(xr)
+            ref.adjoint({yr.node.index: 1.0})
+            for low, exact in zip(stape, ref):
+                # Lowered lane encloses the scalar run (vec rounding is
+                # never tighter), and the sweep structure is identical.
+                assert low.value.lo <= exact.value.lo
+                assert exact.value.hi <= low.value.hi
+                assert low.adjoint.lo <= exact.adjoint.lo
+                assert exact.adjoint.hi <= low.adjoint.hi
+
+    def test_lowered_tape_sweepable(self):
+        """A lowered (pre-sweep) tape works with the scalar adjoint sweep."""
+        with VTape(lane_shape=2) as vtape:
+            x = VADouble.input(IntervalArray.point([1.0, 2.0]), label="x")
+            y = x * x + x
+        stape = lower_tape(vtape, 0)
+        adj = stape.adjoint({y.node.index: Interval(1.0)})
+        got = adj[x.node.index]  # d/dx (x²+x) at x=1, outward-rounded
+        assert got.contains(3.0) and got.width < 1e-12
+
+
+class TestLaneReport:
+    def test_lane_report_is_full_scorpio_report(self, vec_report):
+        rep = vec_report.lane_report(0)
+        assert isinstance(rep, SignificanceReport)
+        assert set(rep.labelled_significances()) == {
+            "x",
+            "term0",
+            "term1",
+            "term2",
+            "term3",
+        }
+        assert rep.graph is not None and rep.raw_graph is not None
+
+    def test_lane_report_matches_scalar_analysis(
+        self, scalar_report, vec_report
+    ):
+        lane0 = vec_report.lane_report(0)
+        want = scalar_report.labelled_significances()
+        got = lane0.labelled_significances()
+        assert set(got) == set(want)
+        for label in want:
+            assert got[label] == pytest.approx(want[label], rel=1e-9, abs=1e-12)
+        assert (
+            [k for k, _ in lane0.ranking()]
+            == [k for k, _ in scalar_report.ranking()]
+        )
+
+    def test_lane_report_serialises(self, vec_report):
+        rep = vec_report.lane_report(2)
+        data = report_to_dict(rep)
+        assert json.loads(report_to_json(rep))["graph"]["nodes"]
+        assert data["labelled_significances"]["x"] >= 0.0
+
+    def test_vec_report_to_dict_json_safe(self, vec_report):
+        blob = json.dumps(vec_report.to_dict())
+        back = json.loads(blob)
+        assert back["lane_shape"] == [3]
+        assert len(back["labelled_significances"]["x"]) == 3
+
+    def test_per_lane_views(self, vec_report):
+        sigs = vec_report.labelled_significances()
+        assert all(arr.shape == (3,) for arr in sigs.values())
+        norm = vec_report.normalised_significances()
+        total = sum(norm.values())
+        assert np.allclose(total, 1.0)
+        lane_rank = vec_report.lane_ranking(1)
+        assert lane_rank[0][1] >= lane_rank[-1][1]

@@ -1,0 +1,226 @@
+"""Unit tests for the lane-parallel interval array."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import EmptyIntervalError, Interval
+from repro.intervals import functions as ifn
+from repro.vec import AmbiguousLaneComparisonError, IntervalArray, as_interval_array
+from repro.vec import ivec
+
+
+class TestConstruction:
+    def test_point_and_centered(self):
+        a = IntervalArray.point([1.0, -2.0, 3.5])
+        assert a.shape == (3,)
+        assert np.all(a.lo == a.hi)
+        b = IntervalArray.centered([0.0, 1.0], 0.5)
+        assert b.lane(0) == Interval(-0.5, 0.5)
+        assert b.lane(1) == Interval(0.5, 1.5)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(EmptyIntervalError):
+            IntervalArray([0.0, 1.0], [1.0, 0.5])
+        with pytest.raises(EmptyIntervalError):
+            IntervalArray([np.nan], [1.0])
+
+    def test_from_intervals_roundtrip(self):
+        ivs = [Interval(-1.0, 2.0), Interval(0.25), Interval(3.0, 4.0)]
+        arr = IntervalArray.from_intervals(ivs)
+        assert arr.to_intervals() == ivs
+        assert list(arr) == ivs
+
+    def test_zeros_full(self):
+        z = IntervalArray.zeros((2, 3))
+        assert z.shape == (2, 3)
+        assert not z.lo.any() and not z.hi.any()
+        f = IntervalArray.full(4, Interval(1.0, 2.0))
+        assert f.lane(3) == Interval(1.0, 2.0)
+
+    def test_immutable(self):
+        a = IntervalArray.point([1.0])
+        with pytest.raises(AttributeError):
+            a.lo = np.array([2.0])
+        assert not a.lo.flags.writeable
+
+    def test_lane_tuple_index_and_reshape(self):
+        a = IntervalArray.centered(np.arange(6.0).reshape(2, 3), 0.1)
+        assert a.lane((1, 2)) == a.reshape(6).lane(5)
+
+    def test_as_interval_array_coercions(self):
+        shape = (3,)
+        assert as_interval_array(2.0, shape).lane(1) == Interval(2.0)
+        assert as_interval_array(Interval(1, 2), shape).lane(2) == Interval(1, 2)
+        arr = as_interval_array(np.array([1.0, 2.0, 3.0]), shape)
+        assert arr.lane(2) == Interval(3.0)
+        same = IntervalArray.point([1.0, 2.0, 3.0])
+        assert as_interval_array(same, shape) is same
+
+
+class TestArithmetic:
+    def test_add_matches_scalar(self):
+        a = IntervalArray.from_intervals([Interval(0, 1), Interval(-2, -1)])
+        b = IntervalArray.from_intervals([Interval(5, 6), Interval(0.5, 0.75)])
+        got = (a + b).to_intervals()
+        want = [x + y for x, y in zip(a, b)]
+        assert got == want
+
+    def test_mul_matches_scalar_all_sign_cases(self):
+        cases = [
+            (Interval(1, 2), Interval(3, 4)),
+            (Interval(-2, -1), Interval(3, 4)),
+            (Interval(-2, 3), Interval(-1, 5)),
+            (Interval(-2, 3), Interval(-4, -1)),
+            (Interval(0.0), Interval(-1, 1)),
+        ]
+        a = IntervalArray.from_intervals([c[0] for c in cases])
+        b = IntervalArray.from_intervals([c[1] for c in cases])
+        assert (a * b).to_intervals() == [x * y for x, y in cases]
+
+    def test_same_object_square_is_sharp(self):
+        a = IntervalArray.from_intervals([Interval(-2, 3)])
+        # Dependency-aware square: lower bound ~0 (a few ULPs of outward
+        # rounding, like the scalar engine), not the generic product's -6.
+        assert (a * a).lane(0).lo > -1e-300
+
+    def test_div_matches_scalar(self):
+        a = IntervalArray.from_intervals([Interval(1, 2), Interval(-4, 6)])
+        b = IntervalArray.from_intervals([Interval(2, 4), Interval(-2, -1)])
+        assert (a / b).to_intervals() == [x / y for x, y in zip(a, b)]
+
+    def test_div_by_zero_lane_raises(self):
+        a = IntervalArray.point([1.0, 1.0])
+        b = IntervalArray.from_intervals([Interval(1, 2), Interval(-1, 1)])
+        with pytest.raises(ZeroDivisionError):
+            a / b
+
+    def test_int_pow_matches_scalar(self):
+        base = [Interval(-2, 3), Interval(0.5, 1.5), Interval(-3, -1)]
+        arr = IntervalArray.from_intervals(base)
+        for n in (0, 1, 2, 3, 4, -1, -2):
+            if n < 0:
+                vals = [iv for iv in base if not iv.contains(0.0)]
+                a = IntervalArray.from_intervals(vals)
+            else:
+                vals, a = base, arr
+            got = (a ** n).to_intervals()
+            want = [iv ** n for iv in vals]
+            for g, wv in zip(got, want):
+                assert g.lo <= wv.lo and wv.hi <= g.hi
+
+    def test_neg_abs(self):
+        a = IntervalArray.from_intervals([Interval(-2, 1), Interval(3, 4)])
+        assert (-a).to_intervals() == [-x for x in a]
+        assert abs(a).to_intervals() == [abs(x) for x in a]
+
+    def test_scalar_broadcast(self):
+        a = IntervalArray.point([1.0, 2.0])
+        # Broadcast const ops must agree with the scalar engine exactly
+        # (same IEEE ops, same outward rounding).
+        assert (a + 1.0).to_intervals() == [
+            Interval(1.0) + 1.0,
+            Interval(2.0) + 1.0,
+        ]
+        assert (3.0 - a).lane(0) == 3.0 - Interval(1.0)
+        assert (a * Interval(0, 1)).lane(1) == Interval(2.0) * Interval(0, 1)
+
+
+class TestComparisons:
+    def test_unambiguous_masks(self):
+        a = IntervalArray.from_intervals([Interval(0, 1), Interval(5, 6)])
+        b = IntervalArray.from_intervals([Interval(2, 3), Interval(1, 2)])
+        assert list(a < b) == [True, False]
+        assert list(a > b) == [False, True]
+
+    def test_ambiguous_lane_raises_with_lane_info(self):
+        a = IntervalArray.from_intervals([Interval(0, 1), Interval(2, 4)])
+        b = IntervalArray.from_intervals([Interval(2, 3), Interval(3, 5)])
+        with pytest.raises(AmbiguousLaneComparisonError) as exc:
+            a < b
+        assert 1 in exc.value.lanes
+
+    def test_ambiguous_subclasses_scalar_error(self):
+        from repro.intervals import AmbiguousComparisonError
+
+        a = IntervalArray.from_intervals([Interval(0, 2)])
+        with pytest.raises(AmbiguousComparisonError):
+            a < 1.0
+
+    def test_eq_mask_and_certainly(self):
+        a = IntervalArray.point([1.0, 2.0])
+        assert list(a == IntervalArray.point([1.0, 3.0])) == [True, False]
+        assert list(a.certainly_lt(IntervalArray.point([5.0, 0.0]))) == [
+            True,
+            False,
+        ]
+
+
+class TestIntrinsics:
+    def test_domain_errors(self):
+        with pytest.raises(ValueError):
+            ivec.sqrt(IntervalArray.from_intervals([Interval(-1, 1)]))
+        with pytest.raises(ValueError):
+            ivec.log(IntervalArray.from_intervals([Interval(0, 1)]))
+        with pytest.raises(ValueError):
+            ivec.asin(IntervalArray.from_intervals([Interval(0.5, 2.0)]))
+
+    def test_trig_hits_extrema(self):
+        # Lane spanning pi/2 must reach sin's maximum 1.
+        x = IntervalArray.from_intervals([Interval(1.0, 2.0)])
+        s = ivec.sin(x).lane(0)
+        assert s.hi >= 1.0
+        c = ivec.cos(IntervalArray.from_intervals([Interval(3.0, 3.5)])).lane(0)
+        assert c.lo <= -1.0
+
+    def test_exact_ops_no_rounding(self):
+        x = IntervalArray.from_intervals([Interval(0.25, 2.75)])
+        assert ivec.floor(x).lane(0) == Interval(0.0, 2.0)
+        assert ivec.ceil(x).lane(0) == Interval(1.0, 3.0)
+        assert ivec.clip(x, 0.5, 2.0).lane(0) == Interval(0.5, 2.0)
+
+    def test_min_max_match_scalar(self):
+        a = IntervalArray.from_intervals([Interval(0, 3), Interval(-1, 1)])
+        b = IntervalArray.from_intervals([Interval(1, 2), Interval(4, 5)])
+        assert ivec.minimum(a, b).to_intervals() == [
+            ifn.minimum(x, y) for x, y in zip(a, b)
+        ]
+        assert ivec.maximum(a, b).to_intervals() == [
+            ifn.maximum(x, y) for x, y in zip(a, b)
+        ]
+
+    @pytest.mark.parametrize(
+        "name,domain",
+        [
+            ("sqrt", Interval(0.1, 4.0)),
+            ("exp", Interval(-2.0, 2.0)),
+            ("log", Interval(0.5, 3.0)),
+            ("sin", Interval(-1.0, 1.0)),
+            ("cos", Interval(0.5, 2.5)),
+            ("tanh", Interval(-2.0, 2.0)),
+            ("erf", Interval(-1.5, 1.5)),
+            ("atan", Interval(-3.0, 3.0)),
+            ("sinh", Interval(-1.0, 2.0)),
+            ("cosh", Interval(-1.0, 2.0)),
+            ("expm1", Interval(-1.0, 1.0)),
+            ("log1p", Interval(-0.5, 2.0)),
+        ],
+    )
+    def test_unary_encloses_scalar(self, name, domain):
+        lanes = [
+            domain,
+            Interval(domain.lo),
+            Interval(domain.midpoint, domain.hi),
+        ]
+        arr = IntervalArray.from_intervals(lanes)
+        got = getattr(ivec, name)(arr)
+        want = IntervalArray.from_intervals(
+            [getattr(ifn, name)(iv) for iv in lanes]
+        )
+        assert got.encloses(want).all()
+
+    def test_hull_width_midpoint(self):
+        a = IntervalArray.from_intervals([Interval(0, 1), Interval(2, 6)])
+        assert list(a.width) == [1.0, 4.0]
+        assert list(a.midpoint) == [0.5, 4.0]
+        h = a.hull(IntervalArray.point([-1.0, 3.0]))
+        assert h.to_intervals() == [Interval(-1, 1), Interval(2, 6)]

@@ -1,0 +1,213 @@
+"""Tests for the batched tape, VADouble, and intrinsics dispatch.
+
+The central invariant: running a kernel on a ``VTape`` with N lanes must
+give, in every lane, an enclosure of what the scalar engine computes for
+that lane's inputs — same tape structure, same adjoints (up to the batched
+engine's slightly wider outward rounding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ad import intrinsics as op
+from repro.ad.adouble import ADouble
+from repro.ad.tape import Tape, require_tape
+from repro.intervals import Interval
+from repro.vec import (
+    AmbiguousLaneComparisonError,
+    IntervalArray,
+    VADouble,
+    VAnalysis,
+    VTape,
+)
+
+
+def run_scalar(fn, lanes):
+    """Scalar reference: record fn per lane, return (value, x-adjoint)."""
+    out = []
+    for iv in lanes:
+        with Tape() as tape:
+            x = ADouble.input(iv, label="x", tape=tape)
+            y = fn(x)
+        adj = tape.adjoint({y.node.index: 1.0})
+        out.append((y.value, adj[x.node.index]))
+    return out
+
+
+def run_vec(fn, lanes):
+    arr = IntervalArray.from_intervals(lanes)
+    with VTape(lane_shape=arr.shape) as tape:
+        x = VADouble.input(arr, label="x", tape=tape)
+        y = fn(x)
+    adj = tape.adjoint({y.node.index: 1.0})
+    return y.value, adj[x.node.index], tape
+
+
+KERNELS = [
+    lambda x: x * x + 2.0 * x - 1.0,
+    lambda x: op.exp(x) * op.sin(x),
+    lambda x: op.sqrt(x * x + 1.0),
+    lambda x: op.tanh(x) / (x * x + 2.0),
+    lambda x: op.clip(x, -0.5, 0.5) + abs(x),
+    lambda x: op.erf(x) - op.cos(x) * 0.25,
+    lambda x: x**3 - x**2 + x**0,
+    lambda x: op.minimum(x, 0.25) + op.maximum(x, -0.25),
+    lambda x: op.log(x * x + 1.5) + op.atan(x),
+    lambda x: 2.0**x + op.hypot(x, 3.0),
+]
+
+LANES = [
+    Interval(-0.75, -0.25),
+    Interval(-0.1, 0.2),
+    Interval(0.4, 0.9),
+    Interval(1.0, 1.5),
+]
+
+
+class TestLaneEquivalence:
+    @pytest.mark.parametrize("fn", KERNELS)
+    def test_values_and_adjoints_enclose_scalar(self, fn):
+        scalar = run_scalar(fn, LANES)
+        value, adjoint, _ = run_vec(fn, LANES)
+        for k, (sv, sa) in enumerate(scalar):
+            assert value.lane(k).lo <= sv.lo and sv.hi <= value.lane(k).hi
+            assert adjoint.lane(k).lo <= sa.lo and sa.hi <= adjoint.lane(k).hi
+
+    def test_one_node_per_op_not_per_lane(self):
+        fn = KERNELS[1]
+        _, _, vtape = run_vec(fn, LANES)
+        with Tape() as stape:
+            x = ADouble.input(LANES[0], tape=stape)
+            fn(x)
+        assert len(vtape) == len(stape)  # batching adds zero nodes
+
+
+class TestVTape:
+    def test_lane_shape_inferred_and_checked(self):
+        with VTape() as tape:
+            VADouble.input(IntervalArray.point([1.0, 2.0]), tape=tape)
+            assert tape.lane_shape == (2,)
+            with pytest.raises(ValueError):
+                tape.record("bad", IntervalArray.point([1.0, 2.0, 3.0]))
+
+    def test_require_lane_shape_before_any_input(self):
+        tape = VTape()
+        with pytest.raises(RuntimeError):
+            tape.require_lane_shape()
+
+    def test_seed_broadcasting(self):
+        with VTape(lane_shape=3) as tape:
+            x = VADouble.input(IntervalArray.point([1.0, 2.0, 3.0]), tape=tape)
+            y = x * 2.0
+        adj = tape.adjoint({y.node.index: np.array([1.0, 0.0, 2.0])})
+        got = adj[x.node.index]
+        # Outward rounding keeps each lane a hair wide of the exact value.
+        for k, want in enumerate((2.0, 0.0, 4.0)):
+            assert got.lane(k).contains(want)
+            assert got.lane(k).width < 1e-12
+
+    def test_fan_out_accumulates(self):
+        with VTape(lane_shape=2) as tape:
+            x = VADouble.input(IntervalArray.point([1.0, 3.0]), tape=tape)
+            y = x * 2.0 + x * 5.0
+        adj = tape.adjoint({y.node.index: 1.0})
+        got = adj[x.node.index].lane(0)
+        assert got.contains(7.0) and got.width < 1e-12
+
+    def test_active_tape_stack_shared_with_scalar(self):
+        with VTape(lane_shape=1) as tape:
+            assert require_tape() is tape
+
+    def test_empty_seeds_rejected(self):
+        with VTape(lane_shape=1) as tape:
+            VADouble.input(IntervalArray.point([1.0]), tape=tape)
+        with pytest.raises(ValueError):
+            tape.adjoint({})
+
+
+class TestVADouble:
+    def test_input_requires_vtape(self):
+        with Tape():
+            with pytest.raises(TypeError):
+                VADouble.input(IntervalArray.point([1.0]))
+
+    def test_passive_operand_kinds(self):
+        with VTape(lane_shape=2) as tape:
+            x = VADouble.input(IntervalArray.point([1.0, 2.0]), tape=tape)
+            y = x + 1.0                       # float broadcast
+            z = y * np.array([2.0, 3.0])      # per-lane point constants
+            w = z - Interval(0.0, 1.0)        # scalar interval broadcast
+        lane0, lane1 = w.value.lane(0), w.value.lane(1)
+        assert lane0.lo <= 3.0 and 4.0 <= lane0.hi and lane0.width < 1.0 + 1e-12
+        assert lane1.lo <= 8.0 and 9.0 <= lane1.hi and lane1.width < 1.0 + 1e-12
+
+    def test_comparison_masks_and_ambiguity(self):
+        with VTape(lane_shape=2) as tape:
+            x = VADouble.input(
+                IntervalArray.from_intervals(
+                    [Interval(0.0, 0.5), Interval(2.0, 3.0)]
+                ),
+                tape=tape,
+            )
+            assert list(x < 1.0) == [True, False]
+            with pytest.raises(AmbiguousLaneComparisonError):
+                x < 2.5
+
+    def test_to_double_is_lane_midpoints(self):
+        with VTape(lane_shape=2) as tape:
+            x = VADouble.input(
+                IntervalArray.from_intervals(
+                    [Interval(0.0, 1.0), Interval(2.0, 4.0)]
+                ),
+                tape=tape,
+            )
+        assert list(x.to_double()) == [0.5, 3.0]
+
+    def test_abs_partial_per_lane(self):
+        lanes = [Interval(-2.0, -1.0), Interval(-0.5, 0.5), Interval(1.0, 2.0)]
+        with VTape(lane_shape=3) as tape:
+            x = VADouble.input(IntervalArray.from_intervals(lanes), tape=tape)
+            y = abs(x)
+        adj = tape.adjoint({y.node.index: 1.0})
+        got = adj[x.node.index]
+        assert got.lane(0).contains(-1.0) and got.lane(0).width < 1e-12
+        assert got.lane(1).lo <= -1.0 and 1.0 <= got.lane(1).hi
+        assert got.lane(2).contains(1.0) and got.lane(2).width < 1e-12
+
+
+class TestVAnalysis:
+    def test_macro_flow_and_report(self):
+        va = VAnalysis(lane_shape=3)
+        with va:
+            x = va.input(np.array([0.2, 0.5, 0.8]), width=1.0, name="x")
+            t = x * x
+            va.intermediate(t, "sq")
+            va.output(t + x, name="y")
+        rep = va.analyse()
+        sigs = rep.labelled_significances()
+        assert set(sigs) == {"x", "sq"}
+        assert sigs["x"].shape == (3,)
+        assert rep.ranking()[0][0] == "x"
+
+    def test_vector_outputs_sum_per_output_widths(self):
+        va = VAnalysis(lane_shape=2)
+        with va:
+            x = va.input(np.array([1.0, 2.0]), width=0.5, name="x")
+            va.output(x * 2.0, name="y0")
+            va.output(x * -2.0, name="y1")
+        rep = va.analyse()
+        # Signed partials must NOT cancel: each output contributes its own
+        # width (Section 2.3), so x's significance is the sum of both.
+        single = VAnalysis(lane_shape=2)
+        with single:
+            xs = single.input(np.array([1.0, 2.0]), width=0.5, name="x")
+            single.output(xs * 2.0, name="y0")
+        base = single.analyse().significance_of("x")
+        assert np.allclose(rep.significance_of("x"), 2.0 * base)
+
+    def test_analyse_requires_macros(self):
+        va = VAnalysis(lane_shape=1)
+        with va:
+            x = va.input(np.array([1.0]), width=0.1)
+        with pytest.raises(RuntimeError):
+            va.analyse()
