@@ -5,9 +5,12 @@ arithmetic, of taping, and of the reverse sweeps, so users can size their
 profile runs.
 """
 
-import pytest
+import time
 
-from repro.ad import ADouble, Tape
+import pytest
+from record import record_value
+
+from repro.ad import ADouble, CompiledTape, Tape
 from repro.ad import intrinsics as op
 from repro.intervals import Interval, rounded_mode
 
@@ -28,6 +31,11 @@ def test_interval_arithmetic_kernel(benchmark):
 
     result = benchmark(body)
     assert result.lo <= result.hi
+    t0 = time.perf_counter()
+    body()
+    record_value(
+        "core.interval_kernel_seconds", time.perf_counter() - t0, ops=300
+    )
 
 
 def test_interval_arithmetic_unrounded(benchmark):
@@ -70,6 +78,25 @@ def test_adjoint_sweep(benchmark):
 
     adjoints = benchmark(sweep)
     assert isinstance(adjoints[x.node.index], Interval)
+
+
+def test_compiled_adjoint_sweep(benchmark):
+    """The frozen-tape sweep on the same 251-node chain as above."""
+    with Tape() as tape:
+        x = ADouble.input(Interval(0.2, 0.4), tape=tape)
+        y = x
+        for _ in range(50):
+            y = paper_fn(y)
+
+    ct = CompiledTape(tape)
+
+    def sweep():
+        return ct.adjoint({y.node.index: 1.0})
+
+    lo, hi = benchmark(sweep)
+    assert lo.shape == (len(tape),)
+    ref = tape.adjoint({y.node.index: Interval(1.0)})
+    assert lo[x.node.index] == ref[x.node.index].lo
 
 
 def test_vector_adjoint_sweep(benchmark):

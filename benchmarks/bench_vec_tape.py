@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 import pytest
+from record import record_value
 
 from repro.kernels.blackscholes import make_portfolio
 from repro.kernels.blackscholes.analysis import (
@@ -145,6 +146,9 @@ def test_blackscholes_vec_speedup(benchmark, big_portfolio):
     benchmark.extra_info["scalar_seconds"] = round(t_scalar, 3)
     benchmark.extra_info["vec_seconds"] = round(t_vec, 3)
     benchmark.extra_info["speedup"] = round(speedup, 1)
+    record_value(
+        "vec.blackscholes_speedup", speedup, unit="x", options=N_OPTIONS
+    )
     assert speedup >= 10.0, (
         f"batched sweep only {speedup:.1f}x faster "
         f"({t_scalar:.2f}s scalar vs {t_vec:.2f}s vec)"

@@ -7,10 +7,17 @@ end-to-end reproduction check; measured-vs-paper numbers are recorded in
 EXPERIMENTS.md.
 """
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.images import natural_image, radial_scene
+
+# Benchmarks live outside the package; make sibling helpers (record.py)
+# importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 
 @pytest.fixture(scope="session")

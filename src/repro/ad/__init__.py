@@ -11,6 +11,7 @@ underneath :mod:`repro.scorpio`.
 
 from . import intrinsics
 from .adouble import ADouble, IntervalAdjoint
+from .compiled import CompiledTape
 from .hessian import hessian, hessian_vector_product
 from .derivatives import (
     adjoint_gradient,
@@ -27,6 +28,7 @@ __all__ = [
     "Tangent",
     "Tape",
     "Node",
+    "CompiledTape",
     "active_tape",
     "require_tape",
     "NoActiveTapeError",

@@ -1,0 +1,478 @@
+"""Compiled tape: structure-of-arrays DynDFG with vectorized reverse sweeps.
+
+:class:`CompiledTape` freezes a recorded :class:`~repro.ad.tape.Tape` into
+flat NumPy arrays — int32 opcodes, CSR parent/partial arrays
+(``row_ptr``/``parent_idx``/``partial_lo``/``partial_hi``), value lo/hi
+arrays — plus a precomputed *level schedule* so the reverse sweep (Eq. 7–9
+of the paper) can process whole levels of the graph per NumPy call instead
+of one Python ``Node`` at a time.
+
+The object tape remains the reference oracle; the compiled sweeps are
+engineered to be **bit-identical** to it, including the subtle parts:
+
+* the interval endpoint rule uses the same four products in the same
+  order, with the same ``0·inf → NaN → 0`` cleanup and the same fold-left
+  min/max tie-breaking as :meth:`Interval.__mul__`;
+* outward rounding is one ``nextafter`` per bound per operation, applied
+  at exactly the points the object sweep applies it (product and
+  accumulation), and honours the global
+  :func:`repro.intervals.rounding.rounding_enabled` flag at sweep time;
+* consumers with an exactly-zero adjoint are skipped (the object sweep's
+  ``_is_zero`` shortcut is bit-relevant under outward rounding);
+* per-parent accumulation order matches the object sweep: contributions
+  arrive in descending consumer index, and for one consumer in recorded
+  parent order.
+
+The order guarantee comes from the schedule.  Each node gets a *depth*
+``d(j) = 0`` if it has no consumers, else ``1 + max(d(consumer))``; a
+node's adjoint is final once every consumer (all at strictly smaller
+depth) has contributed.  Every edge ``j → parent`` stores its contribution
+when ``j``'s level is processed; incoming edges of each destination are
+ranked by ``(-consumer index, parent position)`` and applied rank by rank,
+so within one vectorized apply step all destinations are distinct (plain
+fancy-indexed gather/add/scatter, no ``np.add.at``) and each destination
+sees its contributions in exactly the object sweep's order.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from operator import attrgetter
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.intervals import Interval
+from repro.intervals.rounding import rounding_enabled
+
+from .tape import Tape
+
+__all__ = ["CompiledTape"]
+
+_NEG_INF = -np.inf
+_POS_INF = np.inf
+
+_GET_OP = attrgetter("op")
+_GET_VALUE = attrgetter("value")
+_GET_PARENTS = attrgetter("parents")
+_GET_PARTIALS = attrgetter("partials")
+_GET_LABEL = attrgetter("label")
+
+
+def _csr_gather(row_ptr: np.ndarray, data: np.ndarray, rows: np.ndarray):
+    """Concatenate ``data[row_ptr[r]:row_ptr[r+1]]`` for every row in order."""
+    starts = row_ptr[rows]
+    counts = row_ptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype)
+    # Standard repeat/cumsum trick: index k of the output belongs to row i
+    # at offset k - cum_starts[i], i.e. data index starts[i] + offset.
+    out_idx = np.repeat(starts - np.concatenate(([0], counts[:-1])).cumsum(), counts)
+    out_idx += np.arange(total)
+    return data[out_idx]
+
+
+class CompiledTape:
+    """A :class:`Tape` frozen into structure-of-arrays form.
+
+    Attributes:
+        n: number of nodes.
+        opcodes: ``(n,)`` int32 array; index into :attr:`op_names`.
+        op_names: interned operation-name table (opcode → name).
+        labels: sparse ``{node index: label}`` for registered variables.
+        value_lo / value_hi: ``(n,)`` float64 forward-value bounds
+            (``lo == hi`` for float tapes and point values).
+        value_is_interval: ``(n,)`` bool — whether the original node value
+            was an :class:`Interval`.
+        row_ptr / parent_idx: CSR edge structure; the parents of node ``j``
+            are ``parent_idx[row_ptr[j]:row_ptr[j+1]]`` in recorded order.
+        partial_lo / partial_hi: per-edge local partial bounds, parallel to
+            :attr:`parent_idx`.
+        interval_mode: True when any node value is an :class:`Interval`
+            (the same rule the object sweep uses).
+        depth: ``(n,)`` consumer-depth level of every node (the sweep
+            schedule; 0 = nodes with no consumers).
+    """
+
+    def __init__(self, tape: Tape):
+        nodes = tape.nodes
+        n = len(nodes)
+        self.tape = tape
+        self.n = n
+
+        # Bulk column extraction: C-level attrgetter maps pull each field
+        # out once, then per-column passes iterate plain lists (no repeated
+        # attribute chasing inside the generators).
+        ops = list(map(_GET_OP, nodes))
+        values = list(map(_GET_VALUE, nodes))
+        parents_list = list(map(_GET_PARENTS, nodes))
+        op_table: dict[str, int] = {}
+        self.opcodes = np.fromiter(
+            (op_table.setdefault(o, len(op_table)) for o in ops),
+            dtype=np.int32,
+            count=n,
+        )
+        self.op_names = list(op_table)
+        value_is_interval = np.fromiter(
+            (isinstance(v, Interval) for v in values), dtype=bool, count=n
+        )
+        self.value_lo = np.fromiter(
+            (v.lo if isinstance(v, Interval) else v for v in values),
+            dtype=np.float64,
+            count=n,
+        )
+        self.value_hi = np.fromiter(
+            (v.hi if isinstance(v, Interval) else v for v in values),
+            dtype=np.float64,
+            count=n,
+        )
+        self.value_is_interval = value_is_interval
+        self.interval_mode = bool(value_is_interval.any())
+        self.labels = {
+            j: label
+            for j, label in enumerate(map(_GET_LABEL, nodes))
+            if label is not None
+        }
+
+        counts = np.fromiter(
+            map(len, parents_list), dtype=np.int64, count=n
+        )
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        e = int(row_ptr[n])
+        self.row_ptr = row_ptr
+        self.n_edges = e
+        self.parent_idx = np.fromiter(
+            chain.from_iterable(parents_list), dtype=np.int64, count=e
+        )
+        partials = list(chain.from_iterable(map(_GET_PARTIALS, nodes)))
+        self.partial_lo = np.fromiter(
+            (p.lo if isinstance(p, Interval) else p for p in partials),
+            dtype=np.float64,
+            count=e,
+        )
+        self.partial_hi = np.fromiter(
+            (p.hi if isinstance(p, Interval) else p for p in partials),
+            dtype=np.float64,
+            count=e,
+        )
+
+        edge_src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self._edge_src = edge_src
+        if e and not (
+            (self.parent_idx >= 0).all() and (self.parent_idx < edge_src).all()
+        ):
+            bad = int(
+                np.flatnonzero(
+                    (self.parent_idx < 0) | (self.parent_idx >= edge_src)
+                )[0]
+            )
+            raise ValueError(
+                f"node {int(edge_src[bad])} parent "
+                f"{int(self.parent_idx[bad])} breaks topological order"
+            )
+        self._build_schedule()
+
+    @classmethod
+    def from_tape(cls, tape: Tape) -> "CompiledTape":
+        """Freeze ``tape`` (alias of the constructor, for symmetry)."""
+        return cls(tape)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # Level schedule
+    # ------------------------------------------------------------------
+    def _build_schedule(self) -> None:
+        n, e = self.n, self.n_edges
+        row_ptr = self.row_ptr
+        parent_idx = self.parent_idx
+        edge_src = self._edge_src
+
+        # Consumer depth: d(j) = 0 without consumers, 1 + max over
+        # consumers otherwise.  One descending pass suffices because
+        # consumers always have larger indices (checked at compile).
+        depth = [0] * n
+        parents_seq = parent_idx.tolist()
+        ptr = row_ptr.tolist()
+        for j in range(n - 1, -1, -1):
+            dj1 = depth[j] + 1
+            for k in range(ptr[j], ptr[j + 1]):
+                p = parents_seq[k]
+                if depth[p] < dj1:
+                    depth[p] = dj1
+        self.depth = np.asarray(depth, dtype=np.int64)
+        n_levels = int(self.depth.max()) + 1 if n else 0
+        self.n_levels = n_levels
+        self._rank_cache: dict[int, list[np.ndarray]] = {}
+
+        if e == 0:
+            self._contrib_schedule = [
+                np.empty(0, dtype=np.int64) for _ in range(n_levels)
+            ]
+            self._apply_flat = [
+                np.empty(0, dtype=np.int64) for _ in range(n_levels)
+            ]
+            return
+
+        # Contribution schedule: edges grouped by the consumer's depth —
+        # computed right after that depth's adjoints are finalized.
+        d_src = self.depth[edge_src]
+        order = np.argsort(d_src, kind="stable")
+        bounds = np.searchsorted(d_src[order], np.arange(n_levels + 1))
+        self._contrib_schedule = [
+            order[bounds[lvl] : bounds[lvl + 1]] for lvl in range(n_levels)
+        ]
+
+        # Apply schedule: per destination, incoming edges ordered by
+        # (-consumer index, parent position); edge ids are already sorted
+        # by (consumer asc, position asc), so lexsort on (edge id asc,
+        # consumer desc, destination asc) yields the required order.
+        # Grouping that order by the destination's depth (stably) gives one
+        # flat edge list per level; within it each destination's run is
+        # contiguous and in exactly the object sweep's accumulation order.
+        edge_ids = np.arange(e, dtype=np.int64)
+        by_dst = np.lexsort((edge_ids, -edge_src, parent_idx))
+        d_dst = self.depth[parent_idx[by_dst]]
+        order2 = np.argsort(d_dst, kind="stable")
+        bounds2 = np.searchsorted(d_dst[order2], np.arange(n_levels + 1))
+        self._apply_flat = [
+            by_dst[order2[bounds2[lvl] : bounds2[lvl + 1]]]
+            for lvl in range(n_levels)
+        ]
+
+    def _rank_steps(self, level: int) -> list[np.ndarray]:
+        """Split a level's flat apply list into rank steps.
+
+        Rank k holds each destination's k-th incoming contribution, so all
+        destinations within one step are distinct (plain gather/add/scatter
+        — needed by the rounded sweep, which must interleave ``nextafter``
+        between consecutive adds to the same destination).  Built lazily:
+        only rounded sweeps pay for it.
+        """
+        steps = self._rank_cache.get(level)
+        if steps is None:
+            sel = self._apply_flat[level]
+            k = sel.size
+            if k == 0:
+                steps = []
+            else:
+                dst = self.parent_idx[sel]
+                new_dst = np.empty(k, dtype=bool)
+                new_dst[0] = True
+                np.not_equal(dst[1:], dst[:-1], out=new_dst[1:])
+                run_starts = np.flatnonzero(new_dst)
+                rank = np.arange(k, dtype=np.int64) - np.repeat(
+                    run_starts, np.diff(np.append(run_starts, k))
+                )
+                order = np.argsort(rank, kind="stable")
+                rank_sorted = rank[order]
+                rbounds = np.searchsorted(
+                    rank_sorted, np.arange(int(rank_sorted[-1]) + 2)
+                )
+                steps = [
+                    sel[order[rbounds[r] : rbounds[r + 1]]]
+                    for r in range(len(rbounds) - 1)
+                ]
+            self._rank_cache[level] = steps
+        return steps
+
+    # ------------------------------------------------------------------
+    # Vectorized reverse sweeps
+    # ------------------------------------------------------------------
+    def adjoint(
+        self, seeds: Mapping[int, Any]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Level-parallel Eq. 7–9 sweep; bit-identical to ``Tape.adjoint``.
+
+        Returns ``(lo, hi)`` arrays of shape ``(n,)``.  For float tapes
+        ``lo is hi``.  Unlike the object sweep this does **not** write
+        ``node.adjoint`` back — adapters do that when materializing.
+        """
+        if not seeds:
+            raise ValueError("adjoint sweep needs at least one seeded output")
+        n = self.n
+        interval = self.interval_mode
+        rnd = interval and rounding_enabled()
+        alo = np.zeros(n, dtype=np.float64)
+        ahi = alo if not interval else np.zeros(n, dtype=np.float64)
+        for index, seed in seeds.items():
+            if not (0 <= index < n):
+                raise IndexError(f"seed index {index} outside tape")
+            if isinstance(seed, Interval):
+                slo, shi = seed.lo, seed.hi
+            else:
+                slo = shi = float(seed)
+            # The object sweep seeds via `zero + seed`, which is an
+            # outward-rounded interval add in interval mode.
+            if interval:
+                new_lo = alo[index] + slo
+                new_hi = ahi[index] + shi
+                if rnd:
+                    new_lo = np.nextafter(new_lo, _NEG_INF)
+                    new_hi = np.nextafter(new_hi, _POS_INF)
+                alo[index] = new_lo
+                ahi[index] = new_hi
+            else:
+                alo[index] = alo[index] + slo
+
+        self._sweep(alo[:, None], ahi[:, None], interval=interval, rnd=rnd)
+        lo = alo.reshape(n)
+        hi = ahi.reshape(n)
+        return (lo, lo) if not interval else (lo, hi)
+
+    def adjoint_vector(
+        self, outputs: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Level-parallel vector sweep; bit-identical to
+        ``Tape.adjoint_vector`` (endpoint rule, no outward rounding)."""
+        m = len(outputs)
+        if m == 0:
+            raise ValueError("adjoint_vector needs at least one output")
+        n = self.n
+        lo = np.zeros((n, m), dtype=np.float64)
+        hi = np.zeros((n, m), dtype=np.float64)
+        for j, idx in enumerate(outputs):
+            if not (0 <= idx < n):
+                raise IndexError(f"output index {idx} outside tape")
+            lo[idx, j] += 1.0
+            hi[idx, j] += 1.0
+        self._sweep(lo, hi, interval=True, rnd=False, clean_nan=False)
+        return lo, hi
+
+    def _sweep(
+        self,
+        alo: np.ndarray,
+        ahi: np.ndarray,
+        *,
+        interval: bool,
+        rnd: bool,
+        clean_nan: bool | None = None,
+    ) -> None:
+        """Run the scheduled reverse sweep in place on ``(n, m)`` bounds.
+
+        ``interval`` selects the endpoint product rule (else the plain
+        float product); ``clean_nan`` applies the ``0·inf → 0`` cleanup of
+        ``Interval.__mul__`` (defaults to ``interval`` — the vector sweep
+        disables it because ``Tape.adjoint_vector`` lets NaN propagate).
+        """
+        if clean_nan is None:
+            clean_nan = interval
+        e = self.n_edges
+        if e == 0:
+            return
+        edge_src = self._edge_src
+        edge_dst = self.parent_idx
+        partial_lo = self.partial_lo
+        partial_hi = self.partial_hi
+        m = alo.shape[1]
+        contrib_lo = np.empty((e, m), dtype=np.float64)
+        contrib_hi = contrib_lo if not interval else np.empty(
+            (e, m), dtype=np.float64
+        )
+        active = np.zeros(e, dtype=bool)
+
+        for level in range(self.n_levels):
+            # 1. Finalize this level's adjoints by applying the stored
+            #    incoming contributions.  The flat per-level edge list is
+            #    ordered so each destination sees its contributions in
+            #    exactly the object sweep's order (consumer desc, parent
+            #    position asc); `np.add.at` is unbuffered and processes
+            #    indices sequentially, so one call accumulates every
+            #    destination in that order.  Rounded sweeps need a
+            #    `nextafter` between consecutive adds to one destination,
+            #    which `add.at` cannot interleave — they fall back to
+            #    rank-by-rank steps (distinct destinations per step).
+            flat = self._apply_flat[level]
+            if flat.size:
+                if rnd:
+                    for sel in self._rank_steps(level):
+                        sub = sel[active[sel]]
+                        if not sub.size:
+                            continue
+                        dst = edge_dst[sub]
+                        new_lo = np.nextafter(
+                            alo[dst] + contrib_lo[sub], _NEG_INF
+                        )
+                        alo[dst] = new_lo
+                        new_hi = np.nextafter(
+                            ahi[dst] + contrib_hi[sub], _POS_INF
+                        )
+                        ahi[dst] = new_hi
+                else:
+                    sub = flat[active[flat]]
+                    if sub.size:
+                        dst = edge_dst[sub]
+                        np.add.at(alo, dst, contrib_lo[sub])
+                        if interval:
+                            np.add.at(ahi, dst, contrib_hi[sub])
+
+            # 2. Emit this level's outgoing edge contributions (sources
+            #    are final now); zero-adjoint sources are skipped exactly
+            #    like the object sweep's `_is_zero` shortcut.
+            sel = self._contrib_schedule[level]
+            if not sel.size:
+                continue
+            src = edge_src[sel]
+            salo = alo[src]
+            if interval:
+                sahi = ahi[src]
+                act = np.any(salo != 0.0, axis=1) | np.any(
+                    sahi != 0.0, axis=1
+                )
+            else:
+                act = np.any(salo != 0.0, axis=1)
+            active[sel] = act
+            sub = sel[act]
+            if not sub.size:
+                continue
+            salo = salo[act]
+            plo = partial_lo[sub][:, None]
+            if not interval:
+                contrib_lo[sub] = plo * salo
+                continue
+            sahi = sahi[act]
+            phi = partial_hi[sub][:, None]
+            p1 = plo * salo
+            p2 = plo * sahi
+            p3 = phi * salo
+            p4 = phi * sahi
+            if clean_nan:
+                for p in (p1, p2, p3, p4):
+                    p[np.isnan(p)] = 0.0
+                # Fold-left min/max with keep-first tie-breaking — the
+                # exact semantics of Python's min()/max() over the four
+                # products in Interval.__mul__.
+                clo = np.where(p2 < p1, p2, p1)
+                clo = np.where(p3 < clo, p3, clo)
+                clo = np.where(p4 < clo, p4, clo)
+                chi = np.where(p2 > p1, p2, p1)
+                chi = np.where(p3 > chi, p3, chi)
+                chi = np.where(p4 > chi, p4, chi)
+            else:
+                # Tape.adjoint_vector's exact association order (in-place
+                # variants reuse the product buffers; results unchanged).
+                clo = np.minimum(p1, p2)
+                t = np.minimum(p3, p4)
+                np.minimum(clo, t, out=clo)
+                chi = np.maximum(p1, p2, out=p2)
+                np.maximum(p3, p4, out=p4)
+                chi = np.maximum(chi, p4, out=chi)
+            if rnd:
+                clo = np.nextafter(clo, _NEG_INF)
+                chi = np.nextafter(chi, _POS_INF)
+            contrib_lo[sub] = clo
+            contrib_hi[sub] = chi
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    def op_name(self, index: int) -> str:
+        """Operation name of node ``index``."""
+        return self.op_names[self.opcodes[index]]
+
+    def parents_of(self, index: int) -> np.ndarray:
+        """CSR parent slice of node ``index`` (recorded order)."""
+        return self.parent_idx[self.row_ptr[index] : self.row_ptr[index + 1]]

@@ -32,6 +32,12 @@ class NoActiveTapeError(RuntimeError):
     """An overloaded operation executed without an active tape."""
 
 
+# Interval is immutable, so the sweep constants can be shared: every
+# adjoint sweep starts from the same zero fill and most seeds are 1.
+_IZERO = Interval(0.0)
+_IONE = Interval(1.0)
+
+
 class Node:
     """One vertex of the DynDFG.
 
@@ -186,30 +192,26 @@ class Tape:
         interval_mode = any(
             isinstance(node.value, Interval) for node in self.nodes
         )
-        zero: Any = Interval(0.0) if interval_mode else 0.0
+        zero: Any = _IZERO if interval_mode else 0.0
         adjoints: list[Any] = [zero] * len(self.nodes)
         for index, seed in seeds.items():
             if not (0 <= index < len(self.nodes)):
                 raise IndexError(f"seed index {index} outside tape")
             if interval_mode and not isinstance(seed, Interval):
-                seed = Interval(float(seed))
+                seed = _IONE if seed == 1.0 else Interval(float(seed))
             adjoints[index] = adjoints[index] + seed
 
         # Nodes are stored in execution (topological) order, so a single
-        # backward pass implements Eq. 8 exactly.
+        # backward pass implements Eq. 8 exactly.  By the time a node is
+        # visited every one of its consumers has already been processed, so
+        # the adjoint read here is final and can be assigned directly.
         for node in reversed(self.nodes):
             a_j = adjoints[node.index]
+            node.adjoint = a_j
             if _is_zero(a_j):
-                node.adjoint = a_j
                 continue
             for parent, partial in zip(node.parents, node.partials):
                 adjoints[parent] = adjoints[parent] + partial * a_j
-            node.adjoint = a_j
-        # The loop above assigns node.adjoint before parents accumulate
-        # later contributions only for consumers that appear *after* the
-        # parent, which reversed order guarantees; still, refresh inputs:
-        for node in self.nodes:
-            node.adjoint = adjoints[node.index]
         return adjoints
 
     def adjoint_vector(self, outputs: Sequence[int]) -> tuple:

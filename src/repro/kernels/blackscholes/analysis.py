@@ -55,6 +55,7 @@ def analyse_option(
     volatility: float,
     expiry: float,
     relative_uncertainty: float = 0.02,
+    compiled: bool = False,
 ) -> dict[str, float]:
     """Block significances for one option (±2% parameter uncertainty)."""
     an = Analysis()
@@ -70,7 +71,9 @@ def analyse_option(
         for name in _BLOCKS:
             an.intermediate(blocks[name], name)
         an.output(blocks["call"], name="price")
-    sigs = an.analyse(simplify=False).labelled_significances()
+    sigs = an.analyse(
+        simplify=False, compiled=compiled
+    ).labelled_significances()
     return {name: sigs[name] for name in _BLOCKS}
 
 

@@ -59,7 +59,9 @@ class DctAnalysis:
 
 
 def analyse_dct_block(
-    block: np.ndarray, pixel_uncertainty: float = 0.5
+    block: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    compiled: bool = False,
 ) -> np.ndarray:
     """Raw (unnormalised) 8x8 coefficient significance map of one block."""
     block = np.asarray(block, dtype=np.float64)
@@ -87,7 +89,8 @@ def analyse_dct_block(
         for y in range(BLOCK):
             for x in range(BLOCK):
                 an.output(reconstructed[y][x], name=f"out_{y}_{x}")
-    report = an.analyse(simplify=False)  # level scan not needed per block
+    # level scan not needed per block
+    report = an.analyse(simplify=False, compiled=compiled)
 
     sigs = report.labelled_significances()
     result = np.zeros((BLOCK, BLOCK), dtype=np.float64)
@@ -102,13 +105,16 @@ def analyse_dct(
     samples: int = 6,
     pixel_uncertainty: float = 0.5,
     seed: int = 9,
+    compiled: bool = False,
 ) -> DctAnalysis:
     """Figure 4: averaged, max-normalised coefficient significance map."""
     blocks = blockify(image)
     rng = np.random.default_rng(seed)
     chosen = rng.choice(len(blocks), size=min(samples, len(blocks)), replace=False)
     maps = [
-        analyse_dct_block(blocks[i], pixel_uncertainty=pixel_uncertainty)
+        analyse_dct_block(
+            blocks[i], pixel_uncertainty=pixel_uncertainty, compiled=compiled
+        )
         for i in chosen
     ]
     mean_map = np.mean(maps, axis=0)

@@ -67,6 +67,7 @@ def analyse_maclaurin(
     width: float = 1.0,
     n: int = 5,
     delta: float = 1e-4,
+    compiled: bool = False,
 ) -> MaclaurinAnalysis:
     """Listing 6: significance analysis of the series over ``[x̂±width/2]``.
 
@@ -83,7 +84,7 @@ def analyse_maclaurin(
             an.intermediate(term, f"term{i}")
             result = result + term
         an.output(result, name="result")
-    report = an.analyse()
+    report = an.analyse(compiled=compiled)
 
     terms = {
         label: value

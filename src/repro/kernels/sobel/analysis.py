@@ -14,6 +14,7 @@ pixels.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -26,6 +27,7 @@ __all__ = [
     "analyse_sobel_pixel",
     "analyse_sobel_windows_vec",
     "analyse_sobel_map",
+    "analyse_sobel_scan_map",
     "analyse_sobel",
 ]
 
@@ -50,7 +52,10 @@ class SobelAnalysis:
 
 
 def analyse_sobel_pixel(
-    window: np.ndarray, pixel_uncertainty: float = 0.5, delta: float = 1e-6
+    window: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    delta: float = 1e-6,
+    compiled: bool = False,
 ) -> dict[str, float]:
     """Block significances for one 3x3 window.
 
@@ -79,7 +84,7 @@ def analyse_sobel_pixel(
             an.intermediate(value, key)
         out = combine_parts_pixel(parts, smooth=True)
         an.output(out, name="pixel")
-    report = an.analyse()
+    report = an.analyse(compiled=compiled)
     sigs = report.labelled_significances()
     return {
         "A": sigs["a_x"] + sigs["a_y"],
@@ -130,17 +135,9 @@ def analyse_sobel_windows_vec(
     ]
 
 
-def analyse_sobel_map(
-    image: np.ndarray, pixel_uncertainty: float = 0.5
-) -> dict[str, np.ndarray]:
-    """Per-pixel block significance maps over the *whole* image.
-
-    Every pixel of ``image`` is one lane of a single batched tape
-    (edge-padded windows, like the reference filter), so the full H×W
-    significance map of each block costs one recording and one reverse
-    sweep — the scalar engine would need one tape per pixel.  Returns
-    ``{"A": map, "B": map, "C": map}`` with each map shaped like ``image``.
-    """
+def _record_sobel_map(image: np.ndarray, pixel_uncertainty: float):
+    """Record + sweep the whole-image batched Sobel tape (one lane per
+    pixel, edge-padded windows); returns the ``VecSignificanceReport``."""
     from repro.vec import IntervalArray, VAnalysis
 
     image = np.asarray(image, dtype=np.float64)
@@ -166,12 +163,54 @@ def analyse_sobel_map(
         for key, value in parts.items():
             va.intermediate(value, key)
         va.output(combine_parts_pixel(parts, smooth=True), name="pixel")
-    sigs = va.analyse().labelled_significances()
+    return va.analyse()
+
+
+def analyse_sobel_map(
+    image: np.ndarray, pixel_uncertainty: float = 0.5
+) -> dict[str, np.ndarray]:
+    """Per-pixel block significance maps over the *whole* image.
+
+    Every pixel of ``image`` is one lane of a single batched tape
+    (edge-padded windows, like the reference filter), so the full H×W
+    significance map of each block costs one recording and one reverse
+    sweep — the scalar engine would need one tape per pixel.  Returns
+    ``{"A": map, "B": map, "C": map}`` with each map shaped like ``image``.
+    """
+    sigs = _record_sobel_map(image, pixel_uncertainty).labelled_significances()
     return {
         "A": sigs["a_x"] + sigs["a_y"],
         "B": sigs["b_x"] + sigs["b_y"],
         "C": sigs["c_x"] + sigs["c_y"],
     }
+
+
+def analyse_sobel_scan_map(
+    image: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    delta: float = 1e-6,
+) -> dict[str, "np.ndarray | Any"]:
+    """Full per-pixel analysis of the whole image in one batched pass.
+
+    Combines the block significance maps of :func:`analyse_sobel_map`
+    with a lane-parallel Algorithm 1 variance scan
+    (:func:`repro.vec.lane_scan_map`): for every pixel, the first DynDFG
+    level whose significance variance exceeds ``delta``.  The scalar
+    equivalent is one full :func:`analyse_sobel_pixel` run per pixel.
+
+    Returns ``{"A": map, "B": map, "C": map, "scan": LaneScanMap}``.
+    """
+    from repro.vec import lane_scan_map
+
+    vreport = _record_sobel_map(image, pixel_uncertainty)
+    sigs = vreport.labelled_significances()
+    result: dict[str, Any] = {
+        "A": sigs["a_x"] + sigs["a_y"],
+        "B": sigs["b_x"] + sigs["b_y"],
+        "C": sigs["c_x"] + sigs["c_y"],
+    }
+    result["scan"] = lane_scan_map(vreport, delta=delta)
+    return result
 
 
 def analyse_sobel(
@@ -180,6 +219,7 @@ def analyse_sobel(
     pixel_uncertainty: float = 0.5,
     seed: int = 3,
     vec: bool = False,
+    compiled: bool = False,
 ) -> SobelAnalysis:
     """Profile-driven analysis over sampled interior pixels of ``image``.
 
@@ -208,6 +248,7 @@ def analyse_sobel(
             analyse_sobel_pixel(
                 image[y - 1 : y + 2, x - 1 : x + 2],
                 pixel_uncertainty=pixel_uncertainty,
+                compiled=compiled,
             )
             for y, x in positions
         ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Protocol, Sequence
+from typing import Protocol, Sequence, cast
 
 from .task import ExecutionMode, Task, TaskResult
 
@@ -76,4 +76,9 @@ class ThreadedExecutor:
                     futures[pool.submit(_run_one, task, mode)] = i
             for future, i in futures.items():
                 results[i] = future.result()
-        return [r for r in results if r is not None]
+        if any(r is None for r in results):  # pragma: no cover - invariant
+            missing = [i for i, r in enumerate(results) if r is None]
+            raise RuntimeError(f"tasks {missing} produced no result")
+        # Dense and in submission order: callers zip this against their
+        # task list, so compacting away a slot would misalign everything.
+        return cast("list[TaskResult]", results)

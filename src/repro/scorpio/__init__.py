@@ -16,6 +16,7 @@ from .ablation import SIGNIFICANCE_VARIANTS, score_tape
 from .advisor import Suggestion, render_advice, suggest_approximations
 from .api import Analysis, analyse_function
 from .compare import ReportDiff, compare_reports
+from .compiled import analyse_compiled
 from .decorators import AnalysedFunction, significance
 from .ranges import RangeStudy, analyse_over_ranges, analyse_with_splitting
 from .dyndfg import DFGNode, DynDFG
@@ -39,6 +40,7 @@ from .variance import VarianceScan, find_significance_variance, level_variance
 __all__ = [
     "Analysis",
     "analyse_function",
+    "analyse_compiled",
     "DynDFG",
     "DFGNode",
     "SignificanceReport",

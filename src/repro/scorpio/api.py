@@ -128,8 +128,19 @@ class Analysis:
         self._outputs.append(var)
         return var
 
-    def analyse(self, simplify: bool = True) -> SignificanceReport:
-        """``ANALYSE()``: reverse sweep, Eq. 11, Algorithm 1 S4+S5."""
+    def analyse(
+        self, simplify: bool = True, compiled: bool = False
+    ) -> SignificanceReport:
+        """``ANALYSE()``: reverse sweep, Eq. 11, Algorithm 1 S4+S5.
+
+        With ``compiled=True`` the whole pipeline (sweep, Eq. 11, S4, S5)
+        runs on :class:`~repro.ad.compiled.CompiledTape` arrays instead of
+        per-node Python loops.  The resulting report is byte-identical
+        (through ``report_to_json``) to the object path — the fast path is
+        a speedup, not an approximation.  The first call wins the cache:
+        repeated ``analyse`` calls return the first report regardless of
+        flags.
+        """
         if not self._inputs:
             raise AnalysisStateError("no inputs registered (INPUT macro)")
         if not self._outputs:
@@ -138,6 +149,18 @@ class Analysis:
             return self._analysed
 
         output_ids = [o.node.index for o in self._outputs]
+        if compiled:
+            from .compiled import analyse_compiled
+
+            self._analysed = analyse_compiled(
+                self.tape,
+                output_ids,
+                input_ids=[v.node.index for v in self._inputs],
+                intermediate_ids=[v.node.index for v in self._intermediates],
+                delta=self.delta,
+                simplify=simplify,
+            )
+            return self._analysed
         if len(output_ids) == 1:
             seeds = {
                 out.node.index: Interval(1.0) if out.interval_mode else 1.0
@@ -173,6 +196,7 @@ def analyse_function(
     names: Sequence[str] | None = None,
     delta: float = 1e-6,
     simplify: bool = True,
+    compiled: bool = False,
 ) -> SignificanceReport:
     """One-call analysis of a Python function over an input box.
 
@@ -199,4 +223,4 @@ def analyse_function(
         else:
             for j, out in enumerate(result):
                 an.output(out, name=f"y{j}")
-    return an.analyse(simplify=simplify)
+    return an.analyse(simplify=simplify, compiled=compiled)

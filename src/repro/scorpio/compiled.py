@@ -1,0 +1,613 @@
+"""Array-backed ANALYSE pipeline over a :class:`~repro.ad.compiled.CompiledTape`.
+
+The object pipeline (``Analysis.analyse``) walks dict-of-object graphs:
+Eq. 11 per node, Algorithm 1 step S4 (simplify) on ``DFGNode`` copies, and
+step S5 (BFS level / variance scan) via per-level sorts.  This module runs
+the same algorithm on the compiled tape's flat arrays:
+
+* Eq. 11 significance ``w([uj]·∇[uj][y])`` as one vectorized expression
+  over the value/adjoint lo-hi arrays (:func:`eq11_from_sweep` /
+  :func:`eq11_vector`);
+* S4 on plain opcode/parent lists (:func:`simplify_structure`) — the
+  traversal order and absorption rules are copied from
+  :func:`repro.scorpio.simplify.simplify` so the resulting structure is
+  identical;
+* S5 with an array BFS over the CSR edges (:func:`levels_from_parents`)
+  and the exact sequential-float variance of
+  :func:`repro.scorpio.variance.level_variance` (:func:`scan_levels`);
+* a DynDFG/report adapter (:func:`analyse_compiled`) that materializes the
+  same ``SignificanceReport`` objects the object pipeline produces —
+  byte-identical through :func:`repro.scorpio.serialize.report_to_json`.
+
+Every numeric step reproduces the object pipeline bit-for-bit (same
+product orders, same rounding points, same Python-float accumulation in
+the variance), so ``analyse(compiled=True)`` is a pure speedup, not an
+approximation; the object path remains the oracle the tests compare
+against.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.ad.compiled import CompiledTape, _csr_gather
+from repro.ad.tape import Tape
+from repro.intervals import Interval
+from repro.intervals.rounding import rounding_enabled
+
+from .dyndfg import DFGNode, DynDFG
+from .report import SignificanceReport
+from .simplify import AGGREGATE_OPS
+from .variance import VarianceScan
+
+__all__ = [
+    "analyse_compiled",
+    "eq11_from_sweep",
+    "eq11_vector",
+    "simplify_structure",
+    "levels_from_parents",
+    "levels_from_csr",
+    "scan_levels",
+]
+
+_NEG_INF = -np.inf
+_POS_INF = np.inf
+
+
+# ----------------------------------------------------------------------
+# Eq. 11 on arrays
+# ----------------------------------------------------------------------
+def eq11_from_sweep(
+    value_lo: np.ndarray,
+    value_hi: np.ndarray,
+    adj_lo: np.ndarray,
+    adj_hi: np.ndarray,
+    *,
+    interval_mode: bool = True,
+) -> np.ndarray:
+    """``S_y(uj) = w([uj]·∇[uj][y])`` for every node, in one expression.
+
+    Bit-identical to mapping
+    :func:`repro.scorpio.significance.significance_value` over the nodes:
+    same four endpoint products in the same order, ``0·inf → 0`` cleanup,
+    fold-left min/max tie-breaking, and outward rounding honouring the
+    global flag.  Arrays may carry any trailing lane axes.  For float
+    tapes (``interval_mode=False``) this is the scalar fallback
+    ``|uj · ∂y/∂uj|``.
+    """
+    if not interval_mode:
+        return np.abs(value_lo * adj_lo)
+    p1 = value_lo * adj_lo
+    p2 = value_lo * adj_hi
+    p3 = value_hi * adj_lo
+    p4 = value_hi * adj_hi
+    for p in (p1, p2, p3, p4):
+        p[np.isnan(p)] = 0.0
+    lo = np.where(p2 < p1, p2, p1)
+    lo = np.where(p3 < lo, p3, lo)
+    lo = np.where(p4 < lo, p4, lo)
+    hi = np.where(p2 > p1, p2, p1)
+    hi = np.where(p3 > hi, p3, hi)
+    hi = np.where(p4 > hi, p4, hi)
+    if rounding_enabled():
+        lo = np.nextafter(lo, _NEG_INF)
+        hi = np.nextafter(hi, _POS_INF)
+    return hi - lo
+
+
+def eq11_vector(
+    value_lo: np.ndarray,
+    value_hi: np.ndarray,
+    adj_lo: np.ndarray,
+    adj_hi: np.ndarray,
+    *,
+    interval_mode: bool = True,
+) -> np.ndarray:
+    """Vector-mode Eq. 11: ``S_y(uj) = Σ_i S_{y_i}(uj)`` on ``(n, m)``
+    adjoint component matrices — the array twin of
+    :func:`repro.scorpio.significance.significance_map_vector` (same
+    branch per node, same association order, no outward rounding)."""
+    if not interval_mode:
+        return np.sum(np.abs(value_lo[:, None] * adj_lo), axis=1)
+    n = value_lo.shape[0]
+    sig = np.empty(n, dtype=np.float64)
+    point = value_lo == value_hi
+    if not point.any():
+        # All-interval fast path: same products and association order as
+        # the masked branch below, minus the boolean-mask copies.
+        vl = value_lo[:, None]
+        vh = value_hi[:, None]
+        p1 = vl * adj_lo
+        p2 = vl * adj_hi
+        p3 = vh * adj_lo
+        p4 = vh * adj_hi
+        pmin = np.minimum(p1, p2)
+        t = np.minimum(p3, p4)
+        np.minimum(pmin, t, out=pmin)
+        pmax = np.maximum(p1, p2, out=p2)
+        np.maximum(p3, p4, out=p4)
+        np.maximum(pmax, p4, out=pmax)
+        np.subtract(pmax, pmin, out=pmax)
+        return np.sum(pmax, axis=1)
+    sig[point] = np.abs(value_lo[point]) * np.sum(
+        adj_hi[point] - adj_lo[point], axis=1
+    )
+    rest = ~point
+    if rest.any():
+        vl = value_lo[rest, None]
+        vh = value_hi[rest, None]
+        lo_r = adj_lo[rest]
+        hi_r = adj_hi[rest]
+        p1 = vl * lo_r
+        p2 = vl * hi_r
+        p3 = vh * lo_r
+        p4 = vh * hi_r
+        pmin = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
+        pmax = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
+        sig[rest] = np.sum(pmax - pmin, axis=1)
+    return sig
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 S4 on plain structure
+# ----------------------------------------------------------------------
+def simplify_structure(
+    ops: Sequence[str],
+    parents: Sequence[tuple[int, ...]],
+    outputs: Sequence[int],
+) -> tuple[list[int], dict[int, tuple[int, ...]], dict[int, tuple[int, ...]]]:
+    """Step S4 on opcode/parent lists; structure-identical to
+    :func:`repro.scorpio.simplify.simplify`.
+
+    Returns ``(survivor ids ascending, id -> parents, id -> merged)``.
+    Only the graph *structure* matters here, so the batched bridge can run
+    it once and reuse it for every lane.
+    """
+    n = len(ops)
+    flat = np.fromiter(chain.from_iterable(parents), dtype=np.int64)
+    if flat.size:
+        consumer_count = np.bincount(flat, minlength=n).tolist()
+    else:
+        consumer_count = [0] * n
+
+    removed: set[int] = set()
+    cur_parents: list[tuple[int, ...]] = list(parents)
+    merged_all: list[tuple[int, ...]] = [()] * n
+
+    # Descending id (reverse execution) order: the final node of each
+    # aggregation chain absorbs the whole chain in one pass.
+    for nid in range(n - 1, -1, -1):
+        if nid in removed or ops[nid] not in AGGREGATE_OPS:
+            continue
+        merged = list(merged_all[nid])
+        new_parents: list[int] = []
+        frontier = list(cur_parents[nid])
+        changed = False
+        while frontier:
+            pid = frontier.pop()
+            if pid in removed:
+                continue
+            p_op = ops[pid]
+            absorb_chain = (
+                p_op in AGGREGATE_OPS and consumer_count[pid] == 1
+            )
+            absorb_const = p_op == "const" and consumer_count[pid] == 1
+            if absorb_chain or absorb_const:
+                removed.add(pid)
+                merged.append(pid)
+                merged.extend(merged_all[pid])
+                frontier.extend(cur_parents[pid])
+                changed = True
+            else:
+                new_parents.append(pid)
+        if changed:
+            cur_parents[nid] = tuple(sorted(set(new_parents)))
+            merged_all[nid] = tuple(sorted(set(merged)))
+
+    survivors = [i for i in range(n) if i not in removed]
+    still_consumed: set[int] = set()
+    for i in survivors:
+        still_consumed.update(cur_parents[i])
+    out_set = set(outputs)
+    survivors = [
+        i
+        for i in survivors
+        if not (
+            ops[i] == "const" and i not in still_consumed and i not in out_set
+        )
+    ]
+    surv_set = set(survivors)
+    final_parents = {
+        i: tuple(p for p in cur_parents[i] if p in surv_set)
+        for i in survivors
+    }
+    final_merged = {i: merged_all[i] for i in survivors}
+    return survivors, final_parents, final_merged
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 S5: BFS levels + variance scan
+# ----------------------------------------------------------------------
+def levels_from_parents(
+    parents: Mapping[int, tuple[int, ...]],
+    n: int,
+    outputs: Sequence[int],
+) -> dict[int, int]:
+    """BFS distance-to-output levels over a parents map, frontier by
+    frontier on CSR arrays.  Matches ``DynDFG._assign_levels`` (levels are
+    shortest distances, so queue order is irrelevant); unreachable nodes
+    are absent from the result (their level is ``None``)."""
+    m = len(parents)
+    ids = np.fromiter(parents.keys(), dtype=np.int64, count=m)
+    lens = np.fromiter(map(len, parents.values()), dtype=np.int64, count=m)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    row_ptr[ids + 1] = lens
+    np.cumsum(row_ptr, out=row_ptr)
+    e = int(row_ptr[-1])
+    if m and bool(np.all(ids[:-1] < ids[1:])):
+        # Keys ascending (the common case: dicts built over ascending
+        # survivor ids), so concatenating values in iteration order lands
+        # each row exactly at its CSR offset.
+        parent_idx = np.fromiter(
+            chain.from_iterable(parents.values()), dtype=np.int64, count=e
+        )
+    else:
+        parent_idx = np.empty(e, dtype=np.int64)
+        for i, ps in parents.items():
+            start = row_ptr[i]
+            parent_idx[start : start + len(ps)] = ps
+    return levels_from_csr(row_ptr, parent_idx, outputs)
+
+
+def levels_from_csr(
+    row_ptr: np.ndarray,
+    parent_idx: np.ndarray,
+    outputs: Sequence[int],
+) -> dict[int, int]:
+    """BFS levels straight off CSR edge arrays (e.g. a
+    :class:`~repro.ad.compiled.CompiledTape`'s — no rebuild needed)."""
+    n = len(row_ptr) - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    frontier = np.unique(np.asarray(list(outputs), dtype=np.int64))
+    levels[frontier] = 0
+    fresh = np.zeros(n, dtype=bool)
+    d = 0
+    while frontier.size:
+        ps = _csr_gather(row_ptr, parent_idx, frontier)
+        if not ps.size:
+            break
+        # Mask-based dedup-and-filter: flatnonzero yields the sorted
+        # unique unvisited parents without an O(e log e) np.unique.
+        fresh[ps] = True
+        fresh &= levels < 0
+        ps = np.flatnonzero(fresh)
+        fresh[ps] = False
+        if not ps.size:
+            break
+        d += 1
+        levels[ps] = d
+        frontier = ps
+    reached = np.flatnonzero(levels >= 0)
+    return dict(zip(reached.tolist(), levels[reached].tolist()))
+
+
+def scan_levels(
+    levels: Mapping[int, int],
+    significances: Mapping[int, float],
+    delta: float,
+) -> tuple[int | None, dict[int, float]]:
+    """``findSgnfVariance`` on precomputed levels — exact Python-float
+    arithmetic of :func:`repro.scorpio.variance.level_variance` (sequential
+    sum over members in ascending id order, population variance)."""
+    members_by_level: dict[int, list[int]] = {}
+    for nid in sorted(levels):
+        members_by_level.setdefault(levels[nid], []).append(nid)
+    height = (max(members_by_level) + 1) if members_by_level else 0
+    variances: dict[int, float] = {}
+    for level in range(1, height):
+        sigs = [significances[i] for i in members_by_level.get(level, ())]
+        if len(sigs) < 2:
+            var = 0.0
+        else:
+            mean = sum(sigs) / len(sigs)
+            var = sum((s - mean) ** 2 for s in sigs) / len(sigs)
+        variances[level] = var
+        if var > delta:
+            return level, variances
+    return None, variances
+
+
+# ----------------------------------------------------------------------
+# Materialization (arrays -> DynDFG / SignificanceReport)
+# ----------------------------------------------------------------------
+class _LazyDynDFG(DynDFG):
+    """A :class:`DynDFG` whose node objects are built on first access.
+
+    The compiled pipeline keeps its results in arrays; most consumers only
+    read a handful of labelled significances, so the ``DFGNode``
+    dictionaries (one Python object per tape node, times three graphs) are
+    materialized lazily.  Once built, the instance behaves exactly like an
+    eagerly-constructed graph — serialization and comparison see identical
+    objects.
+    """
+
+    def __init__(self, build, outputs: Sequence[int]):
+        self._build = build
+        self._materialized: dict[int, DFGNode] | None = None
+        self.outputs = list(outputs)
+
+    @property  # type: ignore[override]
+    def nodes(self) -> dict[int, DFGNode]:
+        materialized = self._materialized
+        if materialized is None:
+            materialized = self._build()
+            self._materialized = materialized
+        return materialized
+
+
+class _CompiledReport(SignificanceReport):
+    """Report flavour whose label views read the flat columns directly.
+
+    Byte-identical to the object report (the overridden methods return
+    the same dictionaries in the same order) but without materializing
+    16k ``DFGNode`` objects to look up a handful of labels.
+    """
+
+    _labels: dict[int, str]
+    _sig: list[float]
+    _n: int
+
+    def labelled_significances(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        outputs = self.output_ids
+        for i, label in self._labels.items():
+            if i in outputs:
+                continue
+            out[label] = out.get(label, 0.0) + self._sig[i]
+        return out
+
+    def input_significances(self) -> dict[str, float]:
+        ids = set(self.input_ids)
+        return {
+            (self._labels.get(i) or f"x{i}"): self._sig[i]
+            for i in sorted(ids)
+        }
+
+    def significance_of(self, label: str) -> float:
+        hits = [i for i, lab in self._labels.items() if lab == label]
+        if not hits:
+            raise KeyError(f"no registered variable named {label!r}")
+        if len(hits) > 1:
+            raise KeyError(
+                f"label {label!r} is ambiguous ({len(hits)} nodes); "
+                "use labelled_significances()"
+            )
+        return self._sig[hits[0]] or 0.0
+
+
+def build_graph(
+    ids: Sequence[int],
+    *,
+    ops: Sequence[str],
+    labels: Sequence[str | None],
+    values: Sequence[Any],
+    adjoints: Sequence[Any],
+    significances: Sequence[float],
+    parents: Mapping[int, tuple[int, ...]] | Sequence[tuple[int, ...]],
+    merged: Mapping[int, tuple[int, ...]] | None,
+    levels: Mapping[int, int],
+    outputs: Sequence[int],
+) -> DynDFG:
+    """Materialize a :class:`DynDFG` from id-indexed columns, injecting
+    the precomputed BFS levels instead of recomputing them."""
+    nodes = [
+        DFGNode(
+            id=i,
+            op=ops[i],
+            label=labels[i],
+            value=values[i],
+            adjoint=adjoints[i],
+            significance=significances[i],
+            parents=parents[i],
+            merged=merged[i] if merged is not None else (),
+        )
+        for i in ids
+    ]
+    return DynDFG(nodes, list(outputs), levels=dict(levels))
+
+
+def _scan_and_assemble(
+    *,
+    lazy_graph,
+    raw,
+    simplified,
+    surv,
+    s_parents,
+    s_merged,
+    s_levels,
+    sig_list,
+    delta,
+    input_ids,
+    intermediate_ids,
+    output_ids,
+    labels,
+    n,
+):
+    """S5 + report assembly shared by :func:`analyse_compiled` and the
+    batched bridge: variance-scan the simplified structure, truncate if a
+    level is found, wrap everything in a :class:`_CompiledReport`."""
+    found, variances = scan_levels(
+        {i: s_levels[i] for i in surv if i in s_levels}, sig_list, delta
+    )
+    if found is None:
+        scan_graph = simplified
+    else:
+        keep = [
+            i for i in surv if i in s_levels and s_levels[i] <= found + 1
+        ]
+        keep_set = set(keep)
+        k_parents = {
+            i: tuple(p for p in s_parents[i] if p in keep_set) for i in keep
+        }
+        # Truncation preserves BFS levels: every shortest path from a kept
+        # node runs through strictly smaller levels, hence through kept
+        # nodes only.
+        scan_graph = lazy_graph(
+            keep, k_parents, s_merged, {i: s_levels[i] for i in keep}
+        )
+
+    scan = VarianceScan(
+        graph=scan_graph, found_level=found, delta=delta, variances=variances
+    )
+    report = _CompiledReport(
+        raw_graph=raw,
+        simplified_graph=simplified,
+        scan=scan,
+        input_ids=list(input_ids),
+        intermediate_ids=list(intermediate_ids),
+        output_ids=list(output_ids),
+    )
+    report._labels = labels
+    report._sig = sig_list
+    report._n = n
+    return report
+
+
+def analyse_compiled(
+    tape: Tape,
+    output_ids: Sequence[int],
+    *,
+    input_ids: Sequence[int] = (),
+    intermediate_ids: Sequence[int] = (),
+    delta: float = 1e-6,
+    simplify: bool = True,
+) -> SignificanceReport:
+    """The full ANALYSE pipeline through the compiled fast path.
+
+    Freezes ``tape``, runs the vectorized reverse sweep (scalar seed for a
+    single output, vector adjoint for many — mirroring
+    ``Analysis.analyse``), computes Eq. 11, S4 and S5 on arrays, and
+    returns a :class:`SignificanceReport` byte-identical (through
+    ``report_to_json``) to the object pipeline's.  The report's graphs are
+    materialized lazily on first access; unlike the object sweep, tape
+    ``Node.adjoint`` attributes are left untouched — the report carries
+    every adjoint (use the object path if you need them on the tape).
+    """
+    output_ids = list(output_ids)
+    if not output_ids:
+        raise ValueError("analyse_compiled needs at least one output")
+    ct = CompiledTape(tape)
+    n = ct.n
+    interval = ct.interval_mode
+
+    if len(output_ids) == 1:
+        alo, ahi = ct.adjoint({output_ids[0]: 1.0})
+        sig = eq11_from_sweep(
+            ct.value_lo, ct.value_hi, alo, ahi, interval_mode=interval
+        )
+        if interval:
+
+            def build_adjoints() -> list[Any]:
+                return [
+                    Interval(lo, hi)
+                    for lo, hi in zip(alo.tolist(), ahi.tolist())
+                ]
+
+        else:
+
+            def build_adjoints() -> list[Any]:
+                return alo.tolist()
+
+    else:
+        lo, hi = ct.adjoint_vector(output_ids)
+        sig = eq11_vector(
+            ct.value_lo, ct.value_hi, lo, hi, interval_mode=interval
+        )
+        # significance_map_vector keeps the hull of the per-output
+        # adjoints on every node, interval tape or not.
+        hull_lo = np.min(lo, axis=1)
+        hull_hi = np.max(hi, axis=1)
+
+        def build_adjoints() -> list[Any]:
+            return [
+                Interval(l, h)
+                for l, h in zip(hull_lo.tolist(), hull_hi.tolist())
+            ]
+
+    sig_list = sig.tolist()
+    nodes = tape.nodes
+    adjoint_memo: list[Any] = []
+
+    def adjoints() -> list[Any]:
+        if not adjoint_memo:
+            adjoint_memo.append(build_adjoints())
+        return adjoint_memo[0]
+
+    def lazy_graph(ids, parents, merged, levels) -> _LazyDynDFG:
+        def build() -> dict[int, DFGNode]:
+            adjs = adjoints()
+            # `levels` may itself be lazy (a thunk): raw BFS levels are
+            # only needed if the raw graph is ever materialized.
+            lvls = levels() if callable(levels) else levels
+            return {
+                i: DFGNode(
+                    id=i,
+                    op=nodes[i].op,
+                    label=nodes[i].label,
+                    value=nodes[i].value,
+                    adjoint=adjs[i],
+                    significance=sig_list[i],
+                    parents=parents[i],
+                    level=lvls.get(i),
+                    merged=merged[i] if merged is not None else (),
+                )
+                for i in ids
+            }
+
+        return _LazyDynDFG(build, output_ids)
+
+    raw_parents = [node.parents for node in nodes]
+    raw_levels_memo: list[dict[int, int]] = []
+
+    def raw_levels() -> dict[int, int]:
+        if not raw_levels_memo:
+            raw_levels_memo.append(
+                levels_from_csr(ct.row_ptr, ct.parent_idx, output_ids)
+            )
+        return raw_levels_memo[0]
+
+    raw = lazy_graph(range(n), raw_parents, None, raw_levels)
+
+    if simplify:
+        ops = [node.op for node in nodes]
+        surv, s_parents, s_merged = simplify_structure(
+            ops, raw_parents, output_ids
+        )
+        s_levels = levels_from_parents(s_parents, n, output_ids)
+        simplified = lazy_graph(surv, s_parents, s_merged, s_levels)
+    else:
+        surv = range(n)
+        s_parents = raw_parents
+        s_merged = None
+        s_levels = raw_levels()
+        simplified = raw
+
+    return _scan_and_assemble(
+        lazy_graph=lazy_graph,
+        raw=raw,
+        simplified=simplified,
+        surv=surv,
+        s_parents=s_parents,
+        s_merged=s_merged,
+        s_levels=s_levels,
+        sig_list=sig_list,
+        delta=delta,
+        input_ids=input_ids,
+        intermediate_ids=intermediate_ids,
+        output_ids=output_ids,
+        labels=ct.labels,
+        n=n,
+    )

@@ -65,13 +65,25 @@ class DynDFG:
     :func:`repro.scorpio.variance.find_significance_variance`.
     """
 
-    def __init__(self, nodes: Iterable[DFGNode], outputs: Iterable[int]):
+    def __init__(
+        self,
+        nodes: Iterable[DFGNode],
+        outputs: Iterable[int],
+        *,
+        levels: dict[int, int] | None = None,
+    ):
         self.nodes: dict[int, DFGNode] = {n.id: n for n in nodes}
         self.outputs: list[int] = list(outputs)
         missing = [o for o in self.outputs if o not in self.nodes]
         if missing:
             raise ValueError(f"output ids {missing} not present in graph")
-        self._assign_levels()
+        if levels is None:
+            self._assign_levels()
+        else:
+            # Precomputed BFS levels (the compiled pipeline computes them
+            # on arrays); nodes absent from the mapping are unreachable.
+            for node in self.nodes.values():
+                node.level = levels.get(node.id)
 
     # ------------------------------------------------------------------
     # Construction

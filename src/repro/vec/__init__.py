@@ -33,7 +33,14 @@ from .significance import (
 from .vadouble import VADouble
 from .vanalysis import VAnalysis, analyse_function_lanes
 from .vtape import VNode, VTape
-from .bridge import lane_report, lift, lower, lower_tape
+from .bridge import (
+    LaneScanMap,
+    lane_report,
+    lane_scan_map,
+    lift,
+    lower,
+    lower_tape,
+)
 
 __all__ = [
     "IntervalArray",
@@ -52,4 +59,6 @@ __all__ = [
     "lower",
     "lower_tape",
     "lane_report",
+    "lane_scan_map",
+    "LaneScanMap",
 ]

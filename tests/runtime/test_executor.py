@@ -105,3 +105,23 @@ class TestThreaded:
 
         with pytest.raises(ValueError, match="bad"):
             ThreadedExecutor(2).run([Task(fn=boom)], [ExecutionMode.ACCURATE])
+
+
+class TestThreadedResultShape:
+    def test_dense_and_in_submission_order(self):
+        # The result list must line up index-for-index with the submitted
+        # tasks — including dropped ones — so callers can zip them.
+        tasks = make_tasks(12)
+        modes = [
+            ExecutionMode.DROPPED if i % 3 == 0 else ExecutionMode.ACCURATE
+            for i in range(12)
+        ]
+        results = ThreadedExecutor(max_workers=4).run(tasks, modes)
+        assert len(results) == len(tasks)
+        for i, (task, mode, result) in enumerate(zip(tasks, modes, results)):
+            assert result.task is task
+            assert result.mode is mode
+            if mode is ExecutionMode.DROPPED:
+                assert result.value is None
+            else:
+                assert result.value == i * i

@@ -164,3 +164,57 @@ class TestLaneReport:
         assert np.allclose(total, 1.0)
         lane_rank = vec_report.lane_ranking(1)
         assert lane_rank[0][1] >= lane_rank[-1][1]
+
+
+class TestCompiledLaneReport:
+    def test_byte_identical_on_every_lane(self, vec_report):
+        for lane in range(vec_report.n_lanes):
+            obj = vec_report.lane_report(lane)
+            cmp = vec_report.lane_report(lane, compiled=True)
+            assert report_to_json(obj) == report_to_json(cmp)
+
+    def test_simplify_false(self, vec_report):
+        obj = vec_report.lane_report(1, simplify=False)
+        cmp = vec_report.lane_report(1, simplify=False, compiled=True)
+        assert report_to_json(obj) == report_to_json(cmp)
+
+    def test_columns_cached_across_lanes(self, vec_report):
+        vec_report.lane_report(0, compiled=True)
+        cache = vec_report._lane_columns_cache
+        vec_report.lane_report(2, compiled=True)
+        assert vec_report._lane_columns_cache is cache
+
+
+class TestLaneScanMap:
+    def test_matches_per_lane_scans(self, vec_report):
+        from repro.vec import lane_scan_map
+
+        scan = lane_scan_map(vec_report, delta=1e-6)
+        flat = scan.found_level.reshape(-1)
+        for lane in range(vec_report.n_lanes):
+            ref = vec_report.lane_report(lane).scan
+            expected = (
+                ref.found_level if ref.found_level is not None else -1
+            )
+            assert int(flat[lane]) == expected
+            for level, var in ref.variances.items():
+                got = float(scan.variances[level].reshape(-1)[lane])
+                assert got == var  # bitwise: same float op chain
+
+    def test_inexact_variance_close(self, vec_report):
+        from repro.vec import lane_scan_map
+
+        exact = lane_scan_map(vec_report, delta=1e-6)
+        fast = lane_scan_map(
+            vec_report, delta=1e-6, exact_variance=False
+        )
+        assert np.array_equal(exact.found_level, fast.found_level)
+        for level, var in exact.variances.items():
+            assert np.allclose(var, fast.variances[level], rtol=1e-12)
+
+    def test_found_counts_histogram(self, vec_report):
+        from repro.vec import lane_scan_map
+
+        scan = lane_scan_map(vec_report)
+        counts = scan.found_counts()
+        assert sum(counts.values()) == vec_report.n_lanes
