@@ -11,7 +11,8 @@ underneath :mod:`repro.scorpio`.
 
 from . import intrinsics
 from .adouble import ADouble, IntervalAdjoint
-from .compiled import CompiledTape
+from .compiled import CompiledTape, ReplayLanes
+from .replay import ForwardPlan, GuardDivergenceError, ReplayError
 from .hessian import hessian, hessian_vector_product
 from .derivatives import (
     adjoint_gradient,
@@ -29,6 +30,10 @@ __all__ = [
     "Tape",
     "Node",
     "CompiledTape",
+    "ReplayLanes",
+    "ForwardPlan",
+    "ReplayError",
+    "GuardDivergenceError",
     "active_tape",
     "require_tape",
     "NoActiveTapeError",

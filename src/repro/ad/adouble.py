@@ -100,13 +100,22 @@ class ADouble:
         """
         return _coerce_const(value, self.interval_mode)
 
-    def _make(self, op: str, value: Any, parents: tuple, partials: tuple) -> "ADouble":
-        node = self.tape.record(op, value, parents, partials)
+    def _make(
+        self,
+        op: str,
+        value: Any,
+        parents: tuple,
+        partials: tuple,
+        aux: Any = None,
+    ) -> "ADouble":
+        node = self.tape.record(op, value, parents, partials, aux=aux)
         return type(self)(value, node, self.tape)
 
-    def record_unary(self, op: str, value: Any, partial: Any) -> "ADouble":
+    def record_unary(
+        self, op: str, value: Any, partial: Any, aux: Any = None
+    ) -> "ADouble":
         """Append a unary elementary function node (used by intrinsics)."""
-        return self._make(op, value, (self.node.index,), (partial,))
+        return self._make(op, value, (self.node.index,), (partial,), aux=aux)
 
     def _binary(
         self,
@@ -135,7 +144,12 @@ class ADouble:
         else:
             value = value_fn(self.value, const)
             partial = partial_self_fn(self.value, const)
-        return self._make(op, value, (self.node.index,), (partial,))
+        # The folded constant is not always recoverable from value/partial
+        # (add/sub/div); stash it so the replay engine can recompute the
+        # node on fresh inputs.
+        return self._make(
+            op, value, (self.node.index,), (partial,), aux=(const, reflected)
+        )
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -254,24 +268,44 @@ class ADouble:
             return other.value
         return other
 
+    def _guarded_cmp(self, op: str, other: _Operand, outcome: bool) -> bool:
+        """Log a decided comparison on the tape (replay divergence check).
+
+        Each guard pins one branch of the recorded straight-line trace:
+        ``(op, left_index, right_index | Interval, outcome)``.  Replay
+        re-evaluates the same comparison on fresh values and rejects the
+        trace if the outcome flips (or turns ambiguous).
+        """
+        rhs: Any = (
+            other.node.index
+            if isinstance(other, ADouble)
+            else as_interval(other)
+        )
+        self.tape.guards.append((op, self.node.index, rhs, outcome))
+        return outcome
+
     def __lt__(self, other: _Operand) -> bool:
         if self.interval_mode:
-            return self.value < as_interval(self._cmp_operand(other))
+            outcome = self.value < as_interval(self._cmp_operand(other))
+            return self._guarded_cmp("lt", other, outcome)
         return self.value < self._cmp_operand(other)
 
     def __le__(self, other: _Operand) -> bool:
         if self.interval_mode:
-            return self.value <= as_interval(self._cmp_operand(other))
+            outcome = self.value <= as_interval(self._cmp_operand(other))
+            return self._guarded_cmp("le", other, outcome)
         return self.value <= self._cmp_operand(other)
 
     def __gt__(self, other: _Operand) -> bool:
         if self.interval_mode:
-            return self.value > as_interval(self._cmp_operand(other))
+            outcome = self.value > as_interval(self._cmp_operand(other))
+            return self._guarded_cmp("gt", other, outcome)
         return self.value > self._cmp_operand(other)
 
     def __ge__(self, other: _Operand) -> bool:
         if self.interval_mode:
-            return self.value >= as_interval(self._cmp_operand(other))
+            outcome = self.value >= as_interval(self._cmp_operand(other))
+            return self._guarded_cmp("ge", other, outcome)
         return self.value >= self._cmp_operand(other)
 
     # ------------------------------------------------------------------

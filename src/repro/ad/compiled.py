@@ -42,12 +42,12 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.intervals import Interval
+from repro.intervals import Interval, as_interval
 from repro.intervals.rounding import rounding_enabled
 
 from .tape import Tape
 
-__all__ = ["CompiledTape"]
+__all__ = ["CompiledTape", "ReplayLanes"]
 
 _NEG_INF = -np.inf
 _POS_INF = np.inf
@@ -173,6 +173,7 @@ class CompiledTape:
                 f"{int(self.parent_idx[bad])} breaks topological order"
             )
         self._build_schedule()
+        self._fplan: Any = None
 
     @classmethod
     def from_tape(cls, tape: Tape) -> "CompiledTape":
@@ -207,6 +208,8 @@ class CompiledTape:
         n_levels = int(self.depth.max()) + 1 if n else 0
         self.n_levels = n_levels
         self._rank_cache: dict[int, list[np.ndarray]] = {}
+        self._split_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._scratch: dict[str, np.ndarray] = {}
 
         if e == 0:
             self._contrib_schedule = [
@@ -242,6 +245,47 @@ class CompiledTape:
             by_dst[order2[bounds2[lvl] : bounds2[lvl + 1]]]
             for lvl in range(n_levels)
         ]
+
+    def _buf(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A reusable float64 work array that never escapes the tape.
+
+        Replay-style workloads run many sweeps over one tape; handing the
+        sweep temporaries fresh multi-megabyte allocations each call costs
+        more in page faults than the arithmetic on them.  Only buffers
+        whose contents are dead between calls may live here — anything
+        returned to a caller must stay freshly allocated.
+        """
+        a = self._scratch.get(key)
+        if a is None or a.shape != shape:
+            a = np.empty(shape, dtype=np.float64)
+            self._scratch[key] = a
+        return a
+
+    def _first_rest(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """Split a level's flat apply list into (first, rest).
+
+        ``first`` holds each destination's first incoming contribution —
+        all destinations distinct, so a plain fancy-indexed add applies
+        it.  ``rest`` keeps the remaining edges in flat order, which per
+        destination is still ascending accumulation order, so an
+        ``np.add.at`` over it continues each destination's fold exactly
+        where ``first`` left off.  Most nodes have one consumer, so this
+        routes the bulk of the apply work around the slow unbuffered
+        ``add.at`` path without changing any accumulation order.
+        """
+        pair = self._split_cache.get(level)
+        if pair is None:
+            sel = self._apply_flat[level]
+            if sel.size == 0:
+                pair = (sel, sel)
+            else:
+                dst = self.parent_idx[sel]
+                first = np.empty(sel.size, dtype=bool)
+                first[0] = True
+                np.not_equal(dst[1:], dst[:-1], out=first[1:])
+                pair = (sel[first], sel[~first])
+            self._split_cache[level] = pair
+        return pair
 
     def _rank_steps(self, level: int) -> list[np.ndarray]:
         """Split a level's flat apply list into rank steps.
@@ -368,10 +412,22 @@ class CompiledTape:
         partial_lo = self.partial_lo
         partial_hi = self.partial_hi
         m = alo.shape[1]
-        contrib_lo = np.empty((e, m), dtype=np.float64)
-        contrib_hi = contrib_lo if not interval else np.empty(
-            (e, m), dtype=np.float64
+        # Work buffers (reused across sweeps, keyed by m so scalar and
+        # vector sweeps on one tape don't evict each other).  `w4`/`w5`
+        # for the non-degenerate product path are fetched lazily below.
+        bkey = str(m)
+        contrib_lo = self._buf("contrib_lo" + bkey, (e, m))
+        contrib_hi = (
+            contrib_lo
+            if not interval
+            else self._buf("contrib_hi" + bkey, (e, m))
         )
+        g_lo = self._buf("sweep_glo" + bkey, (e, m))
+        g_hi = g_lo if not interval else self._buf("sweep_ghi" + bkey, (e, m))
+        if interval:
+            w1 = self._buf("sweep_w1" + bkey, (e, m))
+            w2 = self._buf("sweep_w2" + bkey, (e, m))
+            w3 = self._buf("sweep_w3" + bkey, (e, m))
         active = np.zeros(e, dtype=bool)
 
         for level in range(self.n_levels):
@@ -402,7 +458,14 @@ class CompiledTape:
                         )
                         ahi[dst] = new_hi
                 else:
-                    sub = flat[active[flat]]
+                    first, rest = self._first_rest(level)
+                    sub = first[active[first]]
+                    if sub.size:
+                        dst = edge_dst[sub]
+                        alo[dst] += contrib_lo[sub]
+                        if interval:
+                            ahi[dst] += contrib_hi[sub]
+                    sub = rest[active[rest]]
                     if sub.size:
                         dst = edge_dst[sub]
                         np.add.at(alo, dst, contrib_lo[sub])
@@ -415,30 +478,62 @@ class CompiledTape:
             sel = self._contrib_schedule[level]
             if not sel.size:
                 continue
+            k = sel.size
             src = edge_src[sel]
-            salo = alo[src]
+            salo = np.take(alo, src, axis=0, out=g_lo[:k])
             if interval:
-                sahi = ahi[src]
-                act = np.any(salo != 0.0, axis=1) | np.any(
-                    sahi != 0.0, axis=1
+                sahi = np.take(ahi, src, axis=0, out=g_hi[:k])
+                act = (salo != 0.0).any(axis=1) | (sahi != 0.0).any(
+                    axis=1
                 )
             else:
-                act = np.any(salo != 0.0, axis=1)
+                act = (salo != 0.0).any(axis=1)
             active[sel] = act
-            sub = sel[act]
-            if not sub.size:
-                continue
-            salo = salo[act]
-            plo = partial_lo[sub][:, None]
+            if act.all():
+                # All sources live (the usual case once the sweep is a
+                # few levels in) — skip the boolean-compress copies.
+                sub = sel
+            else:
+                sub = sel[act]
+                if not sub.size:
+                    continue
+                salo = salo[act]
+            plo1 = partial_lo[sub]
+            plo = plo1[:, None]
             if not interval:
                 contrib_lo[sub] = plo * salo
                 continue
-            sahi = sahi[act]
-            phi = partial_hi[sub][:, None]
-            p1 = plo * salo
-            p2 = plo * sahi
-            p3 = phi * salo
-            p4 = phi * sahi
+            if sub is not sel:
+                sahi = sahi[act]
+            phi1 = partial_hi[sub]
+            phi = phi1[:, None]
+            k2 = sub.size
+            if plo1.tobytes() == phi1.tobytes():
+                # Degenerate partials (bitwise ``plo == phi``, the common
+                # case: add/sub and multiply-by-constant nodes).  Then
+                # ``p3`` and ``p4`` repeat ``p1`` and ``p2`` bit-for-bit
+                # and the fold-left min/max below keeps the first of any
+                # tie, so two products suffice — same bits, half the work.
+                p1 = np.multiply(plo, salo, out=w1[:k2])
+                p2 = np.multiply(plo, sahi, out=w2[:k2])
+                if clean_nan:
+                    p1[np.isnan(p1)] = 0.0
+                    p2[np.isnan(p2)] = 0.0
+                    clo = np.where(p2 < p1, p2, p1)
+                    chi = np.where(p2 > p1, p2, p1)
+                else:
+                    clo = np.minimum(p1, p2, out=w3[:k2])
+                    chi = np.maximum(p1, p2, out=p2)
+                if rnd:
+                    clo = np.nextafter(clo, _NEG_INF)
+                    chi = np.nextafter(chi, _POS_INF)
+                contrib_lo[sub] = clo
+                contrib_hi[sub] = chi
+                continue
+            p1 = np.multiply(plo, salo, out=w1[:k2])
+            p2 = np.multiply(plo, sahi, out=w2[:k2])
+            p3 = np.multiply(phi, salo, out=self._buf("sweep_w4" + bkey, (e, m))[:k2])
+            p4 = np.multiply(phi, sahi, out=self._buf("sweep_w5" + bkey, (e, m))[:k2])
             if clean_nan:
                 for p in (p1, p2, p3, p4):
                     p[np.isnan(p)] = 0.0
@@ -454,8 +549,10 @@ class CompiledTape:
             else:
                 # Tape.adjoint_vector's exact association order (in-place
                 # variants reuse the product buffers; results unchanged).
-                clo = np.minimum(p1, p2)
-                t = np.minimum(p3, p4)
+                clo = np.minimum(p1, p2, out=w3[:k2])
+                t = np.minimum(
+                    p3, p4, out=self._buf("sweep_w6" + bkey, (e, m))[:k2]
+                )
                 np.minimum(clo, t, out=clo)
                 chi = np.maximum(p1, p2, out=p2)
                 np.maximum(p3, p4, out=p4)
@@ -465,6 +562,236 @@ class CompiledTape:
                 chi = np.nextafter(chi, _POS_INF)
             contrib_lo[sub] = clo
             contrib_hi[sub] = chi
+
+    def _sweep_lanes(
+        self,
+        alo: np.ndarray,
+        ahi: np.ndarray,
+        partial_lo: np.ndarray,
+        partial_hi: np.ndarray,
+        *,
+        rnd: bool,
+        clean_nan: bool,
+    ) -> None:
+        """Reverse sweep over ``(n, L, m)`` bounds with per-lane partials.
+
+        The lane-batched twin of :meth:`_sweep` used by replayed lanes:
+        partials come from the replay's ``(e, L)`` arrays instead of the
+        recorded per-edge scalars, and the object sweep's zero-adjoint
+        shortcut is honoured **per lane** — a lane whose source adjoint is
+        exactly zero must contribute nothing to its parents, even though
+        other lanes of the same edge do (bit-relevant under rounding, and
+        it also stops NaN pollution when ``clean_nan`` is off).
+        """
+        e = self.n_edges
+        if e == 0:
+            return
+        edge_src = self._edge_src
+        edge_dst = self.parent_idx
+        n, L, m = alo.shape
+        contrib_lo = np.empty((e, L, m), dtype=np.float64)
+        contrib_hi = np.empty((e, L, m), dtype=np.float64)
+        lane_act = np.zeros((e, L), dtype=bool)
+        edge_any = np.zeros(e, dtype=bool)
+
+        for level in range(self.n_levels):
+            flat = self._apply_flat[level]
+            if flat.size:
+                if rnd:
+                    # Rank steps keep destinations distinct so a masked
+                    # where() can interleave nextafter per accumulation
+                    # while leaving inactive lanes untouched.
+                    for sel in self._rank_steps(level):
+                        sub = sel[edge_any[sel]]
+                        if not sub.size:
+                            continue
+                        dst = edge_dst[sub]
+                        mask = lane_act[sub][:, :, None]
+                        cur = alo[dst]
+                        alo[dst] = np.where(
+                            mask,
+                            np.nextafter(cur + contrib_lo[sub], _NEG_INF),
+                            cur,
+                        )
+                        cur = ahi[dst]
+                        ahi[dst] = np.where(
+                            mask,
+                            np.nextafter(cur + contrib_hi[sub], _POS_INF),
+                            cur,
+                        )
+                else:
+                    # Inactive-lane contributions were zeroed at emit, and
+                    # adding 0.0 never flips a bound's bits (the running
+                    # adjoint is never -0.0), so one add.at per level keeps
+                    # the object sweep's per-destination order.
+                    sub = flat[edge_any[flat]]
+                    if sub.size:
+                        dst = edge_dst[sub]
+                        np.add.at(alo, dst, contrib_lo[sub])
+                        np.add.at(ahi, dst, contrib_hi[sub])
+
+            sel = self._contrib_schedule[level]
+            if not sel.size:
+                continue
+            src = edge_src[sel]
+            salo = alo[src]
+            sahi = ahi[src]
+            act = np.any(salo != 0.0, axis=2) | np.any(sahi != 0.0, axis=2)
+            lane_act[sel] = act
+            any_act = act.any(axis=1)
+            edge_any[sel] = any_act
+            sub = sel[any_act]
+            if not sub.size:
+                continue
+            salo = salo[any_act]
+            sahi = sahi[any_act]
+            act = act[any_act]
+            plo = partial_lo[sub][:, :, None]
+            phi = partial_hi[sub][:, :, None]
+            p1 = plo * salo
+            p2 = plo * sahi
+            p3 = phi * salo
+            p4 = phi * sahi
+            if clean_nan:
+                for p in (p1, p2, p3, p4):
+                    p[np.isnan(p)] = 0.0
+                clo = np.where(p2 < p1, p2, p1)
+                clo = np.where(p3 < clo, p3, clo)
+                clo = np.where(p4 < clo, p4, clo)
+                chi = np.where(p2 > p1, p2, p1)
+                chi = np.where(p3 > chi, p3, chi)
+                chi = np.where(p4 > chi, p4, chi)
+            else:
+                clo = np.minimum(p1, p2)
+                t = np.minimum(p3, p4)
+                np.minimum(clo, t, out=clo)
+                chi = np.maximum(p1, p2, out=p2)
+                np.maximum(p3, p4, out=p4)
+                chi = np.maximum(chi, p4, out=chi)
+            if rnd:
+                clo = np.nextafter(clo, _NEG_INF)
+                chi = np.nextafter(chi, _POS_INF)
+            else:
+                inactive = ~act
+                if inactive.any():
+                    clo[inactive] = 0.0
+                    chi[inactive] = 0.0
+            contrib_lo[sub] = clo
+            contrib_hi[sub] = chi
+
+    # ------------------------------------------------------------------
+    # Forward replay (record once, replay many)
+    # ------------------------------------------------------------------
+    def _forward_plan(self):
+        """Build (lazily) and cache the forward replay plan.
+
+        Raises :class:`~repro.ad.replay.ReplayError` when the trace is not
+        a replayable straight-line interval trace.
+        """
+        plan = self._fplan
+        if plan is None:
+            from .replay import ForwardPlan
+
+            plan = ForwardPlan(self)
+            self._fplan = plan
+        return plan
+
+    @property
+    def input_nodes(self) -> list[int]:
+        """Indices of the registered input nodes, in registration order."""
+        return self._forward_plan().input_nodes
+
+    def forward(
+        self,
+        inputs: Mapping[int, Any] | Sequence[Any],
+        *,
+        check_guards: bool = True,
+    ) -> "CompiledTape":
+        """Re-evaluate the frozen trace on fresh input intervals, in place.
+
+        ``inputs`` is either a sequence of intervals parallel to the
+        registered input nodes or a mapping from input-node index to
+        interval.  After the call :attr:`value_lo`/:attr:`value_hi` and
+        :attr:`partial_lo`/:attr:`partial_hi` hold exactly the bounds a
+        fresh recording of the same program on these inputs would produce
+        (bit for bit, honouring the global rounding flag at call time), so
+        the existing :meth:`adjoint`/:meth:`adjoint_vector` sweeps — and
+        scorpio's analysis on top — run unchanged on the replayed state.
+
+        With ``check_guards`` (default) the comparisons recorded on the
+        source tape are re-evaluated on the replayed values; a flipped or
+        ambiguous outcome raises
+        :class:`~repro.ad.replay.GuardDivergenceError` /
+        :class:`~repro.intervals.AmbiguousComparisonError` so callers can
+        fall back to re-recording.  A failed replay leaves the arrays
+        partially updated; the next successful :meth:`forward` overwrites
+        them completely.
+        """
+        from .replay import check_guards as _check
+
+        plan = self._forward_plan()
+        input_nodes = plan.input_nodes
+        if isinstance(inputs, Mapping):
+            values = [inputs[j] for j in input_nodes]
+        else:
+            values = list(inputs)
+            if len(values) != len(input_nodes):
+                raise ValueError(
+                    f"trace has {len(input_nodes)} inputs, got {len(values)}"
+                )
+        vlo, vhi = self.value_lo, self.value_hi
+        for j, value in zip(input_nodes, values):
+            iv = as_interval(value)
+            vlo[j] = iv.lo
+            vhi[j] = iv.hi
+        plan.run(vlo, vhi, self.partial_lo, self.partial_hi, rounding_enabled())
+        if check_guards:
+            _check(self.tape.guards, vlo, vhi)
+        return self
+
+    def forward_lanes(
+        self,
+        inputs_lo: np.ndarray,
+        inputs_hi: np.ndarray,
+        *,
+        check_guards: bool = True,
+    ) -> "ReplayLanes":
+        """Replay the trace on ``(n_inputs, L)`` batched input bounds.
+
+        Each lane is an independent replay of the recorded program; the
+        returned :class:`ReplayLanes` exposes lane-batched reverse sweeps
+        whose per-lane results are bit-identical to replaying (and hence
+        recording) each lane on its own.  The compiled tape itself is not
+        modified.
+        """
+        from .replay import check_guards as _check
+
+        plan = self._forward_plan()
+        input_nodes = plan.input_nodes
+        inputs_lo = np.asarray(inputs_lo, dtype=np.float64)
+        inputs_hi = np.asarray(inputs_hi, dtype=np.float64)
+        if inputs_lo.ndim != 2 or inputs_lo.shape != inputs_hi.shape:
+            raise ValueError(
+                "forward_lanes expects matching (n_inputs, L) bound arrays"
+            )
+        if inputs_lo.shape[0] != len(input_nodes):
+            raise ValueError(
+                f"trace has {len(input_nodes)} inputs, "
+                f"got {inputs_lo.shape[0]}"
+            )
+        L = inputs_lo.shape[1]
+        # Broadcast the recorded columns across lanes: constants keep
+        # their values, everything else is overwritten by the sweep.
+        vlo = np.repeat(self.value_lo[:, None], L, axis=1)
+        vhi = np.repeat(self.value_hi[:, None], L, axis=1)
+        plo = np.repeat(self.partial_lo[:, None], L, axis=1)
+        phi = np.repeat(self.partial_hi[:, None], L, axis=1)
+        vlo[input_nodes] = inputs_lo
+        vhi[input_nodes] = inputs_hi
+        plan.run(vlo, vhi, plo, phi, rounding_enabled())
+        if check_guards:
+            _check(self.tape.guards, vlo, vhi)
+        return ReplayLanes(self, vlo, vhi, plo, phi)
 
     # ------------------------------------------------------------------
     # Convenience views
@@ -476,3 +803,91 @@ class CompiledTape:
     def parents_of(self, index: int) -> np.ndarray:
         """CSR parent slice of node ``index`` (recorded order)."""
         return self.parent_idx[self.row_ptr[index] : self.row_ptr[index + 1]]
+
+
+class ReplayLanes:
+    """The state of one lane-batched forward replay.
+
+    Holds the ``(n, L)`` value bounds and ``(e, L)`` edge-partial bounds
+    produced by :meth:`CompiledTape.forward_lanes`, and runs lane-batched
+    reverse sweeps over them.  Lane ``l`` of every result is bit-identical
+    to recording the program on lane ``l``'s inputs and sweeping the
+    object tape.
+    """
+
+    __slots__ = ("ct", "value_lo", "value_hi", "partial_lo", "partial_hi")
+
+    def __init__(self, ct, vlo, vhi, plo, phi):
+        self.ct = ct
+        self.value_lo = vlo
+        self.value_hi = vhi
+        self.partial_lo = plo
+        self.partial_hi = phi
+
+    @property
+    def n_lanes(self) -> int:
+        return self.value_lo.shape[1]
+
+    def value(self, index: int, lane: int) -> Interval:
+        """The replayed forward value of one node in one lane."""
+        return Interval(
+            float(self.value_lo[index, lane]),
+            float(self.value_hi[index, lane]),
+        )
+
+    def adjoint(
+        self, seeds: Mapping[int, Any]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lane-batched Eq. 7–9 sweep; per lane bit-identical to
+        ``Tape.adjoint`` on that lane's recording.
+
+        Returns ``(lo, hi)`` arrays of shape ``(n, L)``.
+        """
+        if not seeds:
+            raise ValueError("adjoint sweep needs at least one seeded output")
+        n, L = self.value_lo.shape
+        rnd = rounding_enabled()
+        alo = np.zeros((n, L, 1), dtype=np.float64)
+        ahi = np.zeros((n, L, 1), dtype=np.float64)
+        for index, seed in seeds.items():
+            if not (0 <= index < n):
+                raise IndexError(f"seed index {index} outside tape")
+            if isinstance(seed, Interval):
+                slo, shi = seed.lo, seed.hi
+            else:
+                slo = shi = float(seed)
+            new_lo = alo[index] + slo
+            new_hi = ahi[index] + shi
+            if rnd:
+                new_lo = np.nextafter(new_lo, _NEG_INF)
+                new_hi = np.nextafter(new_hi, _POS_INF)
+            alo[index] = new_lo
+            ahi[index] = new_hi
+        self.ct._sweep_lanes(
+            alo, ahi, self.partial_lo, self.partial_hi, rnd=rnd, clean_nan=True
+        )
+        return alo[..., 0], ahi[..., 0]
+
+    def adjoint_vector(
+        self, outputs: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lane-batched vector sweep; per lane bit-identical to
+        ``Tape.adjoint_vector`` (endpoint rule, no outward rounding).
+
+        Returns ``(lo, hi)`` arrays of shape ``(n, L, m)``.
+        """
+        m = len(outputs)
+        if m == 0:
+            raise ValueError("adjoint_vector needs at least one output")
+        n, L = self.value_lo.shape
+        lo = np.zeros((n, L, m), dtype=np.float64)
+        hi = np.zeros((n, L, m), dtype=np.float64)
+        for j, idx in enumerate(outputs):
+            if not (0 <= idx < n):
+                raise IndexError(f"output index {idx} outside tape")
+            lo[idx, :, j] += 1.0
+            hi[idx, :, j] += 1.0
+        self.ct._sweep_lanes(
+            lo, hi, self.partial_lo, self.partial_hi, rnd=False, clean_nan=False
+        )
+        return lo, hi

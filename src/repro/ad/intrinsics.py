@@ -321,7 +321,9 @@ def clip(x: Any, lo: float, hi: float) -> Any:
                     partial = Interval(0.0, 1.0)
             else:
                 partial = 1.0 if lo <= x.value <= hi else 0.0
-        return x.record_unary("clip", value, partial)
+        # Clamp bounds are not recoverable from value/partial; the replay
+        # engine needs them to recompute the node on fresh inputs.
+        return x.record_unary("clip", value, partial, aux=(lo, hi))
     if isinstance(x, Tangent):
         inner = minimum(maximum(x, lo), hi)
         return inner

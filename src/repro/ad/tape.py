@@ -50,9 +50,22 @@ class Node:
             ``parents``.
         label: optional user annotation (set by INPUT/INTERMEDIATE/OUTPUT).
         adjoint: filled by :meth:`Tape.adjoint`; ``∇[uj][y]`` afterwards.
+        aux: operation payload not recoverable from value/partials alone —
+            the folded constant of a constant-operand binary (as
+            ``(constant, reflected)``) or the clamp bounds of ``clip``.
+            Required by the replay engine (:meth:`CompiledTape.forward`).
     """
 
-    __slots__ = ("index", "op", "value", "parents", "partials", "label", "adjoint")
+    __slots__ = (
+        "index",
+        "op",
+        "value",
+        "parents",
+        "partials",
+        "label",
+        "adjoint",
+        "aux",
+    )
 
     def __init__(
         self,
@@ -62,6 +75,7 @@ class Node:
         parents: tuple[int, ...],
         partials: tuple[Any, ...],
         label: str | None = None,
+        aux: Any = None,
     ):
         self.index = index
         self.op = op
@@ -70,6 +84,7 @@ class Node:
         self.partials = partials
         self.label = label
         self.adjoint: Any = None
+        self.aux = aux
 
     @property
     def is_input(self) -> bool:
@@ -97,6 +112,10 @@ class Tape:
 
     def __init__(self) -> None:
         self.nodes: list[Node] = []
+        # Comparison outcomes observed while recording, in execution order:
+        # (op, left_index, right_index_or_const, outcome) tuples.  Replay
+        # re-checks them on fresh inputs to detect control-flow divergence.
+        self.guards: list[tuple] = []
 
     # ------------------------------------------------------------------
     # Activation
@@ -120,22 +139,24 @@ class Tape:
         parents: Sequence[int] = (),
         partials: Sequence[Any] = (),
         label: str | None = None,
+        aux: Any = None,
     ) -> Node:
         """Append a node; ``parents`` and ``partials`` must be parallel."""
+        # Hot path: every overloaded elementary op lands here.  The
+        # overloads already pass tuples, so only coerce when needed, and
+        # touch the node list exactly once.
+        if type(parents) is not tuple:
+            parents = tuple(parents)
+        if type(partials) is not tuple:
+            partials = tuple(partials)
         if len(parents) != len(partials):
             raise ValueError(
                 f"parents/partials length mismatch: "
                 f"{len(parents)} vs {len(partials)}"
             )
-        node = Node(
-            index=len(self.nodes),
-            op=op,
-            value=value,
-            parents=tuple(parents),
-            partials=tuple(partials),
-            label=label,
-        )
-        self.nodes.append(node)
+        nodes = self.nodes
+        node = Node(len(nodes), op, value, parents, partials, label, aux)
+        nodes.append(node)
         return node
 
     def record_input(self, value: Any, label: str | None = None) -> Node:

@@ -21,6 +21,19 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _add_replay_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--replay",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "analyse repeated kernel items by replaying a cached trace "
+            "instead of re-recording (default: on; --no-replay forces "
+            "the object-tape path)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -37,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4 = sub.add_parser("figure4", help="DCT coefficient significance map")
     p4.add_argument("--size", type=int, default=64)
     p4.add_argument("--samples", type=int, default=6)
+    _add_replay_flag(p4)
 
     p5 = sub.add_parser("figure5", help="InverseMapping significance map")
     p5.add_argument("--width", type=int, default=192)
@@ -59,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ph = sub.add_parser("headline", help="energy-reduction summary")
     ph.add_argument("--fast", action="store_true")
+    _add_replay_flag(ph)
 
     pa = sub.add_parser(
         "artifacts", help="export significance maps as PGM images"
@@ -72,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument(
         "--full", action="store_true", help="full workload sizes (slow)"
     )
+    _add_replay_flag(pr)
 
     pt = sub.add_parser("tune", help="autotune the ratio knob")
     pt.add_argument("--benchmark", choices=["sobel", "dct"], default="dct")
@@ -89,7 +105,9 @@ def _cmd_figure3(_args: argparse.Namespace) -> str:
 def _cmd_figure4(args: argparse.Namespace) -> str:
     from repro.experiments.figure4 import figure4
 
-    return figure4(size=args.size, samples=args.samples).to_text()
+    return figure4(
+        size=args.size, samples=args.samples, replay=args.replay
+    ).to_text()
 
 
 def _cmd_figure5(args: argparse.Namespace) -> str:
@@ -133,14 +151,37 @@ def _cmd_table2(_args: argparse.Namespace) -> str:
 def _cmd_headline(args: argparse.Namespace) -> str:
     from repro.experiments.headline import format_headline, headline
 
-    return format_headline(headline(fast=args.fast))
+    with _replay_setting(args.replay):
+        return format_headline(headline(fast=args.fast))
 
 
 def _cmd_record(args: argparse.Namespace) -> str:
     from repro.experiments.record import save_record
 
-    json_path, md_path = save_record(args.out_dir, fast=not args.full)
+    with _replay_setting(args.replay):
+        json_path, md_path = save_record(args.out_dir, fast=not args.full)
     return f"wrote {json_path}\nwrote {md_path}"
+
+
+class _replay_setting:
+    """Scoped override of the module-wide replay default (no-op on None)."""
+
+    def __init__(self, replay: bool | None):
+        self.replay = replay
+        self.previous: bool | None = None
+
+    def __enter__(self) -> "_replay_setting":
+        if self.replay is not None:
+            from repro.scorpio import set_replay_default
+
+            self.previous = set_replay_default(self.replay)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.previous is not None:
+            from repro.scorpio import set_replay_default
+
+            set_replay_default(self.previous)
 
 
 def _cmd_tune(args: argparse.Namespace) -> str:

@@ -41,11 +41,18 @@ class Figure4:
 
 
 def figure4(
-    size: int = 64, samples: int = 6, seed: int = 7
+    size: int = 64,
+    samples: int = 6,
+    seed: int = 7,
+    replay: bool | None = None,
 ) -> Figure4:
-    """Run the Figure 4 analysis on sampled blocks of a natural image."""
+    """Run the Figure 4 analysis on sampled blocks of a natural image.
+
+    ``replay`` (default: the module replay setting) records the DCT trace
+    once and replays the remaining sampled blocks — same map bit-for-bit.
+    """
     image = natural_image(size, size, seed=seed)
-    return Figure4(analysis=analyse_dct(image, samples=samples))
+    return Figure4(analysis=analyse_dct(image, samples=samples, replay=replay))
 
 
 def main() -> None:

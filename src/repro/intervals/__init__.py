@@ -46,7 +46,12 @@ from .functions import (
 )
 from .interval import AmbiguousComparisonError, EmptyIntervalError, Interval, as_interval
 from .rounding import rounded_mode, rounding_enabled, set_rounding
-from .splitting import SplitResult, evaluate_with_splitting, split_until_decidable
+from .splitting import (
+    ReplayEvaluator,
+    SplitResult,
+    evaluate_with_splitting,
+    split_until_decidable,
+)
 
 __all__ = [
     "Interval",
@@ -55,6 +60,7 @@ __all__ = [
     "AmbiguousComparisonError",
     "EmptyIntervalError",
     "SplitResult",
+    "ReplayEvaluator",
     "split_until_decidable",
     "evaluate_with_splitting",
     "rounded_mode",

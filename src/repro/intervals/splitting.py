@@ -18,9 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from .boxes import Box
-from .interval import AmbiguousComparisonError, Interval
+from .interval import AmbiguousComparisonError, Interval, as_interval
 
-__all__ = ["SplitResult", "split_until_decidable", "evaluate_with_splitting"]
+__all__ = [
+    "SplitResult",
+    "ReplayEvaluator",
+    "split_until_decidable",
+    "evaluate_with_splitting",
+]
 
 
 @dataclass
@@ -38,6 +43,8 @@ class SplitResult:
             measure-tiny contribution to ``value``.
         failures: sub-boxes abandoned entirely (ambiguous even as points);
             non-empty means ``value`` under-covers the true range.
+        replay_stats: record/replay counters when the evaluation ran
+            through a :class:`ReplayEvaluator`, else ``None``.
     """
 
     value: Interval
@@ -45,11 +52,109 @@ class SplitResult:
     splits: int = 0
     point_sampled: list[Box] = field(default_factory=list)
     failures: list[Box] = field(default_factory=list)
+    replay_stats: dict[str, int] | None = None
 
     @property
     def complete(self) -> bool:
         """True when no sub-box was abandoned."""
         return not self.failures
+
+
+class ReplayEvaluator:
+    """Record ``fn`` once per branch signature, replay it per sub-box.
+
+    A splitting evaluation calls the same expression on hundreds of
+    sub-boxes, and on every decidable sub-box the expression runs the same
+    straight-line trace for that branch combination.  This wrapper tapes
+    ``fn`` (an args-style ``fn(*intervals) -> Interval``) the first time
+    each branch signature is seen and afterwards re-evaluates sub-boxes
+    with the vectorized forward sweep
+    (:meth:`repro.ad.CompiledTape.forward`) — no Python re-execution.
+
+    Semantics are preserved exactly:
+
+    * a replayed value is bit-identical to calling ``fn`` directly (the
+      forward sweep reproduces every rounding point of the recording);
+    * a sub-box whose recorded comparisons decide *differently* raises
+      ``GuardDivergenceError`` internally and falls through to the next
+      cached trace, or to a fresh recording of that branch;
+    * a sub-box on which a recorded comparison is *ambiguous* propagates
+      :class:`AmbiguousComparisonError` — exactly what direct evaluation
+      would raise — so :func:`split_until_decidable` bisects as usual;
+    * domain errors during replay are treated as divergence (the forward
+      sweep runs every op before re-checking the comparisons, so a
+      diverged branch can fault on operations direct evaluation never
+      reaches); re-recording reproduces genuine errors in program order.
+
+    Instances are ``Box -> Interval`` callables, directly usable as the
+    ``fn`` of :func:`split_until_decidable`.
+    """
+
+    def __init__(self, fn: Callable[..., Interval], max_traces: int = 32):
+        self.fn = fn
+        self.max_traces = max_traces
+        self._traces: list[tuple] = []  # (CompiledTape, output index)
+        self._disabled = False
+        self.records = 0
+        self.replays = 0
+        self.divergences = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "records": self.records,
+            "replays": self.replays,
+            "divergences": self.divergences,
+            "traces": len(self._traces),
+        }
+
+    def __call__(self, box: Box) -> Interval:
+        intervals = list(box)
+        if self._traces:
+            from repro.ad.replay import GuardDivergenceError
+
+            for ct, out_idx in self._traces:
+                try:
+                    ct.forward(intervals)
+                except GuardDivergenceError:
+                    self.divergences += 1
+                    continue
+                except (ValueError, ZeroDivisionError, OverflowError):
+                    # Spurious fault on a diverged branch (see class
+                    # docstring); a genuine one re-raises from _record.
+                    continue
+                self.replays += 1
+                return Interval(
+                    float(ct.value_lo[out_idx]), float(ct.value_hi[out_idx])
+                )
+        return self._record(intervals)
+
+    def _record(self, intervals: list[Interval]) -> Interval:
+        self.records += 1
+        if self._disabled:
+            return as_interval(self.fn(*intervals))
+        from repro.ad.adouble import ADouble
+        from repro.ad.compiled import CompiledTape
+        from repro.ad.replay import ReplayError
+        from repro.ad.tape import Tape
+
+        tape = Tape()
+        with tape:
+            args = [ADouble.input(iv, tape=tape) for iv in intervals]
+            out = self.fn(*args)
+        if not isinstance(out, ADouble) or out.tape is not tape:
+            # fn ignored the taped arguments; nothing to replay.
+            self._disabled = True
+            return as_interval(out)
+        value = out.value
+        try:
+            ct = CompiledTape(tape)
+            ct._forward_plan()
+        except ReplayError:
+            self._disabled = True
+            return as_interval(value)
+        if len(self._traces) < self.max_traces:
+            self._traces.append((ct, out.node.index))
+        return as_interval(value)
 
 
 def split_until_decidable(
@@ -122,9 +227,26 @@ def evaluate_with_splitting(
     fn: Callable[..., Interval],
     inputs: Sequence[Interval],
     max_depth: int = 12,
+    replay: bool | None = None,
 ) -> SplitResult:
-    """Convenience wrapper: ``fn`` takes one interval per input component."""
+    """Convenience wrapper: ``fn`` takes one interval per input component.
+
+    ``replay`` (default: the module replay setting,
+    :func:`repro.scorpio.trace_cache.replay_enabled`) routes the sub-box
+    evaluations through a :class:`ReplayEvaluator` — ``fn`` is recorded
+    once per branch signature and every further sub-box of that branch is
+    a vectorized forward replay instead of a Python re-execution.  The
+    result is identical either way; replay counters land in
+    ``SplitResult.replay_stats``.
+    """
+    from repro.scorpio.trace_cache import replay_enabled
+
     box = Box(inputs)
+    if replay_enabled(replay):
+        evaluator = ReplayEvaluator(fn)
+        result = split_until_decidable(evaluator, box, max_depth=max_depth)
+        result.replay_stats = evaluator.stats()
+        return result
 
     def on_box(b: Box) -> Interval:
         return fn(*list(b))

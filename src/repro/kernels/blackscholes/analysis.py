@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.scorpio import Analysis
+from repro.intervals import Interval
+from repro.scorpio import Analysis, CachedTrace, TraceCache, replay_enabled
 
 from .data import Portfolio, make_portfolio
 from .sequential import black_scholes_blocks
@@ -48,6 +49,22 @@ class BlackScholesAnalysis:
         )
 
 
+def _record_option(ivs) -> Analysis:
+    """Record one BlackScholes pricing over (S, K, r, v, T) intervals."""
+    an = Analysis()
+    with an:
+        s = an.input(ivs[0], name="S")
+        k = an.input(ivs[1], name="K")
+        r = an.input(ivs[2], name="r")
+        v = an.input(ivs[3], name="v")
+        t = an.input(ivs[4], name="T")
+        blocks = black_scholes_blocks(s, k, r, v, t)
+        for name in _BLOCKS:
+            an.intermediate(blocks[name], name)
+        an.output(blocks["call"], name="price")
+    return an
+
+
 def analyse_option(
     spot: float,
     strike: float,
@@ -56,25 +73,64 @@ def analyse_option(
     expiry: float,
     relative_uncertainty: float = 0.02,
     compiled: bool = False,
+    cache: TraceCache | None = None,
 ) -> dict[str, float]:
-    """Block significances for one option (±2% parameter uncertainty)."""
-    an = Analysis()
-    with an:
-        s = an.input(spot, width=2 * relative_uncertainty * spot, name="S")
-        k = an.input(strike, width=2 * relative_uncertainty * strike, name="K")
-        r = an.input(rate, width=2 * relative_uncertainty * rate, name="r")
-        v = an.input(
-            volatility, width=2 * relative_uncertainty * volatility, name="v"
+    """Block significances for one option (±2% parameter uncertainty).
+
+    With a ``cache``, replays the shared pricing trace on this option's
+    parameter intervals instead of re-recording — bit-identical either way.
+    """
+    ivs = [
+        Interval.centered(p, relative_uncertainty * p)
+        for p in (spot, strike, rate, volatility, expiry)
+    ]
+    if cache is not None:
+        report = cache.analyse(
+            ("bs_option",), _record_option, ivs, simplify=False
         )
-        t = an.input(expiry, width=2 * relative_uncertainty * expiry, name="T")
-        blocks = black_scholes_blocks(s, k, r, v, t)
-        for name in _BLOCKS:
-            an.intermediate(blocks[name], name)
-        an.output(blocks["call"], name="price")
-    sigs = an.analyse(
-        simplify=False, compiled=compiled
-    ).labelled_significances()
+    else:
+        report = _record_option(ivs).analyse(
+            simplify=False, compiled=compiled
+        )
+    sigs = report.labelled_significances()
     return {name: sigs[name] for name in _BLOCKS}
+
+
+def _replay_options(
+    options: list[tuple[float, float, float, float, float]],
+    relative_uncertainty: float = 0.02,
+) -> list[dict[str, float]] | None:
+    """Per-option block significances via one lane-replayed trace.
+
+    Records the pricing trace once (on the first option) and prices every
+    option as one lane of a single vectorized forward + adjoint sweep.
+    Each lane is bit-identical to :func:`analyse_option` on that option —
+    the per-option replay of this ~40-node trace loses to the scalar
+    recording on NumPy call overhead, but the lanes amortize it across
+    the whole batch.  Returns ``None`` when the trace cannot be replayed
+    (the caller falls back to the per-option path).
+    """
+    from repro.ad.replay import GuardDivergenceError, ReplayError
+
+    ivs = [
+        Interval.centered(p, relative_uncertainty * p) for p in options[0]
+    ]
+    try:
+        trace = CachedTrace(_record_option(ivs), simplify=False)
+    except ReplayError:
+        return None
+    params = np.asarray(options, dtype=np.float64).T
+    radius = relative_uncertainty * params
+    try:
+        lanes = trace.forward_lanes(params - radius, params + radius)
+        sig = trace.lane_significances(lanes)
+    except GuardDivergenceError:
+        return None
+    rows = {name: trace.label_index(name) for name in _BLOCKS}
+    return [
+        {name: float(sig[rows[name], j]) for name in _BLOCKS}
+        for j in range(len(options))
+    ]
 
 
 def analyse_portfolio_vec(
@@ -139,13 +195,17 @@ def analyse_blackscholes(
     samples: int = 24,
     seed: int = 5,
     vec: bool = False,
+    replay: bool | None = None,
 ) -> BlackScholesAnalysis:
     """Averaged block significances over sampled options.
 
     With ``vec=True`` the sampled options are analysed as lanes of one
     batched tape (one reverse sweep total) instead of one scalar tape per
     option; the same options are drawn either way, so the resulting block
-    ranking matches.
+    ranking matches.  In the scalar path, ``replay`` (default: the module
+    replay setting) records the pricing trace on the first option and
+    replays every sampled option as one lane of a single sweep —
+    bit-identical per option to the recorded scalar analysis.
     """
     if portfolio is None:
         portfolio = make_portfolio(count=max(samples, 64), seed=seed)
@@ -168,16 +228,24 @@ def analyse_blackscholes(
             for j in range(len(chosen))
         ]
     else:
-        for i in chosen:
-            per_option.append(
-                analyse_option(
-                    float(portfolio.spots[i]),
-                    float(portfolio.strikes[i]),
-                    float(portfolio.rates[i]),
-                    float(portfolio.volatilities[i]),
-                    float(portfolio.expiries[i]),
-                )
+        options = [
+            (
+                float(portfolio.spots[i]),
+                float(portfolio.strikes[i]),
+                float(portfolio.rates[i]),
+                float(portfolio.volatilities[i]),
+                float(portfolio.expiries[i]),
             )
+            for i in chosen
+        ]
+        replayed = (
+            _replay_options(options) if replay_enabled(replay) else None
+        )
+        per_option = (
+            replayed
+            if replayed is not None
+            else [analyse_option(*o) for o in options]
+        )
     mean = {
         name: float(np.mean([p[name] for p in per_option])) for name in _BLOCKS
     }

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.scorpio import Analysis
+from repro.intervals import Interval
+from repro.scorpio import Analysis, TraceCache, replay_enabled
 
 from .sequential import (
     BLOCK,
@@ -58,27 +59,13 @@ class DctAnalysis:
         return means
 
 
-def analyse_dct_block(
-    block: np.ndarray,
-    pixel_uncertainty: float = 0.5,
-    compiled: bool = False,
-) -> np.ndarray:
-    """Raw (unnormalised) 8x8 coefficient significance map of one block."""
-    block = np.asarray(block, dtype=np.float64)
-    if block.shape != (BLOCK, BLOCK):
-        raise ValueError(f"expected 8x8 block, got {block.shape}")
-
+def _record_dct_block(ivs) -> Analysis:
+    """Record one DCT round-trip over 64 pixel intervals (row-major)."""
     an = Analysis()
     with an:
+        it = iter(ivs)
         pixels = [
-            [
-                an.input(
-                    float(block[y, x]),
-                    width=2.0 * pixel_uncertainty,
-                    name=f"p_{y}_{x}",
-                )
-                for x in range(BLOCK)
-            ]
+            [an.input(next(it), name=f"p_{y}_{x}") for x in range(BLOCK)]
             for y in range(BLOCK)
         ]
         coeffs = dct_block(pixels)
@@ -89,8 +76,37 @@ def analyse_dct_block(
         for y in range(BLOCK):
             for x in range(BLOCK):
                 an.output(reconstructed[y][x], name=f"out_{y}_{x}")
-    # level scan not needed per block
-    report = an.analyse(simplify=False, compiled=compiled)
+    return an
+
+
+def analyse_dct_block(
+    block: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    compiled: bool = False,
+    cache: TraceCache | None = None,
+) -> np.ndarray:
+    """Raw (unnormalised) 8x8 coefficient significance map of one block.
+
+    With a ``cache``, the block is analysed by replaying the shared DCT
+    trace (recorded once per cache) on this block's pixel intervals —
+    bit-identical to recording it from scratch.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+
+    ivs = [
+        Interval.centered(float(block[y, x]), pixel_uncertainty)
+        for y in range(BLOCK)
+        for x in range(BLOCK)
+    ]
+    if cache is not None:
+        report = cache.analyse(
+            ("dct_block",), _record_dct_block, ivs, simplify=False
+        )
+    else:
+        an = _record_dct_block(ivs)
+        report = an.analyse(simplify=False, compiled=compiled)
 
     sigs = report.labelled_significances()
     result = np.zeros((BLOCK, BLOCK), dtype=np.float64)
@@ -106,14 +122,24 @@ def analyse_dct(
     pixel_uncertainty: float = 0.5,
     seed: int = 9,
     compiled: bool = False,
+    replay: bool | None = None,
 ) -> DctAnalysis:
-    """Figure 4: averaged, max-normalised coefficient significance map."""
+    """Figure 4: averaged, max-normalised coefficient significance map.
+
+    ``replay`` (default: the module replay setting) records the DCT trace
+    on the first sampled block and replays it on the rest — every block is
+    the same straight-line code, so only the input intervals change.
+    """
     blocks = blockify(image)
     rng = np.random.default_rng(seed)
     chosen = rng.choice(len(blocks), size=min(samples, len(blocks)), replace=False)
+    cache = TraceCache() if replay_enabled(replay) else None
     maps = [
         analyse_dct_block(
-            blocks[i], pixel_uncertainty=pixel_uncertainty, compiled=compiled
+            blocks[i],
+            pixel_uncertainty=pixel_uncertainty,
+            compiled=compiled,
+            cache=cache,
         )
         for i in chosen
     ]

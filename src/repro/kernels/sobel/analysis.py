@@ -18,7 +18,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.scorpio import Analysis
+from repro.intervals import Interval
+from repro.scorpio import Analysis, CachedTrace, TraceCache, replay_enabled
 
 from .sequential import combine_parts_pixel, sobel_parts_pixel
 
@@ -51,32 +52,13 @@ class SobelAnalysis:
         return self.block_significance["A"] / self.block_significance["C"]
 
 
-def analyse_sobel_pixel(
-    window: np.ndarray,
-    pixel_uncertainty: float = 0.5,
-    delta: float = 1e-6,
-    compiled: bool = False,
-) -> dict[str, float]:
-    """Block significances for one 3x3 window.
-
-    Returns ``{"A": ..., "B": ..., "C": ...}`` where each block's
-    significance is the sum over its two direction contributions.
-    """
-    window = np.asarray(window, dtype=np.float64)
-    if window.shape != (3, 3):
-        raise ValueError(f"expected 3x3 window, got {window.shape}")
-
+def _record_sobel_pixel(ivs, delta: float = 1e-6) -> Analysis:
+    """Record one Sobel pixel over nine window intervals (row-major)."""
     an = Analysis(delta=delta)
     with an:
+        it = iter(ivs)
         taped = [
-            [
-                an.input(
-                    float(window[dy][dx]),
-                    width=2.0 * pixel_uncertainty,
-                    name=f"p{dy}{dx}",
-                )
-                for dx in range(3)
-            ]
+            [an.input(next(it), name=f"p{dy}{dx}") for dx in range(3)]
             for dy in range(3)
         ]
         parts = sobel_parts_pixel(taped)
@@ -84,7 +66,40 @@ def analyse_sobel_pixel(
             an.intermediate(value, key)
         out = combine_parts_pixel(parts, smooth=True)
         an.output(out, name="pixel")
-    report = an.analyse(compiled=compiled)
+    return an
+
+
+def analyse_sobel_pixel(
+    window: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    delta: float = 1e-6,
+    compiled: bool = False,
+    cache: TraceCache | None = None,
+) -> dict[str, float]:
+    """Block significances for one 3x3 window.
+
+    Returns ``{"A": ..., "B": ..., "C": ...}`` where each block's
+    significance is the sum over its two direction contributions.  With a
+    ``cache``, replays the shared pixel trace on this window's intervals —
+    bit-identical to recording it.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.shape != (3, 3):
+        raise ValueError(f"expected 3x3 window, got {window.shape}")
+
+    ivs = [
+        Interval.centered(float(window[dy][dx]), pixel_uncertainty)
+        for dy in range(3)
+        for dx in range(3)
+    ]
+    if cache is not None:
+        report = cache.analyse(
+            ("sobel_pixel", delta),
+            lambda ivs: _record_sobel_pixel(ivs, delta),
+            ivs,
+        )
+    else:
+        report = _record_sobel_pixel(ivs, delta).analyse(compiled=compiled)
     sigs = report.labelled_significances()
     return {
         "A": sigs["a_x"] + sigs["a_y"],
@@ -166,17 +181,75 @@ def _record_sobel_map(image: np.ndarray, pixel_uncertainty: float):
     return va.analyse()
 
 
+def _replay_sobel_lanes(
+    image: np.ndarray, pixel_uncertainty: float, delta: float = 1e-6
+):
+    """Record the scalar pixel trace once, replay every pixel as a lane.
+
+    Returns ``(trace, lanes)`` — a :class:`CachedTrace` of the 3x3 Sobel
+    pixel and the :class:`repro.ad.ReplayLanes` of its batched forward
+    replay over all H×W edge-padded windows.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2 or min(image.shape) < 3:
+        raise ValueError("image too small for a 3x3 filter")
+    padded = np.pad(image, 1, mode="edge")
+    h, w = image.shape
+    win0 = padded[0:3, 0:3]
+    ivs = [
+        Interval.centered(float(win0[dy, dx]), pixel_uncertainty)
+        for dy in range(3)
+        for dx in range(3)
+    ]
+    trace = CachedTrace(_record_sobel_pixel(ivs, delta), simplify=True)
+    lanes_lo = np.empty((9, h * w), dtype=np.float64)
+    lanes_hi = np.empty((9, h * w), dtype=np.float64)
+    row = 0
+    for dy in range(3):
+        for dx in range(3):
+            centre = padded[dy : dy + h, dx : dx + w].reshape(-1)
+            lanes_lo[row] = centre - pixel_uncertainty
+            lanes_hi[row] = centre + pixel_uncertainty
+            row += 1
+    return trace, trace.forward_lanes(lanes_lo, lanes_hi)
+
+
+def _block_maps_from_sig(
+    trace: CachedTrace, sig: np.ndarray, shape: tuple[int, int]
+) -> dict[str, np.ndarray]:
+    def block(label: str) -> np.ndarray:
+        return sig[trace.label_index(label)].reshape(shape)
+
+    return {
+        "A": block("a_x") + block("a_y"),
+        "B": block("b_x") + block("b_y"),
+        "C": block("c_x") + block("c_y"),
+    }
+
+
 def analyse_sobel_map(
-    image: np.ndarray, pixel_uncertainty: float = 0.5
+    image: np.ndarray,
+    pixel_uncertainty: float = 0.5,
+    replay: bool | None = None,
 ) -> dict[str, np.ndarray]:
     """Per-pixel block significance maps over the *whole* image.
 
-    Every pixel of ``image`` is one lane of a single batched tape
-    (edge-padded windows, like the reference filter), so the full H×W
-    significance map of each block costs one recording and one reverse
-    sweep — the scalar engine would need one tape per pixel.  Returns
-    ``{"A": map, "B": map, "C": map}`` with each map shaped like ``image``.
+    Every pixel of ``image`` is one lane of a single batched pass, so the
+    full H×W significance map of each block costs one recording and one
+    reverse sweep — the scalar engine would need one tape per pixel.
+    With ``replay`` (default: the module replay setting) the batched pass
+    is a forward *replay* of a single recorded scalar-pixel trace instead
+    of a batched re-recording; the replayed maps are bit-identical to
+    running :func:`analyse_sobel_pixel` at every pixel (the batched
+    re-recording agrees with the scalar analysis only to ~1e-9 relative).
+    Returns ``{"A": map, "B": map, "C": map}`` with each map shaped like
+    ``image``.
     """
+    if replay_enabled(replay):
+        image = np.asarray(image, dtype=np.float64)
+        trace, lanes = _replay_sobel_lanes(image, pixel_uncertainty)
+        sig = trace.lane_significances(lanes)
+        return _block_maps_from_sig(trace, sig, image.shape)
     sigs = _record_sobel_map(image, pixel_uncertainty).labelled_significances()
     return {
         "A": sigs["a_x"] + sigs["a_y"],
@@ -189,6 +262,7 @@ def analyse_sobel_scan_map(
     image: np.ndarray,
     pixel_uncertainty: float = 0.5,
     delta: float = 1e-6,
+    replay: bool | None = None,
 ) -> dict[str, "np.ndarray | Any"]:
     """Full per-pixel analysis of the whole image in one batched pass.
 
@@ -197,14 +271,27 @@ def analyse_sobel_scan_map(
     (:func:`repro.vec.lane_scan_map`): for every pixel, the first DynDFG
     level whose significance variance exceeds ``delta``.  The scalar
     equivalent is one full :func:`analyse_sobel_pixel` run per pixel.
+    With ``replay`` (default: the module replay setting), maps and scan
+    both come from a forward replay of one recorded scalar-pixel trace —
+    bit-identical to the per-pixel scalar analysis.
 
     Returns ``{"A": map, "B": map, "C": map, "scan": LaneScanMap}``.
     """
+    if replay_enabled(replay):
+        image = np.asarray(image, dtype=np.float64)
+        trace, lanes = _replay_sobel_lanes(image, pixel_uncertainty, delta)
+        sig = trace.lane_significances(lanes)
+        result: dict[str, Any] = _block_maps_from_sig(
+            trace, sig, image.shape
+        )
+        result["scan"] = trace.lane_scan_map(sig, image.shape, delta=delta)
+        return result
+
     from repro.vec import lane_scan_map
 
     vreport = _record_sobel_map(image, pixel_uncertainty)
     sigs = vreport.labelled_significances()
-    result: dict[str, Any] = {
+    result = {
         "A": sigs["a_x"] + sigs["a_y"],
         "B": sigs["b_x"] + sigs["b_y"],
         "C": sigs["c_x"] + sigs["c_y"],
@@ -220,11 +307,15 @@ def analyse_sobel(
     seed: int = 3,
     vec: bool = False,
     compiled: bool = False,
+    replay: bool | None = None,
 ) -> SobelAnalysis:
     """Profile-driven analysis over sampled interior pixels of ``image``.
 
     With ``vec=True`` the sampled windows are analysed as lanes of one
-    batched tape (same sampled pixels, one reverse sweep total).
+    batched tape (same sampled pixels, one reverse sweep total).  In the
+    scalar path, ``replay`` (default: the module replay setting) records
+    the pixel trace on the first sampled window and replays it on the
+    rest.
     """
     image = np.asarray(image, dtype=np.float64)
     h, w = image.shape
@@ -244,11 +335,13 @@ def analyse_sobel(
             windows, pixel_uncertainty=pixel_uncertainty
         )
     else:
+        cache = TraceCache() if replay_enabled(replay) else None
         per_pixel = [
             analyse_sobel_pixel(
                 image[y - 1 : y + 2, x - 1 : x + 2],
                 pixel_uncertainty=pixel_uncertainty,
                 compiled=compiled,
+                cache=cache,
             )
             for y, x in positions
         ]

@@ -16,8 +16,16 @@ from .ablation import SIGNIFICANCE_VARIANTS, score_tape
 from .advisor import Suggestion, render_advice, suggest_approximations
 from .api import Analysis, analyse_function
 from .compare import ReportDiff, compare_reports
-from .compiled import analyse_compiled
+from .compiled import TraceStructure, analyse_compiled, analyse_compiled_tape
 from .decorators import AnalysedFunction, significance
+from .trace_cache import (
+    CachedTrace,
+    TraceCache,
+    TraceDivergenceError,
+    op_sequence_hash,
+    replay_enabled,
+    set_replay_default,
+)
 from .ranges import RangeStudy, analyse_over_ranges, analyse_with_splitting
 from .dyndfg import DFGNode, DynDFG
 from .partition import TaskSuggestion, propose_tasks, render_partition
@@ -41,6 +49,14 @@ __all__ = [
     "Analysis",
     "analyse_function",
     "analyse_compiled",
+    "analyse_compiled_tape",
+    "TraceStructure",
+    "CachedTrace",
+    "TraceCache",
+    "TraceDivergenceError",
+    "op_sequence_hash",
+    "replay_enabled",
+    "set_replay_default",
     "DynDFG",
     "DFGNode",
     "SignificanceReport",

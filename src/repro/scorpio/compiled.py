@@ -45,6 +45,8 @@ from .variance import VarianceScan
 
 __all__ = [
     "analyse_compiled",
+    "analyse_compiled_tape",
+    "TraceStructure",
     "eq11_from_sweep",
     "eq11_vector",
     "simplify_structure",
@@ -105,49 +107,54 @@ def eq11_vector(
     adj_hi: np.ndarray,
     *,
     interval_mode: bool = True,
+    scratch: dict | None = None,
 ) -> np.ndarray:
     """Vector-mode Eq. 11: ``S_y(uj) = Σ_i S_{y_i}(uj)`` on ``(n, m)``
     adjoint component matrices — the array twin of
     :func:`repro.scorpio.significance.significance_map_vector` (same
-    branch per node, same association order, no outward rounding)."""
+    branch per node, same association order, no outward rounding).
+
+    ``scratch`` may hold reusable work buffers (keyed by this function,
+    reallocated on shape changes); callers analysing many replays of one
+    tape pass the tape's pool to avoid re-faulting fresh pages per call.
+    Only the returned sum is ever exposed, so reuse cannot alias results.
+    """
     if not interval_mode:
         return np.sum(np.abs(value_lo[:, None] * adj_lo), axis=1)
-    n = value_lo.shape[0]
-    sig = np.empty(n, dtype=np.float64)
+
+    def buf(key: str) -> np.ndarray:
+        if scratch is None:
+            return np.empty(adj_lo.shape, dtype=np.float64)
+        a = scratch.get(key)
+        if a is None or a.shape != adj_lo.shape:
+            a = np.empty(adj_lo.shape, dtype=np.float64)
+            scratch[key] = a
+        return a
+
     point = value_lo == value_hi
-    if not point.any():
-        # All-interval fast path: same products and association order as
-        # the masked branch below, minus the boolean-mask copies.
-        vl = value_lo[:, None]
-        vh = value_hi[:, None]
-        p1 = vl * adj_lo
-        p2 = vl * adj_hi
-        p3 = vh * adj_lo
-        p4 = vh * adj_hi
-        pmin = np.minimum(p1, p2)
-        t = np.minimum(p3, p4)
-        np.minimum(pmin, t, out=pmin)
-        pmax = np.maximum(p1, p2, out=p2)
-        np.maximum(p3, p4, out=p4)
-        np.maximum(pmax, p4, out=pmax)
-        np.subtract(pmax, pmin, out=pmax)
-        return np.sum(pmax, axis=1)
-    sig[point] = np.abs(value_lo[point]) * np.sum(
-        adj_hi[point] - adj_lo[point], axis=1
-    )
-    rest = ~point
-    if rest.any():
-        vl = value_lo[rest, None]
-        vh = value_hi[rest, None]
-        lo_r = adj_lo[rest]
-        hi_r = adj_hi[rest]
-        p1 = vl * lo_r
-        p2 = vl * hi_r
-        p3 = vh * lo_r
-        p4 = vh * hi_r
-        pmin = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
-        pmax = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
-        sig[rest] = np.sum(pmax - pmin, axis=1)
+    any_point = point.any()
+    # Full-array endpoint products; point rows are recomputed below with
+    # their own branch formula (cheaper than boolean-gathering four
+    # (n, m) arrays when point rows are a minority, and elementwise ops
+    # make the non-point rows bit-identical either way).
+    vl = value_lo[:, None]
+    vh = value_hi[:, None]
+    p1 = np.multiply(vl, adj_lo, out=buf("eq11_p1"))
+    p2 = np.multiply(vl, adj_hi, out=buf("eq11_p2"))
+    p3 = np.multiply(vh, adj_lo, out=buf("eq11_p3"))
+    p4 = np.multiply(vh, adj_hi, out=buf("eq11_p4"))
+    pmin = np.minimum(p1, p2, out=buf("eq11_pmin"))
+    t = np.minimum(p3, p4, out=buf("eq11_t"))
+    np.minimum(pmin, t, out=pmin)
+    pmax = np.maximum(p1, p2, out=p2)
+    np.maximum(p3, p4, out=p4)
+    np.maximum(pmax, p4, out=pmax)
+    np.subtract(pmax, pmin, out=pmax)
+    sig = np.sum(pmax, axis=1)
+    if any_point:
+        sig[point] = np.abs(value_lo[point]) * np.sum(
+            adj_hi[point] - adj_lo[point], axis=1
+        )
     return sig
 
 
@@ -294,6 +301,19 @@ def levels_from_csr(
     return dict(zip(reached.tolist(), levels[reached].tolist()))
 
 
+def group_levels(levels: Mapping[int, int]) -> dict[int, list[int]]:
+    """Level -> ascending member ids, as the variance scan visits them.
+
+    Pure structure — replay loops precompute it once per trace (see
+    :meth:`TraceStructure.scan_members`) instead of re-sorting the level
+    map on every scan.
+    """
+    members_by_level: dict[int, list[int]] = {}
+    for nid in sorted(levels):
+        members_by_level.setdefault(levels[nid], []).append(nid)
+    return members_by_level
+
+
 def scan_levels(
     levels: Mapping[int, int],
     significances: Mapping[int, float],
@@ -302,9 +322,15 @@ def scan_levels(
     """``findSgnfVariance`` on precomputed levels — exact Python-float
     arithmetic of :func:`repro.scorpio.variance.level_variance` (sequential
     sum over members in ascending id order, population variance)."""
-    members_by_level: dict[int, list[int]] = {}
-    for nid in sorted(levels):
-        members_by_level.setdefault(levels[nid], []).append(nid)
+    return scan_grouped(group_levels(levels), significances, delta)
+
+
+def scan_grouped(
+    members_by_level: Mapping[int, Sequence[int]],
+    significances: Mapping[int, float],
+    delta: float,
+) -> tuple[int | None, dict[int, float]]:
+    """:func:`scan_levels` on an already-grouped level map."""
     height = (max(members_by_level) + 1) if members_by_level else 0
     variances: dict[int, float] = {}
     for level in range(1, height):
@@ -435,13 +461,19 @@ def _scan_and_assemble(
     output_ids,
     labels,
     n,
+    scan_members=None,
 ):
     """S5 + report assembly shared by :func:`analyse_compiled` and the
     batched bridge: variance-scan the simplified structure, truncate if a
-    level is found, wrap everything in a :class:`_CompiledReport`."""
-    found, variances = scan_levels(
-        {i: s_levels[i] for i in surv if i in s_levels}, sig_list, delta
-    )
+    level is found, wrap everything in a :class:`_CompiledReport`.
+
+    ``scan_members`` is the precomputed :func:`group_levels` of the
+    surviving nodes (structural; replay loops reuse it across calls)."""
+    if scan_members is None:
+        scan_members = group_levels(
+            {i: s_levels[i] for i in surv if i in s_levels}
+        )
+    found, variances = scan_grouped(scan_members, sig_list, delta)
     if found is None:
         scan_graph = simplified
     else:
@@ -476,6 +508,254 @@ def _scan_and_assemble(
     return report
 
 
+class TraceStructure:
+    """Input-independent analysis structure of one compiled trace.
+
+    Algorithm 1's S4 (simplify) and the BFS levels depend only on the
+    graph *shape* — opcodes and parent edges — never on the interval
+    values flowing through it.  A replayed trace keeps its shape, so the
+    trace cache computes this once per recorded trace and passes it to
+    every :func:`analyse_compiled_tape` call, leaving only the reverse
+    sweep, Eq. 11 and the variance scan as per-replay work.
+    """
+
+    __slots__ = (
+        "output_ids",
+        "simplified",
+        "ops",
+        "raw_parents",
+        "surv",
+        "s_parents",
+        "s_merged",
+        "s_levels",
+        "_row_ptr",
+        "_parent_idx",
+        "_raw_levels_memo",
+        "_scan_members_memo",
+    )
+
+    def __init__(
+        self,
+        ct: CompiledTape,
+        output_ids: Sequence[int],
+        *,
+        simplify: bool = True,
+    ):
+        output_ids = list(output_ids)
+        n = ct.n
+        ptr = ct.row_ptr.tolist()
+        pidx = ct.parent_idx.tolist()
+        self.output_ids = output_ids
+        self.simplified = simplify
+        self.ops = [ct.op_names[c] for c in ct.opcodes.tolist()]
+        self.raw_parents = [
+            tuple(pidx[ptr[j] : ptr[j + 1]]) for j in range(n)
+        ]
+        self._row_ptr = ct.row_ptr
+        self._parent_idx = ct.parent_idx
+        self._raw_levels_memo: list[dict[int, int]] = []
+        self._scan_members_memo: list[dict[int, list[int]]] = []
+        if simplify:
+            self.surv, self.s_parents, self.s_merged = simplify_structure(
+                self.ops, self.raw_parents, output_ids
+            )
+            self.s_levels = levels_from_parents(
+                self.s_parents, n, output_ids
+            )
+        else:
+            self.surv = range(n)
+            self.s_parents = self.raw_parents
+            self.s_merged = None
+            self.s_levels = self.raw_levels()
+
+    def raw_levels(self) -> dict[int, int]:
+        """BFS levels of the raw graph (lazy: only the raw-graph view
+        needs them)."""
+        if not self._raw_levels_memo:
+            self._raw_levels_memo.append(
+                levels_from_csr(self._row_ptr, self._parent_idx, self.output_ids)
+            )
+        return self._raw_levels_memo[0]
+
+    def scan_members(self) -> dict[int, list[int]]:
+        """Variance-scan grouping of the surviving nodes (lazy, memoized:
+        structural, so every replay of this trace scans the same lists)."""
+        if not self._scan_members_memo:
+            self._scan_members_memo.append(
+                group_levels(
+                    {
+                        i: self.s_levels[i]
+                        for i in self.surv
+                        if i in self.s_levels
+                    }
+                )
+            )
+        return self._scan_members_memo[0]
+
+
+def analyse_compiled_tape(
+    ct: CompiledTape,
+    output_ids: Sequence[int],
+    *,
+    input_ids: Sequence[int] = (),
+    intermediate_ids: Sequence[int] = (),
+    delta: float = 1e-6,
+    simplify: bool = True,
+    structure: TraceStructure | None = None,
+) -> SignificanceReport:
+    """ANALYSE over a compiled tape's *current* arrays.
+
+    Unlike :func:`analyse_compiled` this reads every node value, opcode
+    and parent from the :class:`CompiledTape` columns rather than the
+    source ``tape.nodes`` — which is what makes it valid after
+    :meth:`CompiledTape.forward` replayed fresh inputs over the arrays
+    (the object nodes then hold the *recorded* values, the arrays the
+    *replayed* ones).  Pass a precomputed :class:`TraceStructure` to skip
+    the per-call S4/BFS work when analysing many replays of one trace.
+
+    Returns a :class:`SignificanceReport` byte-identical (through
+    ``report_to_json``) to the object pipeline run on an equivalent
+    recording.
+    """
+    output_ids = list(output_ids)
+    if not output_ids:
+        raise ValueError("analyse_compiled needs at least one output")
+    if structure is None:
+        structure = TraceStructure(ct, output_ids, simplify=simplify)
+    elif structure.simplified != simplify:
+        raise ValueError(
+            "TraceStructure was built with a different `simplify` setting"
+        )
+    n = ct.n
+    interval = ct.interval_mode
+    value_lo = ct.value_lo
+    value_hi = ct.value_hi
+
+    if len(output_ids) == 1:
+        alo, ahi = ct.adjoint({output_ids[0]: 1.0})
+        sig = eq11_from_sweep(
+            value_lo, value_hi, alo, ahi, interval_mode=interval
+        )
+        if interval:
+
+            def build_adjoints() -> list[Any]:
+                return [
+                    Interval(lo, hi)
+                    for lo, hi in zip(alo.tolist(), ahi.tolist())
+                ]
+
+        else:
+
+            def build_adjoints() -> list[Any]:
+                return alo.tolist()
+
+    else:
+        lo, hi = ct.adjoint_vector(output_ids)
+        sig = eq11_vector(
+            value_lo,
+            value_hi,
+            lo,
+            hi,
+            interval_mode=interval,
+            scratch=ct._scratch,
+        )
+
+        def build_adjoints() -> list[Any]:
+            # significance_map_vector keeps the hull of the per-output
+            # adjoints on every node, interval tape or not.  `lo`/`hi`
+            # are fresh per sweep, so deferring the hulls to first graph
+            # access is safe and keeps them off the replay hot path.
+            hull_lo = np.min(lo, axis=1)
+            hull_hi = np.max(hi, axis=1)
+            return [
+                Interval(l, h)
+                for l, h in zip(hull_lo.tolist(), hull_hi.tolist())
+            ]
+
+    sig_list = sig.tolist()
+    ops = structure.ops
+    labels = ct.labels
+    adjoint_memo: list[Any] = []
+    value_memo: list[Any] = []
+    # Snapshot the value columns eagerly: a later `ct.forward` overwrites
+    # them in place, and the report's lazy graph must keep showing the
+    # values this analysis ran on.  (The adjoint arrays are fresh per
+    # call, so closing over them is safe.)
+    vlo_snap = value_lo.tolist()
+    vhi_snap = value_hi.tolist()
+    is_iv_snap = ct.value_is_interval.tolist()
+
+    def adjoints() -> list[Any]:
+        if not adjoint_memo:
+            adjoint_memo.append(build_adjoints())
+        return adjoint_memo[0]
+
+    def values() -> list[Any]:
+        if not value_memo:
+            value_memo.append(
+                [
+                    Interval(l, h) if f else l
+                    for l, h, f in zip(vlo_snap, vhi_snap, is_iv_snap)
+                ]
+            )
+        return value_memo[0]
+
+    def lazy_graph(ids, parents, merged, levels) -> _LazyDynDFG:
+        def build() -> dict[int, DFGNode]:
+            adjs = adjoints()
+            vals = values()
+            # `levels` may itself be lazy (a thunk): raw BFS levels are
+            # only needed if the raw graph is ever materialized.
+            lvls = levels() if callable(levels) else levels
+            return {
+                i: DFGNode(
+                    id=i,
+                    op=ops[i],
+                    label=labels.get(i),
+                    value=vals[i],
+                    adjoint=adjs[i],
+                    significance=sig_list[i],
+                    parents=parents[i],
+                    level=lvls.get(i),
+                    merged=merged[i] if merged is not None else (),
+                )
+                for i in ids
+            }
+
+        return _LazyDynDFG(build, output_ids)
+
+    raw = lazy_graph(
+        range(n), structure.raw_parents, None, structure.raw_levels
+    )
+    if simplify:
+        simplified = lazy_graph(
+            structure.surv,
+            structure.s_parents,
+            structure.s_merged,
+            structure.s_levels,
+        )
+    else:
+        simplified = raw
+
+    return _scan_and_assemble(
+        lazy_graph=lazy_graph,
+        raw=raw,
+        simplified=simplified,
+        surv=structure.surv,
+        s_parents=structure.s_parents,
+        s_merged=structure.s_merged,
+        s_levels=structure.s_levels,
+        sig_list=sig_list,
+        delta=delta,
+        input_ids=input_ids,
+        intermediate_ids=intermediate_ids,
+        output_ids=output_ids,
+        labels=labels,
+        n=n,
+        scan_members=structure.scan_members(),
+    )
+
+
 def analyse_compiled(
     tape: Tape,
     output_ids: Sequence[int],
@@ -499,115 +779,11 @@ def analyse_compiled(
     output_ids = list(output_ids)
     if not output_ids:
         raise ValueError("analyse_compiled needs at least one output")
-    ct = CompiledTape(tape)
-    n = ct.n
-    interval = ct.interval_mode
-
-    if len(output_ids) == 1:
-        alo, ahi = ct.adjoint({output_ids[0]: 1.0})
-        sig = eq11_from_sweep(
-            ct.value_lo, ct.value_hi, alo, ahi, interval_mode=interval
-        )
-        if interval:
-
-            def build_adjoints() -> list[Any]:
-                return [
-                    Interval(lo, hi)
-                    for lo, hi in zip(alo.tolist(), ahi.tolist())
-                ]
-
-        else:
-
-            def build_adjoints() -> list[Any]:
-                return alo.tolist()
-
-    else:
-        lo, hi = ct.adjoint_vector(output_ids)
-        sig = eq11_vector(
-            ct.value_lo, ct.value_hi, lo, hi, interval_mode=interval
-        )
-        # significance_map_vector keeps the hull of the per-output
-        # adjoints on every node, interval tape or not.
-        hull_lo = np.min(lo, axis=1)
-        hull_hi = np.max(hi, axis=1)
-
-        def build_adjoints() -> list[Any]:
-            return [
-                Interval(l, h)
-                for l, h in zip(hull_lo.tolist(), hull_hi.tolist())
-            ]
-
-    sig_list = sig.tolist()
-    nodes = tape.nodes
-    adjoint_memo: list[Any] = []
-
-    def adjoints() -> list[Any]:
-        if not adjoint_memo:
-            adjoint_memo.append(build_adjoints())
-        return adjoint_memo[0]
-
-    def lazy_graph(ids, parents, merged, levels) -> _LazyDynDFG:
-        def build() -> dict[int, DFGNode]:
-            adjs = adjoints()
-            # `levels` may itself be lazy (a thunk): raw BFS levels are
-            # only needed if the raw graph is ever materialized.
-            lvls = levels() if callable(levels) else levels
-            return {
-                i: DFGNode(
-                    id=i,
-                    op=nodes[i].op,
-                    label=nodes[i].label,
-                    value=nodes[i].value,
-                    adjoint=adjs[i],
-                    significance=sig_list[i],
-                    parents=parents[i],
-                    level=lvls.get(i),
-                    merged=merged[i] if merged is not None else (),
-                )
-                for i in ids
-            }
-
-        return _LazyDynDFG(build, output_ids)
-
-    raw_parents = [node.parents for node in nodes]
-    raw_levels_memo: list[dict[int, int]] = []
-
-    def raw_levels() -> dict[int, int]:
-        if not raw_levels_memo:
-            raw_levels_memo.append(
-                levels_from_csr(ct.row_ptr, ct.parent_idx, output_ids)
-            )
-        return raw_levels_memo[0]
-
-    raw = lazy_graph(range(n), raw_parents, None, raw_levels)
-
-    if simplify:
-        ops = [node.op for node in nodes]
-        surv, s_parents, s_merged = simplify_structure(
-            ops, raw_parents, output_ids
-        )
-        s_levels = levels_from_parents(s_parents, n, output_ids)
-        simplified = lazy_graph(surv, s_parents, s_merged, s_levels)
-    else:
-        surv = range(n)
-        s_parents = raw_parents
-        s_merged = None
-        s_levels = raw_levels()
-        simplified = raw
-
-    return _scan_and_assemble(
-        lazy_graph=lazy_graph,
-        raw=raw,
-        simplified=simplified,
-        surv=surv,
-        s_parents=s_parents,
-        s_merged=s_merged,
-        s_levels=s_levels,
-        sig_list=sig_list,
-        delta=delta,
+    return analyse_compiled_tape(
+        CompiledTape(tape),
+        output_ids,
         input_ids=input_ids,
         intermediate_ids=intermediate_ids,
-        output_ids=output_ids,
-        labels=ct.labels,
-        n=n,
+        delta=delta,
+        simplify=simplify,
     )

@@ -1,0 +1,381 @@
+"""Trace cache: record a kernel's DynDFG once, replay it on many inputs.
+
+The per-item cost of significance analysis is dominated by *recording* —
+every elementary operation runs through Python operator overloading,
+interval arithmetic on boxed objects and a tape append.  But the paper's
+kernels analyse the same straight-line code over and over with different
+input intervals (every 8x8 DCT block, every BlackScholes option, every
+Sobel window records an identical graph).  This module keeps one
+:class:`~repro.ad.compiled.CompiledTape` per distinct trace and re-runs it
+with the vectorized forward sweep (:meth:`CompiledTape.forward`) instead
+of re-recording, feeding the replayed arrays straight into the compiled
+analysis pipeline
+(:func:`~repro.scorpio.compiled.analyse_compiled_tape`) with the
+structural work (S4 simplify, BFS levels) computed once per trace.
+
+Replayed analyses are **bit-identical** to re-recording: the forward sweep
+reproduces every rounding point of the object evaluation, and the reports
+serialize byte-for-byte equal to a fresh ``Analysis`` run.
+
+Validity: a cached trace is one straight-line execution.  Traces whose
+structure cannot be re-evaluated (scalar-mode tapes, unsupported ops) are
+rejected up front by the replay structure guard and fall back to
+recording; input-dependent control flow is caught by re-checking the
+recorded comparison outcomes on the replayed values — a divergent branch
+raises :class:`~repro.ad.replay.GuardDivergenceError` and the cache
+transparently re-records.  ``validate=True`` additionally re-records the
+first replayed sample per trace and asserts the recording really is the
+same trace (op-sequence hash) with the same values (bitwise).
+
+The module-level replay default (:func:`replay_enabled` /
+:func:`set_replay_default`) lets the CLI's ``--replay/--no-replay`` flag
+steer every kernel analysis loop without threading a flag through each
+call site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Sequence
+
+from repro.ad.compiled import CompiledTape
+from repro.ad.replay import GuardDivergenceError, ReplayError
+from repro.ad.tape import Tape
+from repro.intervals import Interval, as_interval
+
+from .compiled import TraceStructure, analyse_compiled_tape, eq11_from_sweep
+from .report import SignificanceReport
+
+__all__ = [
+    "CachedTrace",
+    "TraceCache",
+    "TraceDivergenceError",
+    "op_sequence_hash",
+    "replay_enabled",
+    "set_replay_default",
+]
+
+
+class TraceDivergenceError(RuntimeError):
+    """Validation found a re-recorded trace differing from the cached one.
+
+    Raised only in ``validate=True`` mode: the kernel recorded a different
+    op sequence (or different values) on inputs the cache replayed, which
+    means the straight-line assumption was violated *without* tripping a
+    recorded guard — i.e. the kernel branches on something the tape never
+    compared (Python-level control flow on untaped data).  Such kernels
+    must not be replayed.
+    """
+
+
+# ----------------------------------------------------------------------
+# Replay default (CLI-facing switch)
+# ----------------------------------------------------------------------
+_REPLAY_DEFAULT = True
+
+
+def replay_enabled(replay: bool | None = None) -> bool:
+    """Resolve a tri-state ``replay`` argument against the module default."""
+    return _REPLAY_DEFAULT if replay is None else bool(replay)
+
+
+def set_replay_default(enabled: bool) -> bool:
+    """Set the module-wide replay default; returns the previous value."""
+    global _REPLAY_DEFAULT
+    previous = _REPLAY_DEFAULT
+    _REPLAY_DEFAULT = bool(enabled)
+    return previous
+
+
+def op_sequence_hash(tape: Tape) -> str:
+    """Fingerprint of a tape's structure: ops, edges and guard count.
+
+    Two recordings of the same straight-line code produce the same hash
+    regardless of the input values; a divergent branch changes the op
+    sequence and therefore the hash.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for node in tape.nodes:
+        h.update(node.op.encode("utf-8", "replace"))
+        h.update(b"(")
+        for p in node.parents:
+            h.update(str(p).encode("ascii"))
+            h.update(b",")
+        h.update(b")")
+    h.update(b"|guards:")
+    h.update(str(len(tape.guards)).encode("ascii"))
+    return h.hexdigest()
+
+
+class CachedTrace:
+    """One frozen recording, ready to analyse fresh inputs by replay.
+
+    Built from a completed :class:`~repro.scorpio.api.Analysis` whose
+    recorded trace passed the replay structure guard.  Each
+    :meth:`analyse` call forwards new input intervals through the frozen
+    arrays and runs the compiled analysis pipeline on them, reusing the
+    per-trace :class:`~repro.scorpio.compiled.TraceStructure`.
+    """
+
+    __slots__ = (
+        "ct",
+        "structure",
+        "input_ids",
+        "intermediate_ids",
+        "output_ids",
+        "delta",
+        "simplify",
+        "op_hash",
+        "validated",
+        "replays",
+    )
+
+    def __init__(self, analysis: Any, *, simplify: bool = True):
+        tape = analysis.tape
+        ct = CompiledTape(tape)
+        # Structure guard: raises ReplayError for unreplayable traces.
+        plan = ct._forward_plan()
+        input_ids = [v.node.index for v in analysis._inputs]
+        if plan.input_nodes != input_ids:
+            raise ReplayError(
+                "registered inputs do not match the trace's input nodes "
+                "in order; the recorder must register inputs in argument "
+                "order"
+            )
+        self.ct = ct
+        self.input_ids = input_ids
+        self.intermediate_ids = [
+            v.node.index for v in analysis._intermediates
+        ]
+        self.output_ids = [v.node.index for v in analysis._outputs]
+        self.delta = analysis.delta
+        self.simplify = simplify
+        self.structure = TraceStructure(
+            ct, self.output_ids, simplify=simplify
+        )
+        self.op_hash = op_sequence_hash(tape)
+        self.validated = False
+        self.replays = 0
+
+    def _analyse_current(self) -> SignificanceReport:
+        """Analyse whatever the compiled arrays currently hold."""
+        return analyse_compiled_tape(
+            self.ct,
+            self.output_ids,
+            input_ids=self.input_ids,
+            intermediate_ids=self.intermediate_ids,
+            delta=self.delta,
+            simplify=self.simplify,
+            structure=self.structure,
+        )
+
+    def analyse(self, inputs: Sequence[Interval]) -> SignificanceReport:
+        """Replay ``inputs`` and analyse — bit-identical to re-recording.
+
+        Raises :class:`~repro.ad.replay.GuardDivergenceError` when the
+        inputs take a different branch than the recorded trace, and
+        :class:`~repro.intervals.AmbiguousComparisonError` when a recorded
+        comparison is ambiguous on them (recording would raise it too).
+        """
+        self.ct.forward(inputs)
+        self.replays += 1
+        return self._analyse_current()
+
+    # ------------------------------------------------------------------
+    # Lane-batched replay (the cached-trace twin of repro.vec's
+    # lane analysis: one forward + one reverse sweep for L input sets)
+    # ------------------------------------------------------------------
+    def label_index(self, label: str) -> int:
+        """Node index carrying ``label`` (input/intermediate/output tag)."""
+        for idx, lab in self.ct.labels.items():
+            if lab == label:
+                return idx
+        raise KeyError(f"no node labelled {label!r} in the cached trace")
+
+    def forward_lanes(self, inputs_lo, inputs_hi):
+        """Replay ``(n_inputs, L)`` lane bounds over the trace; returns a
+        :class:`repro.ad.compiled.ReplayLanes` (lane ``l`` bit-identical
+        to recording on lane ``l``'s inputs)."""
+        return self.ct.forward_lanes(inputs_lo, inputs_hi)
+
+    def lane_significances(self, lanes) -> "Any":
+        """``(n_nodes, L)`` Eq. 11 significance matrix over replayed lanes.
+
+        Column ``l`` is bit-identical to the per-node significances a
+        scalar analysis of lane ``l``'s inputs would compute.  Requires a
+        single-output trace (the sweep seeds that output with 1).
+        """
+        if len(self.output_ids) != 1:
+            raise ReplayError(
+                "lane significance replay supports single-output traces"
+            )
+        alo, ahi = lanes.adjoint({self.output_ids[0]: 1.0})
+        return eq11_from_sweep(
+            lanes.value_lo,
+            lanes.value_hi,
+            alo,
+            ahi,
+            interval_mode=self.ct.interval_mode,
+        )
+
+    def lane_scan_map(
+        self,
+        sig,
+        lane_shape: tuple[int, ...],
+        *,
+        delta: float | None = None,
+        exact_variance: bool = True,
+    ):
+        """Lane-parallel Algorithm 1 S5 over a replayed significance
+        matrix — the cached-trace twin of :func:`repro.vec.lane_scan_map`
+        (same scan, structure taken from this trace instead of a batched
+        recording)."""
+        from repro.vec.bridge import _scan_columns
+
+        return _scan_columns(
+            sig,
+            lane_shape,
+            self.structure.surv,
+            self.structure.s_levels,
+            delta=self.delta if delta is None else delta,
+            exact_variance=exact_variance,
+        )
+
+    def lane_report(self, lanes, lane: int) -> SignificanceReport:
+        """Full scalar report for one lane of a batched replay — the
+        cached-trace twin of :func:`repro.vec.lane_report`.
+
+        Re-forwards that lane's input intervals scalar-ly over the trace
+        and analyses, so the report is byte-identical to recording the
+        lane from scratch (and to ``repro.vec.lane_report`` of an
+        equivalent batched recording).
+        """
+        inputs = [
+            Interval(
+                float(lanes.value_lo[i, lane]),
+                float(lanes.value_hi[i, lane]),
+            )
+            for i in self.input_ids
+        ]
+        return self.analyse(inputs)
+
+
+class TraceCache:
+    """Keyed cache of :class:`CachedTrace`\\ s with record-or-replay logic.
+
+    ``analyse(key, recorder, inputs)`` is the single entry point kernels
+    use in their per-item loops:
+
+    * first call per ``key``: run ``recorder(inputs)`` (which must build
+      and return a recorded-but-not-analysed
+      :class:`~repro.scorpio.api.Analysis`, registering one input per
+      entry of ``inputs`` in order), freeze it, analyse from the frozen
+      arrays;
+    * later calls: replay ``inputs`` over the cached trace — no recording,
+      no object tape, no per-item S4/BFS;
+    * divergence (a recorded branch decided differently) or an
+      unreplayable structure: transparent fallback to recording.
+
+    The cache is keyed by kernel identity + input shape; the caller picks
+    the key (e.g. ``("dct_block",)`` — all DCT blocks share one trace).
+    ``validate=True`` re-records the first replayed sample per trace and
+    asserts op-sequence-hash and bitwise value equality
+    (:class:`TraceDivergenceError` on mismatch).
+    """
+
+    def __init__(self, *, validate: bool = False):
+        self._traces: dict[Any, CachedTrace | None] = {}
+        self.validate = validate
+        self.records = 0
+        self.replays = 0
+        self.divergences = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "records": self.records,
+            "replays": self.replays,
+            "divergences": self.divergences,
+            "traces": sum(1 for t in self._traces.values() if t is not None),
+        }
+
+    def _record(
+        self,
+        key: Any,
+        recorder: Callable[[Sequence[Interval]], Any],
+        inputs: Sequence[Interval],
+        simplify: bool,
+        *,
+        cache_it: bool,
+    ) -> SignificanceReport:
+        self.records += 1
+        analysis = recorder(inputs)
+        if cache_it:
+            try:
+                trace = CachedTrace(analysis, simplify=simplify)
+            except ReplayError:
+                # Not a replayable trace; remember that and record forever.
+                self._traces[key] = None
+            else:
+                self._traces[key] = trace
+                return trace._analyse_current()
+        return analysis.analyse(simplify=simplify, compiled=True)
+
+    def analyse(
+        self,
+        key: Any,
+        recorder: Callable[[Sequence[Interval]], Any],
+        inputs: Sequence[Any],
+        *,
+        simplify: bool = True,
+    ) -> SignificanceReport:
+        """Record-or-replay analysis of one item (see class docstring)."""
+        inputs = [as_interval(iv) for iv in inputs]
+        if key not in self._traces:
+            return self._record(key, recorder, inputs, simplify, cache_it=True)
+        trace = self._traces[key]
+        if trace is None:
+            # Structure guard rejected this kernel once; keep recording.
+            return self._record(
+                key, recorder, inputs, simplify, cache_it=False
+            )
+        if self.validate and not trace.validated:
+            self._validate(trace, recorder, inputs)
+        try:
+            report = trace.analyse(inputs)
+        except GuardDivergenceError:
+            # These inputs take another branch; analyse them the slow way
+            # but keep the cached trace for inputs that don't.
+            self.divergences += 1
+            return self._record(
+                key, recorder, inputs, simplify, cache_it=False
+            )
+        self.replays += 1
+        return report
+
+    def _validate(
+        self,
+        trace: CachedTrace,
+        recorder: Callable[[Sequence[Interval]], Any],
+        inputs: Sequence[Interval],
+    ) -> None:
+        """Re-record one sample and assert it is the same trace."""
+        trace.validated = True
+        analysis = recorder(inputs)
+        fresh_hash = op_sequence_hash(analysis.tape)
+        if fresh_hash != trace.op_hash:
+            raise TraceDivergenceError(
+                "re-recording produced a different op sequence than the "
+                "cached trace (hash mismatch): the kernel has control flow "
+                "the tape does not guard — disable replay for it"
+            )
+        fresh = CompiledTape(analysis.tape)
+        replayed = trace.ct.forward(inputs, check_guards=True)
+        same = (
+            fresh.value_lo.tobytes() == replayed.value_lo.tobytes()
+            and fresh.value_hi.tobytes() == replayed.value_hi.tobytes()
+        )
+        if not same:
+            raise TraceDivergenceError(
+                "replayed values differ bitwise from a fresh recording on "
+                "the same inputs — replay rule mismatch; please report"
+            )

@@ -416,13 +416,38 @@ def lane_scan_map(
     """
     cols = _lane_columns(vreport)
     surv, _s_parents, _s_merged, s_levels = cols.structure(simplify)
+    return _scan_columns(
+        cols.sig,
+        cols.lane_shape,
+        surv,
+        s_levels,
+        delta=delta,
+        exact_variance=exact_variance,
+    )
+
+
+def _scan_columns(
+    sig: np.ndarray,
+    lane_shape: tuple[int, ...],
+    surv,
+    s_levels,
+    *,
+    delta: float,
+    exact_variance: bool,
+) -> LaneScanMap:
+    """Lane-parallel S5 over an ``(n_nodes, n_lanes)`` significance matrix.
+
+    The structural inputs (``surv``, ``s_levels``) come either from a
+    batched recording (:meth:`_LaneColumns.structure`) or from a replayed
+    trace (:class:`repro.scorpio.compiled.TraceStructure`) — the scan is
+    the same either way.
+    """
     members_by_level: dict[int, list[int]] = {}
     for nid in sorted(i for i in surv if i in s_levels):
         members_by_level.setdefault(s_levels[nid], []).append(nid)
     height = (max(members_by_level) + 1) if members_by_level else 0
 
-    lanes = cols.n_lanes
-    sig = cols.sig
+    lanes = sig.shape[1]
     found = np.full(lanes, -1, dtype=np.int64)
     variances: dict[int, np.ndarray] = {}
     for level in range(1, height):
@@ -440,14 +465,14 @@ def lane_scan_map(
             for i in ids:
                 sq += _square(sig[i] - mean, exact_variance)
             var = sq / len(ids)
-        variances[level] = var.reshape(cols.lane_shape)
+        variances[level] = var.reshape(lane_shape)
         newly = (found < 0) & (var > delta)
         found[newly] = level
         if (found >= 0).all():
             break
     return LaneScanMap(
-        lane_shape=cols.lane_shape,
-        found_level=found.reshape(cols.lane_shape),
+        lane_shape=lane_shape,
+        found_level=found.reshape(lane_shape),
         variances=variances,
         delta=delta,
     )

@@ -62,6 +62,7 @@ class VTape(Tape):
         parents=(),
         partials=(),
         label: str | None = None,
+        aux: Any = None,
     ) -> Node:
         if isinstance(value, IntervalArray):
             if self.lane_shape is None:
@@ -71,7 +72,7 @@ class VTape(Tape):
                     f"lane shape mismatch: tape carries {self.lane_shape}, "
                     f"op {op!r} produced {value.shape}"
                 )
-        return super().record(op, value, parents, partials, label=label)
+        return super().record(op, value, parents, partials, label=label, aux=aux)
 
     def require_lane_shape(self) -> tuple[int, ...]:
         if self.lane_shape is None:

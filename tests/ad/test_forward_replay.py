@@ -1,0 +1,220 @@
+"""Forward replay vs re-recording, bit for bit.
+
+:meth:`repro.ad.compiled.CompiledTape.forward` promises that replaying a
+frozen trace on fresh input intervals reproduces *exactly* the arrays a
+fresh recording of the same program would freeze — every value bound,
+every edge partial, every outward-rounding point.  Hypothesis generates
+the same random straight-line DAG programs as ``test_compiled_tape`` and
+we compare a replayed tape against a re-recorded one bitwise, in both
+rounding modes, for scalar and lane-batched replays.
+
+The structure guard and the guard re-check get their own tests: an
+unreplayable trace must fail *loudly* at plan build
+(:class:`~repro.ad.replay.ReplayError` with a message naming the node),
+and inputs that would take a different branch than the recording must
+raise :class:`~repro.ad.replay.GuardDivergenceError` instead of silently
+computing the wrong program.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ad import ADouble, CompiledTape, Tape
+from repro.ad.replay import GuardDivergenceError, ReplayError
+from repro.intervals import AmbiguousComparisonError, Interval
+from repro.intervals.rounding import rounded_mode
+
+from test_compiled_tape import N_INPUTS, program, record
+
+points = st.lists(
+    st.floats(min_value=-1.5, max_value=1.5, allow_nan=False),
+    min_size=N_INPUTS,
+    max_size=N_INPUTS,
+)
+radii = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+
+
+def centered(point, radius):
+    return [Interval.centered(p, radius) for p in point]
+
+
+def assert_same_arrays(ct, ref):
+    assert ct.value_lo.tobytes() == ref.value_lo.tobytes()
+    assert ct.value_hi.tobytes() == ref.value_hi.tobytes()
+    assert ct.partial_lo.tobytes() == ref.partial_lo.tobytes()
+    assert ct.partial_hi.tobytes() == ref.partial_hi.tobytes()
+
+
+@given(program(), points, radii, points, radii, st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_forward_matches_rerecording_bitwise(
+    steps, pt_a, rad_a, pt_b, rad_b, rounding
+):
+    """Replaying inputs B over a trace recorded on inputs A freezes the
+    exact arrays recording the program on B would."""
+    with rounded_mode(rounding):
+        tape_a, _ = record(steps, centered(pt_a, rad_a))
+        ct = CompiledTape(tape_a)
+        ct.forward(centered(pt_b, rad_b))
+        tape_b, _ = record(steps, centered(pt_b, rad_b))
+        assert_same_arrays(ct, CompiledTape(tape_b))
+
+
+@given(program(), points, radii, points, radii, st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_adjoint_over_replayed_state_bitwise(
+    steps, pt_a, rad_a, pt_b, rad_b, rounding
+):
+    """The reverse sweep on replayed state matches the object sweep on a
+    fresh recording — forward + adjoint composes bit-identically."""
+    with rounded_mode(rounding):
+        tape_a, regs = record(steps, centered(pt_a, rad_a))
+        out = regs[-1].node.index
+        ct = CompiledTape(tape_a)
+        ct.forward(centered(pt_b, rad_b))
+        lo, hi = ct.adjoint({out: 1.0})
+        tape_b, _ = record(steps, centered(pt_b, rad_b))
+        ref = Tape.adjoint(tape_b, {out: 1.0})
+        for k, r in enumerate(ref):
+            iv = r if isinstance(r, Interval) else Interval(float(r), float(r))
+            assert np.float64(lo[k]).tobytes() == np.float64(iv.lo).tobytes()
+            assert np.float64(hi[k]).tobytes() == np.float64(iv.hi).tobytes()
+
+
+@given(
+    program(),
+    st.lists(st.tuples(points, radii), min_size=1, max_size=4),
+    st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_forward_lanes_per_lane_bitwise(steps, lane_specs, rounding):
+    """Every lane of a batched replay equals the scalar replay (and hence
+    a recording) of that lane's inputs — values, partials and adjoints."""
+    with rounded_mode(rounding):
+        first_pt, first_rad = lane_specs[0]
+        tape, regs = record(steps, centered(first_pt, first_rad))
+        out = regs[-1].node.index
+        ct = CompiledTape(tape)
+
+        ivs = [centered(pt, rad) for pt, rad in lane_specs]
+        lo = np.array([[iv.lo for iv in lane] for lane in ivs]).T
+        hi = np.array([[iv.hi for iv in lane] for lane in ivs]).T
+        lanes = ct.forward_lanes(lo, hi)
+        alo, ahi = lanes.adjoint({out: 1.0})
+
+        for j, lane in enumerate(ivs):
+            ct.forward(lane)
+            assert lanes.value_lo[:, j].tobytes() == ct.value_lo.tobytes()
+            assert lanes.value_hi[:, j].tobytes() == ct.value_hi.tobytes()
+            assert lanes.partial_lo[:, j].tobytes() == ct.partial_lo.tobytes()
+            assert lanes.partial_hi[:, j].tobytes() == ct.partial_hi.tobytes()
+            slo, shi = ct.adjoint({out: 1.0})
+            assert alo[:, j].tobytes() == slo.tobytes()
+            assert ahi[:, j].tobytes() == shi.tobytes()
+
+
+@given(program(), points, radii, points, radii)
+@settings(max_examples=20, deadline=None)
+def test_forward_accepts_node_index_mapping(steps, pt_a, rad_a, pt_b, rad_b):
+    tape, _ = record(steps, centered(pt_a, rad_a))
+    ct = CompiledTape(tape)
+    by_index = dict(zip(ct.input_nodes, centered(pt_b, rad_b)))
+    ct.forward(by_index)
+    ref = CompiledTape(record(steps, centered(pt_b, rad_b))[0])
+    assert_same_arrays(ct, ref)
+
+
+class TestStructureGuard:
+    """Unreplayable traces are rejected with a message naming the cause."""
+
+    def test_scalar_tape_rejected(self):
+        tape = Tape()
+        with tape:
+            a = ADouble.input(2.0, label="a")
+            b = ADouble.input(3.0, label="b")
+            _ = a * b + a
+        with pytest.raises(ReplayError, match="interval-mode"):
+            CompiledTape(tape).forward([Interval(1, 2), Interval(3, 4)])
+
+    def test_wrong_input_count(self):
+        tape = Tape()
+        with tape:
+            a = ADouble.input(Interval.centered(2.0, 0.1), label="a")
+            b = ADouble.input(Interval.centered(3.0, 0.1), label="b")
+            _ = a * b
+        ct = CompiledTape(tape)
+        with pytest.raises(ValueError, match="2 inputs"):
+            ct.forward([Interval(1, 2)])
+        with pytest.raises(ValueError, match="2 inputs"):
+            ct.forward_lanes(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_replay_error_is_runtime_error(self):
+        # Callers catch RuntimeError to fall back to recording.
+        assert issubclass(ReplayError, RuntimeError)
+        assert issubclass(GuardDivergenceError, RuntimeError)
+
+
+class TestGuardRecheck:
+    """A recorded branch must decide the same way on replay inputs."""
+
+    def _branching_tape(self, a_iv, b_iv):
+        tape = Tape()
+        with tape:
+            a = ADouble.input(a_iv, label="a")
+            b = ADouble.input(b_iv, label="b")
+            y = a * b if a < b else a + b
+        return tape, y
+
+    def test_same_branch_replays(self):
+        tape, y = self._branching_tape(
+            Interval.centered(1.0, 0.1), Interval.centered(3.0, 0.1)
+        )
+        ct = CompiledTape(tape)
+        fresh = [Interval.centered(0.5, 0.2), Interval.centered(2.0, 0.2)]
+        ct.forward(fresh)
+        ref, _ = self._branching_tape(*fresh)
+        assert_same_arrays(ct, CompiledTape(ref))
+
+    def test_flipped_branch_raises(self):
+        tape, _ = self._branching_tape(
+            Interval.centered(1.0, 0.1), Interval.centered(3.0, 0.1)
+        )
+        ct = CompiledTape(tape)
+        with pytest.raises(GuardDivergenceError, match="another"):
+            ct.forward(
+                [Interval.centered(5.0, 0.1), Interval.centered(3.0, 0.1)]
+            )
+
+    def test_ambiguous_branch_raises_like_recording(self):
+        tape, _ = self._branching_tape(
+            Interval.centered(1.0, 0.1), Interval.centered(3.0, 0.1)
+        )
+        ct = CompiledTape(tape)
+        overlapping = [Interval(0.0, 4.0), Interval(2.0, 3.0)]
+        with pytest.raises(AmbiguousComparisonError):
+            ct.forward(overlapping)
+        with pytest.raises(AmbiguousComparisonError):
+            self._branching_tape(*overlapping)
+
+    def test_lane_batch_cannot_split_branches(self):
+        tape, _ = self._branching_tape(
+            Interval.centered(1.0, 0.1), Interval.centered(3.0, 0.1)
+        )
+        ct = CompiledTape(tape)
+        # Lane 0 keeps the recorded branch, lane 1 flips it.
+        lo = np.array([[0.9, 4.9], [2.9, 2.9]])
+        hi = np.array([[1.1, 5.1], [3.1, 3.1]])
+        with pytest.raises(GuardDivergenceError):
+            ct.forward_lanes(lo, hi)
+
+    def test_check_guards_opt_out(self):
+        tape, _ = self._branching_tape(
+            Interval.centered(1.0, 0.1), Interval.centered(3.0, 0.1)
+        )
+        ct = CompiledTape(tape)
+        ct.forward(
+            [Interval.centered(5.0, 0.1), Interval.centered(3.0, 0.1)],
+            check_guards=False,
+        )

@@ -87,3 +87,39 @@ class TestEvaluateWithSplitting:
         result = evaluate_with_splitting(lambda x: x + 1.0, [Interval(0, 1)])
         assert result.splits == 0
         assert result.value.contains(1.5)
+
+
+class TestReplaySplitting:
+    """Replay-routed sub-box evaluation matches Python re-execution."""
+
+    @staticmethod
+    def _branchy_max(x: Interval, y: Interval) -> Interval:
+        if x >= y:
+            return x * x
+        return y * y
+
+    def test_replay_identical_to_reexecution(self):
+        inputs = [Interval(-1.0, 1.0), Interval(-0.5, 1.5)]
+        rep = evaluate_with_splitting(self._branchy_max, inputs, replay=True)
+        ref = evaluate_with_splitting(self._branchy_max, inputs, replay=False)
+        assert rep.value.lo == ref.value.lo
+        assert rep.value.hi == ref.value.hi
+        assert rep.splits == ref.splits
+        assert len(rep.boxes) == len(ref.boxes)
+        assert len(rep.point_sampled) == len(ref.point_sampled)
+        assert ref.replay_stats is None
+        assert rep.replay_stats is not None
+        # One cached trace per branch signature serves the decidable
+        # sub-boxes (ambiguous ones still re-record in program order).
+        assert rep.replay_stats["traces"] == 2
+        assert rep.replay_stats["replays"] >= len(rep.boxes) // 2
+
+    def test_untaped_function_degrades_gracefully(self):
+        # fn ignores its taped arguments: nothing to replay, every call
+        # records — but the result is still correct.
+        result = evaluate_with_splitting(
+            lambda x: Interval(2.0, 3.0), [Interval(0, 1)], replay=True
+        )
+        assert result.value == Interval(2.0, 3.0)
+        assert result.replay_stats["replays"] == 0
+        assert result.replay_stats["traces"] == 0
