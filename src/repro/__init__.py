@@ -16,6 +16,8 @@ Subpackages:
 * :mod:`repro.kernels`   — the paper's benchmarks (Sobel, DCT, Fisheye,
   N-Body, BlackScholes, Maclaurin).
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.obs`       — structured tracing, metrics and profiling
+  hooks across the pipeline (``repro profile``).
 """
 
 __version__ = "1.0.0"
@@ -31,4 +33,5 @@ __all__ = [
     "images",
     "kernels",
     "experiments",
+    "obs",
 ]

@@ -44,10 +44,17 @@ import numpy as np
 
 from repro.intervals import Interval, as_interval
 from repro.intervals.rounding import rounding_enabled
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 from .tape import Tape
 
 __all__ = ["CompiledTape", "ReplayLanes"]
+
+_C_COMPILES = _metrics.counter("ad.compiles")
+_C_SWEEPS = _metrics.counter("ad.compiled_sweeps")
+_C_FORWARDS = _metrics.counter("replay.forwards")
+_C_FORWARD_LANES = _metrics.counter("replay.forward_lanes")
 
 _NEG_INF = -np.inf
 _POS_INF = np.inf
@@ -96,6 +103,12 @@ class CompiledTape:
     """
 
     def __init__(self, tape: Tape):
+        _C_COMPILES.inc()
+        with _span("ad.compile") as sp:
+            self._compile(tape)
+            sp.set(nodes=self.n, edges=self.n_edges)
+
+    def _compile(self, tape: Tape) -> None:
         nodes = tape.nodes
         n = len(nodes)
         self.tape = tape
@@ -337,6 +350,7 @@ class CompiledTape:
         """
         if not seeds:
             raise ValueError("adjoint sweep needs at least one seeded output")
+        _C_SWEEPS.inc()
         n = self.n
         interval = self.interval_mode
         rnd = interval and rounding_enabled()
@@ -362,7 +376,11 @@ class CompiledTape:
             else:
                 alo[index] = alo[index] + slo
 
-        self._sweep(alo[:, None], ahi[:, None], interval=interval, rnd=rnd)
+        with _span("ad.sweep") as sp:
+            sp.set(nodes=n, mode="scalar")
+            self._sweep(
+                alo[:, None], ahi[:, None], interval=interval, rnd=rnd
+            )
         lo = alo.reshape(n)
         hi = ahi.reshape(n)
         return (lo, lo) if not interval else (lo, hi)
@@ -375,6 +393,7 @@ class CompiledTape:
         m = len(outputs)
         if m == 0:
             raise ValueError("adjoint_vector needs at least one output")
+        _C_SWEEPS.inc()
         n = self.n
         lo = np.zeros((n, m), dtype=np.float64)
         hi = np.zeros((n, m), dtype=np.float64)
@@ -383,7 +402,9 @@ class CompiledTape:
                 raise IndexError(f"output index {idx} outside tape")
             lo[idx, j] += 1.0
             hi[idx, j] += 1.0
-        self._sweep(lo, hi, interval=True, rnd=False, clean_nan=False)
+        with _span("ad.sweep") as sp:
+            sp.set(nodes=n, mode="vector", outputs=m)
+            self._sweep(lo, hi, interval=True, rnd=False, clean_nan=False)
         return lo, hi
 
     def _sweep(
@@ -744,9 +765,14 @@ class CompiledTape:
             iv = as_interval(value)
             vlo[j] = iv.lo
             vhi[j] = iv.hi
-        plan.run(vlo, vhi, self.partial_lo, self.partial_hi, rounding_enabled())
-        if check_guards:
-            _check(self.tape.guards, vlo, vhi)
+        _C_FORWARDS.inc()
+        with _span("ad.forward") as sp:
+            sp.set(nodes=self.n)
+            plan.run(
+                vlo, vhi, self.partial_lo, self.partial_hi, rounding_enabled()
+            )
+            if check_guards:
+                _check(self.tape.guards, vlo, vhi)
         return self
 
     def forward_lanes(
@@ -788,9 +814,12 @@ class CompiledTape:
         phi = np.repeat(self.partial_hi[:, None], L, axis=1)
         vlo[input_nodes] = inputs_lo
         vhi[input_nodes] = inputs_hi
-        plan.run(vlo, vhi, plo, phi, rounding_enabled())
-        if check_guards:
-            _check(self.tape.guards, vlo, vhi)
+        _C_FORWARD_LANES.inc()
+        with _span("ad.forward_lanes") as sp:
+            sp.set(nodes=self.n, lanes=L)
+            plan.run(vlo, vhi, plo, phi, rounding_enabled())
+            if check_guards:
+                _check(self.tape.guards, vlo, vhi)
         return ReplayLanes(self, vlo, vhi, plo, phi)
 
     # ------------------------------------------------------------------

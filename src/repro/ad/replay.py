@@ -55,8 +55,12 @@ import numpy as np
 
 from repro.intervals import Interval, as_interval
 from repro.intervals import functions as ifn
+from repro.obs import metrics as _metrics
 
 __all__ = ["ForwardPlan", "ReplayError", "GuardDivergenceError", "check_guards"]
+
+_C_GUARD_CHECKS = _metrics.counter("replay.guard_rechecks")
+_C_GUARD_DIVERGENCES = _metrics.counter("replay.guard_divergences")
 
 _NEG_INF = -np.inf
 _POS_INF = np.inf
@@ -259,6 +263,7 @@ def check_guards(guards, value_lo, value_hi) -> None:
     :class:`GuardDivergenceError`.
     """
     lanes = value_lo.ndim > 1
+    _C_GUARD_CHECKS.inc(len(guards))
     for op, left, rhs, outcome in guards:
         llo, lhi = value_lo[left], value_hi[left]
         if isinstance(rhs, Interval):
@@ -284,6 +289,7 @@ def check_guards(guards, value_lo, value_hi) -> None:
             decided = np.all(true_m) if outcome else np.all(false_m)
             if decided:
                 continue
+        _C_GUARD_DIVERGENCES.inc()
         raise GuardDivergenceError(
             f"recorded comparison ({_GUARD_OPS[op]}, outcome {outcome}) "
             f"decided differently on replay inputs; the cached trace is "

@@ -24,8 +24,18 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.intervals import Interval
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 __all__ = ["Node", "Tape", "active_tape", "require_tape", "NoActiveTapeError"]
+
+# Recording instrumentation is deliberately *not* in `Tape.record` (the
+# per-op hot path): ops are counted in bulk at tape deactivation, so a
+# recording of n nodes costs one counter add, not n.
+_C_TAPES = _metrics.counter("tape.recordings")
+_C_OPS = _metrics.counter("tape.ops_recorded")
+_H_NODES = _metrics.histogram("tape.nodes")
+_C_SWEEPS = _metrics.counter("ad.object_sweeps")
 
 
 class NoActiveTapeError(RuntimeError):
@@ -116,6 +126,7 @@ class Tape:
         # (op, left_index, right_index_or_const, outcome) tuples.  Replay
         # re-checks them on fresh inputs to detect control-flow divergence.
         self.guards: list[tuple] = []
+        self._ops_counted = 0
 
     # ------------------------------------------------------------------
     # Activation
@@ -128,6 +139,11 @@ class Tape:
         popped = _TAPE_STACK.pop()
         if popped is not self:  # pragma: no cover - misuse guard
             raise RuntimeError("tape context stack corrupted")
+        n = len(self.nodes)
+        _C_TAPES.inc()
+        _C_OPS.inc(n - self._ops_counted)
+        self._ops_counted = n
+        _H_NODES.observe(n)
 
     # ------------------------------------------------------------------
     # Recording
@@ -210,6 +226,12 @@ class Tape:
         """
         if not seeds:
             raise ValueError("adjoint sweep needs at least one seeded output")
+        _C_SWEEPS.inc()
+        with _span("ad.adjoint") as sp:
+            sp.set(nodes=len(self.nodes), backend="object")
+            return self._adjoint(seeds)
+
+    def _adjoint(self, seeds: dict[int, Any]) -> list[Any]:
         interval_mode = any(
             isinstance(node.value, Interval) for node in self.nodes
         )

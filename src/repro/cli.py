@@ -9,7 +9,10 @@ actions:
 * ``table2`` — the LoC table;
 * ``headline [--fast]`` — the 31-91% energy summary;
 * ``tune --benchmark NAME --target-psnr DB`` — demonstrate the ratio
-  autotuner on an image benchmark.
+  autotuner on an image benchmark;
+* ``profile EXPERIMENT`` — run an experiment with :mod:`repro.obs`
+  tracing on and print the span tree + metrics table (also available as
+  ``--profile [DIR]`` on the heavier commands).
 """
 
 from __future__ import annotations
@@ -34,6 +37,21 @@ def _add_replay_flag(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace this run with repro.obs: append the span-tree / "
+            "metrics summary to the output and write obs.json + "
+            "metrics.prom to DIR (default: current directory)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -51,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--size", type=int, default=64)
     p4.add_argument("--samples", type=int, default=6)
     _add_replay_flag(p4)
+    _add_profile_flag(p4)
 
     p5 = sub.add_parser("figure5", help="InverseMapping significance map")
     p5.add_argument("--width", type=int, default=192)
@@ -68,12 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     p7.add_argument(
         "--plot", action="store_true", help="ASCII chart instead of a table"
     )
+    _add_profile_flag(p7)
 
     sub.add_parser("table2", help="lines-of-code accounting")
 
     ph = sub.add_parser("headline", help="energy-reduction summary")
     ph.add_argument("--fast", action="store_true")
     _add_replay_flag(ph)
+    _add_profile_flag(ph)
 
     pa = sub.add_parser(
         "artifacts", help="export significance maps as PGM images"
@@ -88,11 +109,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full workload sizes (slow)"
     )
     _add_replay_flag(pr)
+    _add_profile_flag(pr)
 
     pt = sub.add_parser("tune", help="autotune the ratio knob")
     pt.add_argument("--benchmark", choices=["sobel", "dct"], default="dct")
     pt.add_argument("--target-psnr", type=float, default=35.0)
     pt.add_argument("--size", type=int, default=128)
+
+    pp = sub.add_parser(
+        "profile",
+        help="run an experiment with repro.obs tracing and print the "
+        "span tree + metrics table",
+    )
+    pp.add_argument(
+        "experiment",
+        choices=[
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "headline",
+        ],
+    )
+    pp.add_argument("--out-dir", default="profile")
+    _add_replay_flag(pp)
     return parser
 
 
@@ -215,6 +256,45 @@ def _cmd_tune(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_profile_target(experiment: str) -> None:
+    """Dispatch one experiment under tracing (reduced workloads)."""
+    fast_flags = {"figure7": ["--fast"], "headline": ["--fast"]}
+    inner = build_parser().parse_args(
+        [experiment] + fast_flags.get(experiment, [])
+    )
+    _COMMANDS[experiment](inner)
+    if experiment == "figure4":
+        # figure4 is pure analysis over a simplify=False kernel; run one
+        # small task-runtime frame plus the (cheap) Maclaurin analysis so
+        # the span tree also covers the runtime stages (taskwait, tasks)
+        # and the object path with S4 simplification.
+        from repro.experiments.figure3 import figure3
+        from repro.images import natural_image
+        from repro.kernels.dct import dct_significance
+
+        dct_significance(natural_image(32, 32, seed=5), 0.5)
+        figure3()
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from repro import obs
+
+    obs.reset_metrics()
+    obs.clear()
+    previous = obs.set_enabled(True)
+    try:
+        with _replay_setting(args.replay):
+            _run_profile_target(args.experiment)
+    finally:
+        obs.set_enabled(previous)
+    body = obs.format_profile()
+    json_path, prom_path = obs.dump_profile(args.out_dir)
+    return (
+        f"profiled: {args.experiment}\n\n{body}\n\n"
+        f"wrote {json_path}\nwrote {prom_path}"
+    )
+
+
 _COMMANDS = {
     "figure3": _cmd_figure3,
     "figure4": _cmd_figure4,
@@ -226,13 +306,31 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "record": _cmd_record,
     "tune": _cmd_tune,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    profile_dir = getattr(args, "profile", None)
+    if profile_dir is None:
+        output = _COMMANDS[args.command](args)
+    else:
+        from repro import obs
+
+        obs.reset_metrics()
+        obs.clear()
+        previous = obs.set_enabled(True)
+        try:
+            output = _COMMANDS[args.command](args)
+        finally:
+            obs.set_enabled(previous)
+        json_path, prom_path = obs.dump_profile(profile_dir)
+        output = (
+            f"{output}\n\n{obs.format_profile()}\n"
+            f"wrote {json_path}\nwrote {prom_path}"
+        )
     print(output)
     return 0
 

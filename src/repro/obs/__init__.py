@@ -1,0 +1,93 @@
+"""repro.obs — zero-dependency structured tracing, metrics and profiling.
+
+The analysis pipeline grew from one object tape into a multi-backend
+stack (object tape, compiled SoA tape, vec lanes, record-once/replay-many
+trace cache) and a significance-aware task runtime.  This package is the
+shared observability layer for all of them:
+
+* :mod:`repro.obs.trace` — nestable wall-clock **spans** recorded into an
+  in-memory ring buffer.  Tracing is off by default; the disabled path is
+  a single attribute check so instrumented hot paths stay hot.
+* :mod:`repro.obs.metrics` — named **counters / gauges / histograms** in
+  a process-global registry, with ``snapshot()`` → plain dict and JSON /
+  Prometheus-text exporters.  Counters are always on (one float add).
+* :mod:`repro.obs.profile` — render span trees and metric tables for the
+  ``repro profile`` CLI subcommand / ``--profile`` flag, and dump
+  ``obs.json`` / ``metrics.prom`` artifacts.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("experiment.figure4"):
+        figure4()
+    print(obs.format_profile(obs.spans(), obs.snapshot()))
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+    reset_metrics,
+    snapshot,
+    to_prometheus,
+)
+from .profile import (
+    aggregate_spans,
+    dump_profile,
+    format_metrics_table,
+    format_profile,
+    format_span_tree,
+    spans_to_dicts,
+)
+from .trace import (
+    Span,
+    clear,
+    disable,
+    enable,
+    enabled,
+    set_enabled,
+    set_ring_capacity,
+    span,
+    spans,
+    traced,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "span",
+    "traced",
+    "spans",
+    "clear",
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "set_ring_capacity",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "to_prometheus",
+    # profile
+    "aggregate_spans",
+    "format_span_tree",
+    "format_metrics_table",
+    "format_profile",
+    "dump_profile",
+    "spans_to_dicts",
+]

@@ -1,0 +1,304 @@
+"""Named counters, gauges and histograms with a process-global registry.
+
+Metrics are deliberately simpler than spans: a counter increment is one
+float add on a slotted object, cheap enough to stay **always on** — that
+is what lets :meth:`repro.scorpio.trace_cache.TraceCache.stats` remain a
+thin view over real counters instead of a parallel bookkeeping dict, and
+what gives BENCH runs replay-hit-rate context without enabling tracing.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (events, nodes).
+* :class:`Gauge` — a set-to-current value (cached traces alive).
+* :class:`Histogram` — count/sum/min/max of observed values (tape sizes,
+  barrier wall times).  No buckets: the pipeline needs distribution
+  *summaries*, not quantiles, and summaries keep ``observe`` allocation
+  free.
+
+The :class:`MetricsRegistry` maps dotted names to instruments
+(get-or-create, kind-checked) and exports either a plain-dict
+``snapshot()`` (JSON-friendly) or Prometheus text exposition via
+``to_prometheus()`` (names prefixed ``repro_``, dots folded to
+underscores, counters suffixed ``_total``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "to_prometheus",
+    "to_json",
+]
+
+
+class Counter:
+    """Monotone event total.  ``inc`` is the always-on hot path."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def get(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """Set-to-current value."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def get(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Count / sum / min / max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Dotted-name → instrument map with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(sorted(self._metrics.items()))
+
+    def get(self, name: str) -> Any | None:
+        """The registered instrument, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Counter/gauge value by name (``default`` when unregistered)."""
+        metric = self._metrics.get(name)
+        return default if metric is None else metric.get()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain ``{name: {"type": ..., ...}}`` dict, names sorted."""
+        return {name: m.describe() for name, m in self}
+
+    def reset(self, *, drop: bool = False) -> None:
+        """Zero every instrument (``drop=True`` forgets them entirely).
+
+        Instrument objects are kept by default so module-level references
+        captured at import time keep feeding the same registry entries.
+        """
+        if drop:
+            self._metrics.clear()
+        else:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps({"metrics": self.snapshot()}, indent=indent)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (0.0.4).
+
+        Counters get the conventional ``_total`` suffix; histograms are
+        exported as ``_count`` / ``_sum`` / ``_min`` / ``_max`` gauges.
+        """
+        lines: list[str] = []
+        for name, metric in self:
+            base = _prom_name(prefix, name)
+            if metric.kind == "counter":
+                lines.append(f"# TYPE {base}_total counter")
+                lines.append(f"{base}_total {_prom_value(metric.value)}")
+            elif metric.kind == "gauge":
+                lines.append(f"# TYPE {base} gauge")
+                lines.append(f"{base} {_prom_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {base} summary")
+                lines.append(f"{base}_count {metric.count}")
+                lines.append(f"{base}_sum {_prom_value(metric.total)}")
+                if metric.count:
+                    lines.append(f"{base}_min {_prom_value(metric.min)}")
+                    lines.append(f"{base}_max {_prom_value(metric.max)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    safe = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name.replace(".", "_")
+    )
+    return f"{prefix}_{safe}"
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    # Integral values print without the trailing .0 (canonical form).
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Process-global default registry
+# ----------------------------------------------------------------------
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry all pipeline instrumentation uses."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter in the global registry."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge in the global registry."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram in the global registry."""
+    return _REGISTRY.histogram(name)
+
+
+def snapshot() -> dict[str, dict[str, Any]]:
+    """Snapshot of the global registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics(*, drop: bool = False) -> None:
+    """Zero (or drop) every instrument in the global registry."""
+    _REGISTRY.reset(drop=drop)
+
+
+def to_prometheus(prefix: str = "repro") -> str:
+    """Prometheus text exposition of the global registry."""
+    return _REGISTRY.to_prometheus(prefix)
+
+
+def to_json(indent: int | None = 2) -> str:
+    """JSON document of the global registry snapshot."""
+    return _REGISTRY.to_json(indent)

@@ -1,0 +1,205 @@
+"""Render span trees and metric tables; dump ``obs.json`` / ``metrics.prom``.
+
+The profile view is an *aggregated* span tree: sibling spans with the
+same name are folded into one row (count, total wall time, self time,
+min/max), recursively, so a figure-4 run with hundreds of per-block
+replays prints as a dozen readable rows instead of a scroll of repeats.
+The raw (unaggregated) trees are preserved in the ``obs.json`` dump for
+tooling that wants every span.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = [
+    "aggregate_spans",
+    "format_span_tree",
+    "format_metrics_table",
+    "format_profile",
+    "spans_to_dicts",
+    "dump_profile",
+]
+
+
+class SpanAggregate:
+    """One row of the aggregated tree: all same-named siblings folded."""
+
+    __slots__ = ("name", "count", "total", "self_total", "min", "max", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.children: dict[str, "SpanAggregate"] = {}
+
+    def add(self, sp: _trace.Span) -> None:
+        elapsed = sp.elapsed_seconds or 0.0
+        self.count += 1
+        self.total += elapsed
+        self.self_total += sp.self_seconds
+        self.min = min(self.min, elapsed)
+        self.max = max(self.max, elapsed)
+        for child in sp.children:
+            agg = self.children.get(child.name)
+            if agg is None:
+                agg = SpanAggregate(child.name)
+                self.children[child.name] = agg
+            agg.add(child)
+
+
+def aggregate_spans(
+    roots: Iterable[_trace.Span],
+) -> dict[str, SpanAggregate]:
+    """Fold a forest of spans into name-keyed aggregate rows."""
+    out: dict[str, SpanAggregate] = {}
+    for sp in roots:
+        agg = out.get(sp.name)
+        if agg is None:
+            agg = SpanAggregate(sp.name)
+            out[sp.name] = agg
+        agg.add(sp)
+    return out
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.3f}"
+
+
+def format_span_tree(roots: Sequence[_trace.Span]) -> str:
+    """The aggregated span tree as an indented fixed-width table."""
+    lines = [
+        f"{'span':<44} {'calls':>6} {'total ms':>10} {'self ms':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+
+    def emit(agg: SpanAggregate, depth: int) -> None:
+        label = "  " * depth + agg.name
+        lines.append(
+            f"{label:<44} {agg.count:>6} {_ms(agg.total)} "
+            f"{_ms(agg.self_total)}"
+        )
+        for child in sorted(
+            agg.children.values(), key=lambda a: -a.total
+        ):
+            emit(child, depth + 1)
+
+    top = aggregate_spans(roots)
+    if not top:
+        return "(no spans recorded — is tracing enabled?)"
+    for agg in sorted(top.values(), key=lambda a: -a.total):
+        emit(agg, 0)
+    return "\n".join(lines)
+
+
+def format_metrics_table(
+    snapshot: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """The metrics snapshot as a two-column table (histograms summarised)."""
+    snapshot = _metrics.snapshot() if snapshot is None else snapshot
+    if not snapshot:
+        return "(no metrics recorded)"
+    lines = [f"{'metric':<44} {'value':>18}"]
+    lines.append("-" * len(lines[0]))
+    for name, entry in snapshot.items():
+        if entry["type"] == "histogram":
+            value = (
+                f"n={entry['count']} sum={_num(entry['sum'])} "
+                f"mean={_num(entry['mean'])}"
+            )
+            lines.append(f"{name:<44} {value:>18}")
+        else:
+            lines.append(f"{name:<44} {_num(entry['value']):>18}")
+    return "\n".join(lines)
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def format_profile(
+    roots: Sequence[_trace.Span] | None = None,
+    snapshot: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Span tree + metrics table, the ``repro profile`` output body."""
+    roots = _trace.spans() if roots is None else roots
+    return (
+        "== span tree "
+        + "=" * 60
+        + "\n"
+        + format_span_tree(roots)
+        + "\n\n== metrics "
+        + "=" * 62
+        + "\n"
+        + format_metrics_table(snapshot)
+    )
+
+
+def spans_to_dicts(roots: Iterable[_trace.Span]) -> list[dict[str, Any]]:
+    """Raw span forest as JSON-serialisable dicts."""
+    return [
+        {
+            "name": sp.name,
+            "elapsed_seconds": sp.elapsed_seconds,
+            "attrs": dict(sp.attrs),
+            "children": spans_to_dicts(sp.children),
+        }
+        for sp in roots
+    ]
+
+
+def dump_profile(
+    out_dir: str | Path,
+    *,
+    roots: Sequence[_trace.Span] | None = None,
+    json_name: str = "obs.json",
+    prom_name: str = "metrics.prom",
+) -> tuple[Path, Path]:
+    """Write ``obs.json`` (spans + metrics) and ``metrics.prom`` to a dir.
+
+    Returns the two paths written.  ``obs.json`` carries the raw span
+    forest, the metrics snapshot and the aggregated rows the table view
+    prints, so offline tooling needs no access to the live process.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    roots = _trace.spans() if roots is None else roots
+
+    def agg_dicts(aggs: Mapping[str, SpanAggregate]) -> list[dict[str, Any]]:
+        return [
+            {
+                "name": a.name,
+                "count": a.count,
+                "total_seconds": a.total,
+                "self_seconds": a.self_total,
+                "children": agg_dicts(a.children),
+            }
+            for a in sorted(aggs.values(), key=lambda a: -a.total)
+        ]
+
+    json_path = out / json_name
+    with open(json_path, "w") as fh:
+        json.dump(
+            {
+                "spans": spans_to_dicts(roots),
+                "aggregated": agg_dicts(aggregate_spans(roots)),
+                "metrics": _metrics.snapshot(),
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+    prom_path = out / prom_name
+    with open(prom_path, "w") as fh:
+        fh.write(_metrics.to_prometheus())
+    return json_path, prom_path

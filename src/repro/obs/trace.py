@@ -1,0 +1,251 @@
+"""Nestable wall-clock spans with a process-global enable flag.
+
+A *span* measures one stage of the pipeline (``scorpio.simplify``, one
+``ad.forward`` replay, one ``runtime.taskwait`` barrier...).  Spans nest:
+a span opened while another is active becomes its child, so a profiled
+run produces a tree mirroring the call structure.  Completed *root* spans
+land in a bounded in-memory ring buffer (oldest evicted first) read back
+via :func:`spans`.
+
+Tracing is **disabled by default** and the disabled path is engineered to
+be a single attribute check: :func:`span` loads one module global, tests
+one slot attribute and returns a shared no-op context manager.  No
+``Span`` object, no clock read, no lock.  Instrumented hot paths
+(``CompiledTape.forward``, adjoint sweeps, per-task execution) therefore
+cost a few hundred nanoseconds per call when tracing is off — bounded by
+``tests/obs/test_overhead.py`` and measured honestly by
+``benchmarks/bench_obs_overhead.py``.
+
+Span stacks are per-thread (the :class:`~repro.runtime.executor.ThreadedExecutor`
+runs task spans on worker threads); the ring buffer is shared and
+lock-guarded, but the lock is only ever taken while tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Span",
+    "span",
+    "traced",
+    "spans",
+    "clear",
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "set_ring_capacity",
+    "ring_capacity",
+]
+
+_DEFAULT_RING_CAPACITY = 512
+
+
+class _State:
+    """The one-attribute gate every instrumented call site checks."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_STATE = _State()
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by :func:`span` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<null span>"
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, attributed region of the pipeline.
+
+    Attributes:
+        name: dotted stage name (``"scorpio.scan"``).
+        attrs: key/value annotations (``{"nodes": 16384}``).
+        elapsed_seconds: wall time between ``__enter__`` and ``__exit__``
+            (``None`` while still open).
+        children: spans opened (and closed) while this one was active.
+    """
+
+    __slots__ = ("name", "attrs", "children", "elapsed_seconds", "_t0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.elapsed_seconds: float | None = None
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        _LOCAL_STACK().append(self)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        elapsed = perf_counter() - self._t0
+        self.elapsed_seconds = elapsed
+        stack = _LOCAL_STACK()
+        # Tolerate out-of-order exits (an exception unwinding through
+        # several spans): pop up to and including this span.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            with _RING_LOCK:
+                _RING.append(self)
+        return False
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not covered by (closed) child spans."""
+        total = self.elapsed_seconds or 0.0
+        return max(
+            0.0,
+            total - sum(c.elapsed_seconds or 0.0 for c in self.children),
+        )
+
+    def walk(self) -> Iterable["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        t = (
+            f"{self.elapsed_seconds * 1e3:.3f}ms"
+            if self.elapsed_seconds is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {t}, children={len(self.children)})"
+
+
+_THREAD_LOCAL = threading.local()
+
+
+def _LOCAL_STACK() -> list[Span]:
+    stack = getattr(_THREAD_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _THREAD_LOCAL.stack = stack
+    return stack
+
+
+_RING_LOCK = threading.Lock()
+_RING: deque[Span] = deque(maxlen=_DEFAULT_RING_CAPACITY)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: Any) -> Any:
+    """Open a span (use as a context manager).
+
+    While tracing is disabled this returns a shared no-op object without
+    reading the clock or allocating — the single-attribute-check fast
+    path.  Avoid passing ``attrs`` at hot call sites (building the kwargs
+    dict is the only cost that cannot be skipped); use
+    :meth:`Span.set` inside the ``with`` block instead.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator flavour of :func:`span` (span per call, function name by
+    default)."""
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _STATE.enabled:
+                return fn(*args, **kwargs)
+            with Span(span_name, {}):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def enabled() -> bool:
+    """Whether spans are being recorded."""
+    return _STATE.enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the global tracing flag; returns the previous value."""
+    previous = _STATE.enabled
+    _STATE.enabled = bool(value)
+    return previous
+
+
+def enable() -> None:
+    """Turn span recording on."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn span recording off (the default)."""
+    _STATE.enabled = False
+
+
+def spans() -> list[Span]:
+    """Completed root spans currently in the ring buffer (oldest first)."""
+    with _RING_LOCK:
+        return list(_RING)
+
+
+def clear() -> None:
+    """Drop all recorded spans (open span stacks are left alone)."""
+    with _RING_LOCK:
+        _RING.clear()
+
+
+def ring_capacity() -> int:
+    """Maximum number of retained root spans."""
+    return _RING.maxlen or 0
+
+
+def set_ring_capacity(capacity: int) -> None:
+    """Resize the ring buffer, keeping the newest spans."""
+    global _RING
+    if capacity < 1:
+        raise ValueError("ring capacity must be >= 1")
+    with _RING_LOCK:
+        _RING = deque(_RING, maxlen=capacity)

@@ -23,7 +23,11 @@ and clears the group for reuse.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
+
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 from .energy import AnalyticEnergyModel, EnergyBreakdown, EnergyModel
 from .executor import Executor, SequentialExecutor
@@ -32,6 +36,13 @@ from .stats import GroupResult, GroupStats
 from .task import Task
 
 __all__ = ["TaskRuntime"]
+
+_C_SUBMITTED = _obs_metrics.counter("runtime.tasks_submitted")
+_C_TASKWAITS = _obs_metrics.counter("runtime.taskwaits")
+_C_ACCURATE = _obs_metrics.counter("runtime.tasks_accurate")
+_C_APPROX = _obs_metrics.counter("runtime.tasks_approximate")
+_C_DROPPED = _obs_metrics.counter("runtime.tasks_dropped")
+_H_BARRIER = _obs_metrics.histogram("runtime.taskwait_wall_seconds")
 
 
 class TaskRuntime:
@@ -77,6 +88,7 @@ class TaskRuntime:
         )
         self._next_id += 1
         self._groups.setdefault(label, []).append(task)
+        _C_SUBMITTED.inc()
         return task
 
     def pending(self, label: str = "default") -> int:
@@ -94,16 +106,34 @@ class TaskRuntime:
         group is consumed (subsequent submissions start a fresh group).
         """
         tasks = self._groups.pop(label, [])
-        modes = plan_modes(tasks, ratio)
-        results = self.executor.run(tasks, modes)
-        energy = self.energy_model.measure(results)
-        group = GroupResult(
-            label=label,
-            ratio=ratio,
-            results=results,
-            stats=GroupStats.from_results(results),
-            energy=energy,
-        )
+        _C_TASKWAITS.inc()
+        with _obs_span("runtime.taskwait") as sp:
+            modes = plan_modes(tasks, ratio)
+            start = time.perf_counter()
+            results = self.executor.run(tasks, modes)
+            wall = time.perf_counter() - start
+            energy = self.energy_model.measure(results)
+            stats = GroupStats.from_results(results)
+            stats.wall_seconds = wall
+            _C_ACCURATE.inc(stats.accurate)
+            _C_APPROX.inc(stats.approximate)
+            _C_DROPPED.inc(stats.dropped)
+            _H_BARRIER.observe(wall)
+            sp.set(
+                label=label,
+                ratio=ratio,
+                tasks=stats.total,
+                accurate=stats.accurate,
+                approximate=stats.approximate,
+                dropped=stats.dropped,
+            )
+            group = GroupResult(
+                label=label,
+                ratio=ratio,
+                results=results,
+                stats=stats,
+                energy=energy,
+            )
         self.history.append(group)
         return group
 

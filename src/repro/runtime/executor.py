@@ -13,6 +13,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol, Sequence, cast
 
+from repro.obs.trace import span as _obs_span
+
 from .task import ExecutionMode, Task, TaskResult
 
 __all__ = ["Executor", "SequentialExecutor", "ThreadedExecutor"]
@@ -29,9 +31,14 @@ class Executor(Protocol):
 
 
 def _run_one(task: Task, mode: ExecutionMode) -> TaskResult:
-    start = time.perf_counter()
-    value = task.run(mode)
-    elapsed = time.perf_counter() - start
+    # On a thread pool this span roots on the worker thread's own stack
+    # (span stacks are thread-local), so it lands in the ring as a root
+    # rather than a taskwait child — attrs carry the linkage instead.
+    with _obs_span("runtime.task") as sp:
+        sp.set(label=task.label, task_id=task.task_id, mode=mode.name)
+        start = time.perf_counter()
+        value = task.run(mode)
+        elapsed = time.perf_counter() - start
     return TaskResult(task=task, mode=mode, value=value, elapsed_seconds=elapsed)
 
 

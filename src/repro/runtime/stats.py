@@ -21,6 +21,11 @@ class GroupStats:
     dropped: int = 0
     executed_work: float = 0.0
     elapsed_seconds: float = 0.0
+    #: Wall-clock time of the whole barrier (scheduling + execution),
+    #: measured around ``executor.run``.  ``elapsed_seconds`` sums
+    #: per-task times, so on a parallel executor ``wall_seconds`` is the
+    #: smaller of the two; sequentially it is (slightly) larger.
+    wall_seconds: float = 0.0
 
     @property
     def accurate_ratio(self) -> float:

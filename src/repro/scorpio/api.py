@@ -31,6 +31,8 @@ from typing import Callable, Sequence
 from repro.ad.adouble import ADouble
 from repro.ad.tape import Tape
 from repro.intervals import Interval, as_interval
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 from .dyndfg import DynDFG
 from .report import SignificanceReport
@@ -39,6 +41,11 @@ from .simplify import simplify as _simplify
 from .variance import find_significance_variance
 
 __all__ = ["Analysis", "analyse_function"]
+
+_C_ANALYSES = _obs_metrics.counter("scorpio.analyses")
+_C_SIMPLIFY_REMOVED = _obs_metrics.counter("scorpio.simplify_removed")
+_C_SCANS = _obs_metrics.counter("scorpio.scans")
+_C_SCAN_LEVELS = _obs_metrics.counter("scorpio.scan_levels_visited")
 
 
 class AnalysisStateError(RuntimeError):
@@ -161,23 +168,47 @@ class Analysis:
                 simplify=simplify,
             )
             return self._analysed
-        if len(output_ids) == 1:
-            seeds = {
-                out.node.index: Interval(1.0) if out.interval_mode else 1.0
-                for out in self._outputs
-            }
-            self.tape.adjoint(seeds)
-            sig = significance_map(self.tape)
-        else:
-            # Vector function: one sweep with m adjoint components so
-            # S_y(uj) = Σ_i S_{y_i}(uj) (Section 2.3) without the signed
-            # cancellation a summed scalar seed would cause.
-            sig = significance_map_vector(self.tape, output_ids)
-        raw = DynDFG.from_tape(
-            self.tape, [o.node.index for o in self._outputs], sig
-        )
-        simplified = _simplify(raw) if simplify else raw
-        scan = find_significance_variance(simplified, delta=self.delta)
+        _C_ANALYSES.inc()
+        with _obs_span("scorpio.analyse") as span_:
+            span_.set(nodes=len(self.tape.nodes), backend="object")
+            if len(output_ids) == 1:
+                seeds = {
+                    out.node.index: (
+                        Interval(1.0) if out.interval_mode else 1.0
+                    )
+                    for out in self._outputs
+                }
+                self.tape.adjoint(seeds)
+                with _obs_span("scorpio.eq11"):
+                    sig = significance_map(self.tape)
+            else:
+                # Vector function: one sweep with m adjoint components so
+                # S_y(uj) = Σ_i S_{y_i}(uj) (Section 2.3) without the
+                # signed cancellation a summed scalar seed would cause.
+                with _obs_span("scorpio.eq11"):
+                    sig = significance_map_vector(self.tape, output_ids)
+            raw = DynDFG.from_tape(
+                self.tape, [o.node.index for o in self._outputs], sig
+            )
+            if simplify:
+                with _obs_span("scorpio.simplify") as sp:
+                    simplified = _simplify(raw)
+                    removed = len(raw.nodes) - len(simplified.nodes)
+                    _C_SIMPLIFY_REMOVED.inc(removed)
+                    sp.set(
+                        nodes=len(raw.nodes),
+                        removed=removed,
+                        backend="object",
+                    )
+            else:
+                simplified = raw
+            _C_SCANS.inc()
+            with _obs_span("scorpio.scan") as sp:
+                scan = find_significance_variance(
+                    simplified, delta=self.delta
+                )
+                _C_SCAN_LEVELS.inc(len(scan.variances))
+                sp.set(levels=len(scan.variances), found=scan.found_level)
         self._analysed = SignificanceReport(
             raw_graph=raw,
             simplified_graph=simplified,

@@ -37,6 +37,8 @@ from repro.ad.compiled import CompiledTape, _csr_gather
 from repro.ad.tape import Tape
 from repro.intervals import Interval
 from repro.intervals.rounding import rounding_enabled
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 from .dyndfg import DFGNode, DynDFG
 from .report import SignificanceReport
@@ -57,6 +59,11 @@ __all__ = [
 
 _NEG_INF = -np.inf
 _POS_INF = np.inf
+
+_C_ANALYSES = _obs_metrics.counter("scorpio.analyses")
+_C_SIMPLIFY_REMOVED = _obs_metrics.counter("scorpio.simplify_removed")
+_C_SCANS = _obs_metrics.counter("scorpio.scans")
+_C_SCAN_LEVELS = _obs_metrics.counter("scorpio.scan_levels_visited")
 
 
 # ----------------------------------------------------------------------
@@ -473,7 +480,11 @@ def _scan_and_assemble(
         scan_members = group_levels(
             {i: s_levels[i] for i in surv if i in s_levels}
         )
-    found, variances = scan_grouped(scan_members, sig_list, delta)
+    _C_SCANS.inc()
+    with _obs_span("scorpio.scan") as sp:
+        found, variances = scan_grouped(scan_members, sig_list, delta)
+        _C_SCAN_LEVELS.inc(len(variances))
+        sp.set(levels=len(variances), found=found)
     if found is None:
         scan_graph = simplified
     else:
@@ -556,12 +567,20 @@ class TraceStructure:
         self._raw_levels_memo: list[dict[int, int]] = []
         self._scan_members_memo: list[dict[int, list[int]]] = []
         if simplify:
-            self.surv, self.s_parents, self.s_merged = simplify_structure(
-                self.ops, self.raw_parents, output_ids
-            )
-            self.s_levels = levels_from_parents(
-                self.s_parents, n, output_ids
-            )
+            with _obs_span("scorpio.simplify") as sp:
+                self.surv, self.s_parents, self.s_merged = (
+                    simplify_structure(
+                        self.ops, self.raw_parents, output_ids
+                    )
+                )
+                removed = n - len(self.surv)
+                _C_SIMPLIFY_REMOVED.inc(removed)
+                sp.set(nodes=n, removed=removed, backend="compiled")
+            with _obs_span("scorpio.levels") as sp:
+                self.s_levels = levels_from_parents(
+                    self.s_parents, n, output_ids
+                )
+                sp.set(nodes=len(self.s_levels))
         else:
             self.surv = range(n)
             self.s_parents = self.raw_parents
@@ -617,6 +636,30 @@ def analyse_compiled_tape(
     ``report_to_json``) to the object pipeline run on an equivalent
     recording.
     """
+    _C_ANALYSES.inc()
+    with _obs_span("scorpio.analyse") as span_:
+        span_.set(nodes=ct.n, backend="compiled")
+        return _analyse_compiled_tape(
+            ct,
+            output_ids,
+            input_ids=input_ids,
+            intermediate_ids=intermediate_ids,
+            delta=delta,
+            simplify=simplify,
+            structure=structure,
+        )
+
+
+def _analyse_compiled_tape(
+    ct: CompiledTape,
+    output_ids: Sequence[int],
+    *,
+    input_ids: Sequence[int] = (),
+    intermediate_ids: Sequence[int] = (),
+    delta: float = 1e-6,
+    simplify: bool = True,
+    structure: TraceStructure | None = None,
+) -> SignificanceReport:
     output_ids = list(output_ids)
     if not output_ids:
         raise ValueError("analyse_compiled needs at least one output")
@@ -633,9 +676,11 @@ def analyse_compiled_tape(
 
     if len(output_ids) == 1:
         alo, ahi = ct.adjoint({output_ids[0]: 1.0})
-        sig = eq11_from_sweep(
-            value_lo, value_hi, alo, ahi, interval_mode=interval
-        )
+        with _obs_span("scorpio.eq11") as sp:
+            sig = eq11_from_sweep(
+                value_lo, value_hi, alo, ahi, interval_mode=interval
+            )
+            sp.set(nodes=n, outputs=1)
         if interval:
 
             def build_adjoints() -> list[Any]:
@@ -651,14 +696,16 @@ def analyse_compiled_tape(
 
     else:
         lo, hi = ct.adjoint_vector(output_ids)
-        sig = eq11_vector(
-            value_lo,
-            value_hi,
-            lo,
-            hi,
-            interval_mode=interval,
-            scratch=ct._scratch,
-        )
+        with _obs_span("scorpio.eq11") as sp:
+            sig = eq11_vector(
+                value_lo,
+                value_hi,
+                lo,
+                hi,
+                interval_mode=interval,
+                scratch=ct._scratch,
+            )
+            sp.set(nodes=n, outputs=len(output_ids))
 
         def build_adjoints() -> list[Any]:
             # significance_map_vector keeps the hull of the per-output

@@ -42,6 +42,8 @@ from repro.ad.compiled import CompiledTape
 from repro.ad.replay import GuardDivergenceError, ReplayError
 from repro.ad.tape import Tape
 from repro.intervals import Interval, as_interval
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 from .compiled import TraceStructure, analyse_compiled_tape, eq11_from_sweep
 from .report import SignificanceReport
@@ -54,6 +56,15 @@ __all__ = [
     "replay_enabled",
     "set_replay_default",
 ]
+
+
+# Process-wide totals (all caches), surfaced by ``repro profile``.  Each
+# cache also keeps its own Counter instances so ``stats()`` stays
+# per-instance — see TraceCache.__init__.
+_C_RECORDS = _obs_metrics.counter("trace_cache.records")
+_C_REPLAYS = _obs_metrics.counter("trace_cache.replays")
+_C_DIVERGENCES = _obs_metrics.counter("trace_cache.divergences")
+_C_VALIDATIONS = _obs_metrics.counter("trace_cache.validations")
 
 
 class TraceDivergenceError(RuntimeError):
@@ -286,15 +297,46 @@ class TraceCache:
     def __init__(self, *, validate: bool = False):
         self._traces: dict[Any, CachedTrace | None] = {}
         self.validate = validate
-        self.records = 0
-        self.replays = 0
-        self.divergences = 0
+        # Per-instance obs.metrics counters — stats() is a thin view over
+        # them; the module-level _C_* twins aggregate across every cache
+        # for the ``repro profile`` metrics table.
+        self._c_records = _obs_metrics.Counter("records")
+        self._c_replays = _obs_metrics.Counter("replays")
+        self._c_divergences = _obs_metrics.Counter("divergences")
+        self._c_validations = _obs_metrics.Counter("validations")
+
+    # Back-compat integer views (callers read cache.records directly).
+    @property
+    def records(self) -> int:
+        return int(self._c_records.get())
+
+    @property
+    def replays(self) -> int:
+        return int(self._c_replays.get())
+
+    @property
+    def divergences(self) -> int:
+        return int(self._c_divergences.get())
+
+    @property
+    def validations(self) -> int:
+        return int(self._c_validations.get())
 
     def stats(self) -> dict[str, int]:
+        """Per-cache counters as a plain dict.
+
+        The three recording causes are disjoint: ``records`` counts plain
+        cache misses (the first recording per key, plus every re-record
+        for kernels the structure guard rejected), ``divergences`` counts
+        guard-divergence fallback recordings, and ``validations`` counts
+        validate-mode re-recordings.  ``replays`` counts successful
+        replays; ``traces`` the live cached traces.
+        """
         return {
             "records": self.records,
             "replays": self.replays,
             "divergences": self.divergences,
+            "validations": self.validations,
             "traces": sum(1 for t in self._traces.values() if t is not None),
         }
 
@@ -307,18 +349,20 @@ class TraceCache:
         *,
         cache_it: bool,
     ) -> SignificanceReport:
-        self.records += 1
-        analysis = recorder(inputs)
-        if cache_it:
-            try:
-                trace = CachedTrace(analysis, simplify=simplify)
-            except ReplayError:
-                # Not a replayable trace; remember that and record forever.
-                self._traces[key] = None
-            else:
-                self._traces[key] = trace
-                return trace._analyse_current()
-        return analysis.analyse(simplify=simplify, compiled=True)
+        with _obs_span("trace_cache.record") as sp:
+            sp.set(key=repr(key), cache_it=cache_it)
+            analysis = recorder(inputs)
+            if cache_it:
+                try:
+                    trace = CachedTrace(analysis, simplify=simplify)
+                except ReplayError:
+                    # Not a replayable trace; remember that and record
+                    # forever.
+                    self._traces[key] = None
+                else:
+                    self._traces[key] = trace
+                    return trace._analyse_current()
+            return analysis.analyse(simplify=simplify, compiled=True)
 
     def analyse(
         self,
@@ -331,25 +375,37 @@ class TraceCache:
         """Record-or-replay analysis of one item (see class docstring)."""
         inputs = [as_interval(iv) for iv in inputs]
         if key not in self._traces:
+            self._c_records.inc()
+            _C_RECORDS.inc()
             return self._record(key, recorder, inputs, simplify, cache_it=True)
         trace = self._traces[key]
         if trace is None:
             # Structure guard rejected this kernel once; keep recording.
+            self._c_records.inc()
+            _C_RECORDS.inc()
             return self._record(
                 key, recorder, inputs, simplify, cache_it=False
             )
         if self.validate and not trace.validated:
+            self._c_validations.inc()
+            _C_VALIDATIONS.inc()
             self._validate(trace, recorder, inputs)
         try:
-            report = trace.analyse(inputs)
+            with _obs_span("trace_cache.replay") as sp:
+                sp.set(key=repr(key))
+                report = trace.analyse(inputs)
         except GuardDivergenceError:
             # These inputs take another branch; analyse them the slow way
-            # but keep the cached trace for inputs that don't.
-            self.divergences += 1
+            # but keep the cached trace for inputs that don't.  Counted as
+            # a divergence, NOT as a record: stats() keeps the fallback
+            # causes apart.
+            self._c_divergences.inc()
+            _C_DIVERGENCES.inc()
             return self._record(
                 key, recorder, inputs, simplify, cache_it=False
             )
-        self.replays += 1
+        self._c_replays.inc()
+        _C_REPLAYS.inc()
         return report
 
     def _validate(

@@ -1,0 +1,148 @@
+"""Metrics registry (:mod:`repro.obs.metrics`): instruments + exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    registry,
+    reset_metrics,
+    snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5.0
+        c.reset()
+        assert c.get() == 0.0
+        assert c.describe() == {"type": "counter", "value": 0.0}
+
+    def test_gauge(self):
+        g = Gauge("level")
+        g.set(3.5)
+        g.inc()
+        g.dec(0.5)
+        assert g.get() == 4.0
+        assert g.describe()["type"] == "gauge"
+
+    def test_histogram(self):
+        h = Histogram("sizes")
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        d = h.describe()
+        assert d == {
+            "type": "histogram",
+            "count": 3,
+            "sum": 12.0,
+            "min": 1.0,
+            "max": 7.0,
+            "mean": 4.0,
+        }
+
+    def test_empty_histogram_describe(self):
+        d = Histogram("empty").describe()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+        assert d["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a.b")
+        assert reg.counter("a.b") is a
+        assert "a.b" in reg
+        assert reg.get("nope") is None
+        assert reg.value("a.b") == 0.0
+        assert reg.value("nope", default=-1.0) == -1.0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(2)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("sizes").observe(10.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)  # names sorted
+        parsed = json.loads(reg.to_json())
+        assert parsed == {"metrics": snap}
+
+    def test_reset_keeps_instrument_objects(self):
+        reg = MetricsRegistry()
+        c = reg.counter("kept")
+        c.inc(3)
+        reg.reset()
+        assert reg.counter("kept") is c
+        assert c.get() == 0.0
+        reg.reset(drop=True)
+        assert "kept" not in reg
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(3)
+        reg.gauge("pool.size").set(2.5)
+        h = reg.histogram("tape.nodes")
+        h.observe(100.0)
+        h.observe(300.0)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE repro_cache_hits_total counter" in lines
+        assert "repro_cache_hits_total 3" in lines
+        assert "repro_pool_size 2.5" in lines
+        assert "# TYPE repro_tape_nodes summary" in lines
+        assert "repro_tape_nodes_count 2" in lines
+        assert "repro_tape_nodes_sum 400" in lines
+        assert "repro_tape_nodes_min 100" in lines
+        assert "repro_tape_nodes_max 300" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_empty_histogram_and_inf(self):
+        reg = MetricsRegistry()
+        reg.histogram("never")  # count 0: no min/max lines
+        reg.gauge("inf").set(math.inf)
+        text = reg.to_prometheus()
+        assert "repro_never_count 0" in text
+        assert "repro_never_min" not in text
+        assert "repro_inf +Inf" in text
+
+    def test_prometheus_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.counter("weird name-with.dots").inc()
+        assert "repro_weird_name_with_dots_total 1" in reg.to_prometheus()
+
+
+class TestGlobalRegistry:
+    def test_module_helpers_hit_the_global_registry(self):
+        name = "test_metrics.global_probe"
+        c = counter(name)
+        before = c.get()
+        c.inc()
+        assert registry().value(name) == before + 1
+        assert name in snapshot()
+
+    def test_reset_metrics_preserves_module_level_references(self):
+        # Pipeline modules capture counters at import; reset must zero,
+        # not orphan, them — or stats views would silently go stale.
+        name = "test_metrics.reset_probe"
+        c = counter(name)
+        c.inc(7)
+        reset_metrics()
+        assert c.get() == 0.0
+        assert counter(name) is c
+        c.inc()
+        assert registry().value(name) == 1.0

@@ -1,0 +1,159 @@
+"""End-to-end observability of the analysis pipeline and runtime.
+
+Drives :func:`analyse_dct_block` through a :class:`TraceCache` with
+tracing enabled and checks (a) the span tree names the pipeline stages,
+(b) the always-on counters tell the record/replay story, and (c)
+``GroupStats.wall_seconds`` measures the barrier, not the task sum.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.images import natural_image
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.profile import format_metrics_table, format_span_tree
+from repro.runtime import SequentialExecutor, TaskRuntime, ThreadedExecutor
+from repro.scorpio import TraceCache
+
+
+@pytest.fixture
+def tracing():
+    previous = trace.set_enabled(True)
+    trace.clear()
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+def _counter_values(names):
+    reg = obs_metrics.registry()
+    return {name: reg.value(name) for name in names}
+
+
+class TestPipelineSpans:
+    COUNTERS = (
+        "trace_cache.records",
+        "trace_cache.replays",
+        "trace_cache.divergences",
+        "tape.recordings",
+        "ad.compiles",
+        "replay.forwards",
+        "scorpio.analyses",
+        "scorpio.scans",
+    )
+
+    def test_dct_cache_span_tree_and_counters(self, tracing):
+        from repro.kernels.dct.analysis import analyse_dct_block
+
+        before = _counter_values(self.COUNTERS)
+        cache = TraceCache()
+        rng = np.random.default_rng(11)
+        blocks = [rng.uniform(0.0, 255.0, (8, 8)) for _ in range(3)]
+        maps = [analyse_dct_block(b, cache=cache) for b in blocks]
+        assert all(m.shape == (8, 8) for m in maps)
+
+        # Counter story: one record, two replays, no divergences.
+        assert cache.stats() == {
+            "records": 1,
+            "replays": 2,
+            "divergences": 0,
+            "validations": 0,
+            "traces": 1,
+        }
+        after = _counter_values(self.COUNTERS)
+        delta = {k: after[k] - before[k] for k in self.COUNTERS}
+        assert delta["trace_cache.records"] == 1
+        assert delta["trace_cache.replays"] == 2
+        assert delta["trace_cache.divergences"] == 0
+        assert delta["tape.recordings"] == 1  # recorded exactly once
+        assert delta["ad.compiles"] == 1
+        assert delta["replay.forwards"] == 2
+        assert delta["scorpio.analyses"] == 3  # every block analysed
+        assert delta["scorpio.scans"] == 3
+
+        # Span story: the roots and their pipeline children.
+        roots = trace.spans()
+        names = [r.name for r in roots]
+        assert names.count("trace_cache.record") == 1
+        assert names.count("trace_cache.replay") == 2
+        all_names = {s.name for r in roots for s in r.walk()}
+        for expected in (
+            "ad.compile",
+            "ad.forward",
+            "ad.sweep",
+            "scorpio.analyse",
+            "scorpio.eq11",
+            "scorpio.scan",
+        ):
+            assert expected in all_names, f"missing span {expected}"
+        replay_root = next(
+            r for r in roots if r.name == "trace_cache.replay"
+        )
+        child_names = {s.name for s in replay_root.walk()}
+        assert "ad.forward" in child_names
+        assert "scorpio.analyse" in child_names
+
+        # The rendered views mention the stages and the cache counters.
+        tree_text = format_span_tree(roots)
+        assert "trace_cache.replay" in tree_text
+        table_text = format_metrics_table()
+        assert "trace_cache.replays" in table_text
+
+    def test_runtime_spans_and_mode_counters(self, tracing):
+        reg = obs_metrics.registry()
+        names = (
+            "runtime.tasks_submitted",
+            "runtime.taskwaits",
+            "runtime.tasks_accurate",
+            "runtime.tasks_dropped",
+        )
+        before = {n: reg.value(n) for n in names}
+        rt = TaskRuntime()
+        for i in range(4):
+            rt.submit(
+                lambda v: v * 2,
+                args=(i,),
+                significance=1.0 - i / 10,
+                label="g",
+            )
+        group = rt.taskwait("g", ratio=0.5)
+        after = {n: reg.value(n) for n in names}
+        assert after["runtime.tasks_submitted"] - before[
+            "runtime.tasks_submitted"
+        ] == 4
+        assert after["runtime.taskwaits"] - before["runtime.taskwaits"] == 1
+        assert after["runtime.tasks_accurate"] - before[
+            "runtime.tasks_accurate"
+        ] == group.stats.accurate
+        assert after["runtime.tasks_dropped"] - before[
+            "runtime.tasks_dropped"
+        ] == group.stats.dropped
+        roots = trace.spans()
+        wait = next(r for r in roots if r.name == "runtime.taskwait")
+        assert wait.attrs["label"] == "g"
+        assert wait.attrs["tasks"] == 4
+        # Sequential executor: task spans nest under the barrier span.
+        assert {c.name for c in wait.children} == {"runtime.task"}
+
+
+class TestWallSeconds:
+    def test_sequential_wall_at_least_task_sum(self):
+        rt = TaskRuntime(executor=SequentialExecutor())
+        for _ in range(3):
+            rt.submit(time.sleep, args=(0.02,), label="s")
+        stats = rt.taskwait("s").stats
+        assert stats.wall_seconds >= stats.elapsed_seconds
+
+    def test_threaded_wall_below_task_sum(self):
+        rt = TaskRuntime(executor=ThreadedExecutor(max_workers=4))
+        for _ in range(4):
+            rt.submit(time.sleep, args=(0.05,), label="p")
+        stats = rt.taskwait("p").stats
+        assert stats.total == 4
+        assert stats.elapsed_seconds >= 0.2  # four sleeps, summed
+        # Four 50ms sleeps on four workers: the barrier itself should
+        # take well under the 200ms serial sum even on a loaded machine.
+        assert stats.wall_seconds < 0.8 * stats.elapsed_seconds

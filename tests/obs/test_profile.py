@@ -1,0 +1,104 @@
+"""Profile rendering / dumping (:mod:`repro.obs.profile`) and the CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import profile as obs_profile
+from repro.obs import trace
+
+
+@pytest.fixture
+def tracing():
+    previous = trace.set_enabled(True)
+    trace.clear()
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+def _sample_forest():
+    for _ in range(3):
+        with trace.span("outer") as sp:
+            sp.set(nodes=8)
+            with trace.span("inner"):
+                pass
+    return trace.spans()
+
+
+class TestRendering:
+    def test_aggregate_folds_same_named_spans(self, tracing):
+        roots = _sample_forest()
+        aggs = obs_profile.aggregate_spans(roots)
+        assert list(aggs) == ["outer"]
+        outer = aggs["outer"]
+        assert outer.count == 3
+        assert outer.children["inner"].count == 3
+        assert outer.total >= outer.children["inner"].total
+
+    def test_format_span_tree(self, tracing):
+        text = obs_profile.format_span_tree(_sample_forest())
+        lines = text.splitlines()
+        assert lines[0].split() == ["span", "calls", "total", "ms", "self", "ms"]
+        assert any(line.startswith("outer") and " 3 " in line for line in lines)
+        assert any(line.strip().startswith("inner") for line in lines)
+
+    def test_format_span_tree_empty(self):
+        assert "no spans recorded" in obs_profile.format_span_tree([])
+
+    def test_format_profile_has_both_sections(self, tracing):
+        _sample_forest()
+        text = obs_profile.format_profile()
+        assert "== span tree" in text
+        assert "== metrics" in text
+
+    def test_dump_profile_writes_json_and_prom(self, tracing, tmp_path):
+        _sample_forest()
+        json_path, prom_path = obs_profile.dump_profile(tmp_path / "out")
+        data = json.loads(json_path.read_text())
+        assert set(data) == {"spans", "aggregated", "metrics"}
+        assert data["spans"][0]["name"] == "outer"
+        assert data["spans"][0]["attrs"] == {"nodes": 8}
+        assert data["aggregated"][0]["count"] == 3
+        assert prom_path.read_text().startswith("# TYPE repro_")
+
+
+class TestCli:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "prof"
+        assert main(["profile", "figure3", "--out-dir", str(out_dir)]) == 0
+        printed = capsys.readouterr().out
+        assert "profiled: figure3" in printed
+        assert "== span tree" in printed
+        assert "scorpio.analyse" in printed
+        assert "scorpio.simplify" in printed
+        assert "scorpio.scan" in printed
+        assert (out_dir / "obs.json").exists()
+        assert (out_dir / "metrics.prom").exists()
+        # Tracing is switched back off after the command.
+        assert trace.enabled() is False
+
+    def test_profile_flag_appends_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "figure4",
+                "--size",
+                "16",
+                "--samples",
+                "2",
+                "--profile",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Figure 4" in printed
+        assert "== span tree" in printed
+        assert "trace_cache.replays" in printed
+        assert (tmp_path / "obs.json").exists()
+        assert (tmp_path / "metrics.prom").exists()
+        assert trace.enabled() is False

@@ -1,0 +1,138 @@
+"""Span recording (:mod:`repro.obs.trace`): nesting, attrs, the ring."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture
+def tracing():
+    """Enable tracing with a clean ring; restore everything after."""
+    previous = trace.set_enabled(True)
+    trace.clear()
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+class TestSpanBasics:
+    def test_disabled_by_default_and_null(self):
+        assert trace.enabled() is False
+        before = trace.spans()
+        sp = trace.span("anything", ignored=1)
+        with sp as inner:
+            assert inner is sp
+        # The disabled path hands back one shared object: no allocation.
+        assert trace.span("a") is trace.span("b")
+        assert sp.set(x=1) is sp
+        assert trace.spans() == before
+
+    def test_records_wall_time_and_attrs(self, tracing):
+        with trace.span("stage", nodes=3) as sp:
+            sp.set(extra="yes")
+        assert sp.elapsed_seconds is not None
+        assert sp.elapsed_seconds >= 0.0
+        assert sp.attrs == {"nodes": 3, "extra": "yes"}
+        roots = trace.spans()
+        assert [r.name for r in roots] == ["stage"]
+
+    def test_nesting_builds_a_tree(self, tracing):
+        with trace.span("outer"):
+            with trace.span("mid"):
+                with trace.span("leaf_a"):
+                    pass
+                with trace.span("leaf_b"):
+                    pass
+            with trace.span("mid2"):
+                pass
+        (root,) = trace.spans()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["mid", "mid2"]
+        assert [c.name for c in root.children[0].children] == [
+            "leaf_a",
+            "leaf_b",
+        ]
+        assert [s.name for s in root.walk()] == [
+            "outer",
+            "mid",
+            "leaf_a",
+            "leaf_b",
+            "mid2",
+        ]
+
+    def test_self_seconds_excludes_children(self, tracing):
+        with trace.span("outer") as outer:
+            with trace.span("inner"):
+                pass
+        inner = outer.children[0]
+        assert outer.self_seconds == pytest.approx(
+            outer.elapsed_seconds - inner.elapsed_seconds
+        )
+
+    def test_exception_unwind_closes_spans(self, tracing):
+        with pytest.raises(ValueError):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    raise ValueError("boom")
+        (root,) = trace.spans()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert all(s.elapsed_seconds is not None for s in root.walk())
+
+    def test_traced_decorator(self, tracing):
+        @trace.traced("my.stage")
+        def work(a, b=1):
+            return a + b
+
+        assert work(2, b=3) == 5
+        assert [s.name for s in trace.spans()] == ["my.stage"]
+        trace.disable()
+        trace.clear()
+        assert work(1) == 2  # runs untraced without a span
+        assert trace.spans() == []
+
+    def test_thread_local_stacks(self, tracing):
+        def worker():
+            with trace.span("worker"):
+                pass
+
+        with trace.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        names = sorted(s.name for s in trace.spans())
+        # The worker span roots on its own thread, not under "main".
+        assert names == ["main", "worker"]
+        main = next(s for s in trace.spans() if s.name == "main")
+        assert main.children == []
+
+
+class TestRing:
+    def test_eviction_keeps_newest(self, tracing):
+        original = trace.ring_capacity()
+        try:
+            trace.set_ring_capacity(4)
+            for i in range(10):
+                with trace.span(f"s{i}"):
+                    pass
+            assert [s.name for s in trace.spans()] == [
+                "s6",
+                "s7",
+                "s8",
+                "s9",
+            ]
+        finally:
+            trace.set_ring_capacity(original)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            trace.set_ring_capacity(0)
+
+    def test_clear(self, tracing):
+        with trace.span("x"):
+            pass
+        assert trace.spans()
+        trace.clear()
+        assert trace.spans() == []

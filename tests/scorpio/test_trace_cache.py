@@ -129,6 +129,7 @@ class TestTraceCache:
             "records": 1,
             "replays": 2,
             "divergences": 0,
+            "validations": 0,
             "traces": 1,
         }
         for ivs, rep in zip(ivs_list, reports):
@@ -152,8 +153,10 @@ class TestTraceCache:
             _direct(_record_branchy, flipped)
         )
         stats = cache.stats()
+        # The fallback recording counts as a divergence, not a record:
+        # the causes are disjoint in stats().
         assert stats["divergences"] == 1
-        assert stats["records"] == 2
+        assert stats["records"] == 1
         # The cached trace survives for inputs on the recorded branch.
         rep = cache.analyse(("br",), _record_branchy, _ivs(0.5, 2.0))
         assert cache.stats()["replays"] == 1
@@ -175,6 +178,7 @@ class TestTraceCache:
             "records": 3,
             "replays": 0,
             "divergences": 0,
+            "validations": 0,
             "traces": 0,
         }
 
@@ -186,6 +190,10 @@ class TestTraceCache:
             _direct(_record_poly, _ivs(0.4, 0.8))
         )
         assert cache.stats()["replays"] == 1
+        # The validate-mode re-record is counted on its own, apart from
+        # plain misses and divergence fallbacks.
+        assert cache.stats()["validations"] == 1
+        assert cache.stats()["records"] == 1
 
     def test_validate_catches_unguarded_control_flow(self):
         calls = {"n": 0}
