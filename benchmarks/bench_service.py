@@ -1,0 +1,109 @@
+"""Service throughput/latency: warm-cache ``POST /analyse`` under load.
+
+Starts the significance service in-process (:class:`ServiceThread`), warms
+one kernel trace, then drives it with several concurrent stdlib clients —
+the deployment shape the serving layer is built for: record once, then
+absorb a stream of identical-shape requests as vectorized replays off the
+event loop.  Records the headline ``service.req_per_sec`` and
+``service.p99_ms`` to ``BENCH_core.json`` via :mod:`record`.
+"""
+
+import threading
+import time
+
+import numpy as np
+from record import record_value
+
+from repro.serve import ServiceThread
+
+KERNEL = "sobel"
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 25
+
+
+def _drive(service, n_clients: int, per_client: int):
+    """Concurrent warm-path requests; returns per-request seconds."""
+    barrier = threading.Barrier(n_clients)
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        try:
+            with service.client() as client:
+                barrier.wait()
+                local = []
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    client.analyse_raw(KERNEL)
+                    local.append(time.perf_counter() - t0)
+            with lock:
+                latencies.extend(local)
+        except BaseException as exc:
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    assert not errors, errors
+    return wall, latencies
+
+
+def test_service_throughput(benchmark):
+    """Warm /analyse sustains a multi-client request stream from replays."""
+    with ServiceThread() as service:
+        # Warm: the first request records the trace; everything after is
+        # a cached replay (the steady state being measured).
+        with service.client() as client:
+            _, outcome = client.analyse_raw(KERNEL)
+            assert outcome == "record"
+            _, outcome = client.analyse_raw(KERNEL)
+            assert outcome == "replay"
+
+        wall, latencies = _drive(service, CLIENTS, REQUESTS_PER_CLIENT)
+
+        total = CLIENTS * REQUESTS_PER_CLIENT
+        stats = service.service.caches[KERNEL].stats()
+        # Everything measured must have come from the cache.
+        assert stats["records"] == 1
+        assert stats["replays"] >= total
+        assert len(latencies) == total
+
+        # One warm request through pytest-benchmark for its own report.
+        with service.client() as client:
+            benchmark.pedantic(
+                client.analyse_raw, args=(KERNEL,), rounds=5, iterations=1
+            )
+
+    req_per_sec = total / wall
+    p99_ms = float(np.percentile(np.array(latencies), 99.0)) * 1e3
+    p50_ms = float(np.percentile(np.array(latencies), 50.0)) * 1e3
+
+    benchmark.extra_info["req_per_sec"] = round(req_per_sec, 1)
+    benchmark.extra_info["p50_ms"] = round(p50_ms, 2)
+    benchmark.extra_info["p99_ms"] = round(p99_ms, 2)
+    record_value(
+        "service.req_per_sec",
+        req_per_sec,
+        unit="req/s",
+        clients=CLIENTS,
+        requests=total,
+        kernel=KERNEL,
+    )
+    record_value(
+        "service.p99_ms",
+        p99_ms,
+        unit="ms",
+        clients=CLIENTS,
+        requests=total,
+        kernel=KERNEL,
+    )
+
+    # Sanity floor, far below any real machine: the service must not be
+    # re-recording per request (~100x slower than replay for sobel).
+    assert req_per_sec > 5.0, f"only {req_per_sec:.1f} req/s served warm"

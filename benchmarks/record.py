@@ -14,9 +14,10 @@ and compared against a committed baseline in CI::
     python benchmarks/record.py --compare benchmarks/BENCH_baseline.json \
         --tolerance 2.0
 
-The comparison is directional per unit: ``seconds`` entries fail when the
-current value is more than ``tolerance`` times *slower* than baseline;
-``x`` (speedup) entries fail when more than ``tolerance`` times *smaller*.
+The comparison is directional per unit: ``seconds`` and ``ms`` entries
+fail when the current value is more than ``tolerance`` times *slower*
+than baseline; ``x`` (speedup) and ``req/s`` (throughput) entries fail
+when more than ``tolerance`` times *smaller*.
 Entries present on only one side are reported but never fail the run, so
 adding a new benchmark doesn't require touching the baseline first.
 """
@@ -100,9 +101,15 @@ def compare(
         if unit == "seconds":
             ok = cur <= base * tolerance
             verdict = f"{cur:.4f}s vs baseline {base:.4f}s"
+        elif unit == "ms":
+            ok = cur <= base * tolerance
+            verdict = f"{cur:.2f}ms vs baseline {base:.2f}ms"
         elif unit == "x":
             ok = cur >= base / tolerance
             verdict = f"{cur:.2f}x vs baseline {base:.2f}x"
+        elif unit == "req/s":
+            ok = cur >= base / tolerance
+            verdict = f"{cur:.1f} req/s vs baseline {base:.1f} req/s"
         else:
             continue
         status = "ok" if ok else "REGRESSION"

@@ -1,16 +1,24 @@
 #!/usr/bin/env python
-"""Approximate option-risk engine (the paper's BlackScholes scenario).
+"""Approximate option-risk engine — first tenant of the analysis service.
 
 A derivatives desk reprices a large portfolio continuously; most of the
 book only needs indicative prices, but the largest positions need full
-precision.  This example:
+precision.  Instead of linking the analysis framework into the pricing
+process, this tenant asks the significance service
+(:mod:`repro.serve`, spawned in-process so the example runs offline):
 
-1. runs the block significance analysis (A = d1 dominates);
-2. prices a portfolio at several accuracy ratios, showing the
-   price-error / energy trade-off;
-3. demonstrates *selective* precision: pinning the top decile of
-   positions (by notional) to significance 1.0 so they are always priced
-   accurately regardless of the ratio knob.
+1. ``POST /analyse`` for the BlackScholes block significances
+   (A = d1 dominates) — the first call records the pricing trace, every
+   later call is a cached replay;
+2. ``POST /advise`` for which math calls are safe to swap for their
+   fastapprox versions;
+3. ``POST /tune`` for the cheapest ``taskwait(ratio=...)`` that holds the
+   desk's price-error tolerance;
+
+then prices the portfolio locally at the recommended ratio, and
+demonstrates *selective* precision: pinning the top decile of positions
+(by notional) to significance 1.0 so they are always priced accurately
+regardless of the knob.
 
 Run:  python examples/risk_engine.py [--count 8192]
 """
@@ -20,7 +28,6 @@ import argparse
 import numpy as np
 
 from repro.kernels.blackscholes import (
-    analyse_blackscholes,
     blackscholes_significance,
     make_portfolio,
     price_portfolio,
@@ -36,19 +43,64 @@ from repro.kernels.blackscholes.sequential import (
 )
 from repro.metrics import aggregate_relative_error
 from repro.runtime import TaskRuntime
+from repro.serve import ServiceThread
+
+BLOCKS = "ABCD"
+
+
+def block_significances_from_report(report: dict) -> dict[str, float]:
+    """Max-normalised A-D block significances out of a served report."""
+    labelled = report["labelled_significances"]
+    peak = max(labelled[name] for name in BLOCKS)
+    return {
+        name: labelled[name] / peak if peak > 0 else 0.0 for name in BLOCKS
+    }
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--count", type=int, default=8192)
+    parser.add_argument(
+        "--error-tolerance",
+        type=float,
+        default=0.002,
+        help="acceptable aggregate relative price error for the book",
+    )
     args = parser.parse_args()
 
-    analysis = analyse_blackscholes(samples=12)
-    print("block significances (normalised):")
-    for name in "ABCD":
-        print(f"  {name}: {analysis.block_significance[name]:.3f}")
-    print(f"ranking: {' > '.join(analysis.ranking())}\n")
+    with ServiceThread() as service:
+        client = service.client()
 
+        # 1. Significance analysis, served.  Repeating the call shows the
+        # record-once/replay-many serving core at work.
+        report = client.analyse("blackscholes")
+        _, outcome = client.analyse_raw("blackscholes")
+        sig = block_significances_from_report(report)
+        print("block significances (normalised, served):")
+        for name in BLOCKS:
+            print(f"  {name}: {sig[name]:.3f}")
+        ranking = sorted(BLOCKS, key=lambda n: sig[n], reverse=True)
+        print(f"ranking: {' > '.join(ranking)}")
+        print(f"repeat request served by: {outcome}\n")
+
+        # 2. Which math calls tolerate fastapprox substitutes?
+        advice = client.advise("blackscholes", threshold=0.25)
+        print(advice["advice"])
+
+        # 3. The cheapest ratio holding the desk's error tolerance.
+        tuned = client.tune(
+            "blackscholes",
+            target_quality=args.error_tolerance,
+            size=min(args.count, 1024),
+        )
+        ratio = tuned["taskwait"]["ratio"]
+        print(
+            f"\ntuned taskwait(ratio={ratio:.4f}) for rel. error <= "
+            f"{args.error_tolerance:.4%} "
+            f"(measured {tuned['quality']:.4%}, {len(tuned['probes'])} probes)"
+        )
+
+    # --- Local pricing at the served recommendation -------------------
     portfolio = make_portfolio(count=args.count)
     reference = price_portfolio(
         portfolio.spots,
@@ -59,11 +111,12 @@ def main() -> None:
         portfolio.puts,
     )
 
-    print(f"{'ratio':>6} {'rel error':>11} {'energy':>9}")
-    for ratio in (0.0, 0.25, 0.5, 0.75, 1.0):
-        run = blackscholes_significance(portfolio, ratio)
-        err = aggregate_relative_error(reference, run.output)
-        print(f"{ratio:>6.2f} {err * 100:>10.4f}% {run.joules:>7.1f} J")
+    run = blackscholes_significance(portfolio, ratio)
+    err = aggregate_relative_error(reference, run.output)
+    print(
+        f"\nbook at served ratio {ratio:.4f}: rel error {err * 100:.4f}%  "
+        f"energy {run.joules:.1f} J"
+    )
 
     # Selective precision: big positions always accurate.
     chunk = 128

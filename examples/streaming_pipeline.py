@@ -1,23 +1,31 @@
 #!/usr/bin/env python
-"""Energy-constrained streaming: closed-loop ratio control on video frames.
+"""Energy-constrained streaming — second tenant of the analysis service.
 
 The paper's motivating scenario (video analytics under a power envelope):
 a Sobel edge-detection stage must process a stream of frames without
-exceeding a per-frame energy budget.  A :class:`RatioController` adjusts
-the ``taskwait`` ratio from measured energy, frame by frame, trading
-quality for energy only as much as the budget requires.
+exceeding a per-frame energy budget.  The pipeline is a tenant of the
+significance service (:mod:`repro.serve`, spawned in-process so the
+example runs offline):
+
+* before streaming, it asks ``POST /tune`` with its energy budget for
+  the best starting ``taskwait(ratio=...)`` — no cold-start
+  over/undershoot while the controller finds the operating point;
+* a :class:`RatioController` then adjusts the ratio frame by frame from
+  measured energy, trading quality for energy only as much as the budget
+  requires;
+* after the run it scrapes ``GET /metrics`` to show what the service
+  observed (request counts, cache hits, per-endpoint latency).
 
 Run:  python examples/streaming_pipeline.py [--frames 12] [--budget-frac 0.75]
 """
 
 import argparse
 
-import numpy as np
-
 from repro.images import natural_image
 from repro.kernels.sobel import sobel_reference, sobel_significance
 from repro.metrics import psnr
 from repro.runtime import RatioController
+from repro.serve import ServiceThread
 
 
 def make_stream(size: int, frames: int):
@@ -42,25 +50,57 @@ def main() -> None:
     frames = list(make_stream(args.size, args.frames))
     full_cost = sobel_significance(frames[0], 1.0).joules
     budget = args.budget_frac * full_cost
-    controller = RatioController(energy_budget=budget, gain=0.5)
 
-    print(
-        f"streaming {args.frames} frames of {args.size}x{args.size}; "
-        f"budget {budget:.1f} J/frame (accurate cost {full_cost:.1f} J)"
-    )
-    print(f"{'frame':>5} {'ratio':>7} {'energy':>9} {'PSNR':>8}")
-    for t, frame in enumerate(frames):
-        ratio = controller.ratio
-        run = sobel_significance(frame, ratio)
-        controller.observe(run.joules)
-        quality = min(psnr(sobel_reference(frame), run.output), 99.0)
-        print(f"{t:>5} {ratio:>7.3f} {run.joules:>7.1f} J {quality:>6.1f} dB")
+    # Ask the service for the best starting knob under our budget (the
+    # tuner's probe workload scales with the frame size, so energy per
+    # frame is comparable).
+    with ServiceThread() as service:
+        client = service.client()
+        tuned = client.tune(
+            "sobel", energy_budget=budget, size=args.size
+        )
+        start_ratio = tuned["taskwait"]["ratio"]
+        print(
+            f"service tuned start ratio {start_ratio:.3f} for budget "
+            f"{budget:.1f} J/frame ({len(tuned['probes'])} probes, "
+            f"quality {tuned['quality']:.1f} dB)"
+        )
 
-    print(
-        f"\nmean energy over the last 4 frames: "
-        f"{controller.mean_energy(last=4):.1f} J "
-        f"({'settled' if controller.settled else 'still adapting'})"
-    )
+        controller = RatioController(
+            energy_budget=budget, gain=0.5, initial_ratio=start_ratio
+        )
+
+        print(
+            f"streaming {args.frames} frames of {args.size}x{args.size}; "
+            f"budget {budget:.1f} J/frame (accurate cost {full_cost:.1f} J)"
+        )
+        print(f"{'frame':>5} {'ratio':>7} {'energy':>9} {'PSNR':>8}")
+        for t, frame in enumerate(frames):
+            ratio = controller.ratio
+            run = sobel_significance(frame, ratio)
+            controller.observe(run.joules)
+            quality = min(psnr(sobel_reference(frame), run.output), 99.0)
+            print(
+                f"{t:>5} {ratio:>7.3f} {run.joules:>7.1f} J {quality:>6.1f} dB"
+            )
+
+        print(
+            f"\nmean energy over the last 4 frames: "
+            f"{controller.mean_energy(last=4):.1f} J "
+            f"({'settled' if controller.settled else 'still adapting'})"
+        )
+
+        # What did the service see?
+        exposition = client.metrics()
+        interesting = (
+            "repro_serve_requests_total",
+            "repro_serve_latency_ms_tune_count",
+            "repro_trace_cache_replays_total",
+        )
+        print("\nservice metrics:")
+        for line in exposition.splitlines():
+            if line.startswith(interesting):
+                print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,8 @@ Subpackages:
 * :mod:`repro.experiments` — drivers regenerating every table and figure.
 * :mod:`repro.obs`       — structured tracing, metrics and profiling
   hooks across the pipeline (``repro profile``).
+* :mod:`repro.serve`     — significance-analysis-as-a-service: asyncio
+  HTTP/JSON server over the trace cache (``repro serve``).
 """
 
 __version__ = "1.0.0"
@@ -34,4 +36,5 @@ __all__ = [
     "kernels",
     "experiments",
     "obs",
+    "serve",
 ]

@@ -12,7 +12,10 @@ actions:
   autotuner on an image benchmark;
 * ``profile EXPERIMENT`` — run an experiment with :mod:`repro.obs`
   tracing on and print the span tree + metrics table (also available as
-  ``--profile [DIR]`` on the heavier commands).
+  ``--profile [DIR]`` on the heavier commands);
+* ``serve [--host H] [--port P]`` — run the significance-analysis
+  service (:mod:`repro.serve`): analyse / advise / tune over HTTP/JSON
+  with Prometheus metrics at ``/metrics``.
 """
 
 from __future__ import annotations
@@ -115,6 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--benchmark", choices=["sobel", "dct"], default="dct")
     pt.add_argument("--target-psnr", type=float, default=35.0)
     pt.add_argument("--size", type=int, default=128)
+
+    ps = sub.add_parser(
+        "serve", help="run the significance-analysis HTTP service"
+    )
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8077)
+    ps.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="analysis thread-pool size (cold recordings and /tune runs)",
+    )
+    ps.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a request head/body before 408",
+    )
+    ps.add_argument(
+        "--validate",
+        action="store_true",
+        help="re-record the first replayed request per kernel and assert "
+        "the trace is identical (TraceCache validate mode)",
+    )
 
     pp = sub.add_parser(
         "profile",
@@ -256,6 +283,40 @@ def _cmd_tune(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.serve import ServiceConfig, SignificanceService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        validate=args.validate,
+    )
+    service = SignificanceService(config=config)
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"({len(service.registry)} kernels: "
+            f"{', '.join(sorted(service.registry))})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return "repro serve stopped"
+
+
 def _run_profile_target(experiment: str) -> None:
     """Dispatch one experiment under tracing (reduced workloads)."""
     fast_flags = {"figure7": ["--fast"], "headline": ["--fast"]}
@@ -307,6 +368,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "tune": _cmd_tune,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
 }
 
 

@@ -31,11 +31,22 @@ The module-level replay default (:func:`replay_enabled` /
 :func:`set_replay_default`) lets the CLI's ``--replay/--no-replay`` flag
 steer every kernel analysis loop without threading a flag through each
 call site.
+
+Concurrency: a :class:`TraceCache` is safe to share between threads
+(:mod:`repro.serve` hits one cache per kernel from a thread pool).  A
+per-key record lock serialises cold recording so two requests for the
+same cold kernel cannot race a half-built trace — the loser of the race
+waits, then replays.  Replay mutates the frozen trace's value arrays in
+place, so each :class:`CachedTrace` carries its own lock; the warm path
+costs one dict lookup and one uncontended lock acquisition on top of the
+replay itself.  The stats counters are guarded by a single cache-wide
+mutex.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Any, Callable, Sequence
 
 from repro.ad.compiled import CompiledTape
@@ -77,6 +88,11 @@ class TraceDivergenceError(RuntimeError):
     compared (Python-level control flow on untaped data).  Such kernels
     must not be replayed.
     """
+
+
+# Sentinel distinguishing "never seen this key" from "seen and rejected"
+# (None) in the trace map.
+_MISSING: Any = object()
 
 
 # ----------------------------------------------------------------------
@@ -139,6 +155,7 @@ class CachedTrace:
         "op_hash",
         "validated",
         "replays",
+        "lock",
     )
 
     def __init__(self, analysis: Any, *, simplify: bool = True):
@@ -167,6 +184,9 @@ class CachedTrace:
         self.op_hash = op_sequence_hash(tape)
         self.validated = False
         self.replays = 0
+        # Replay writes into self.ct's value arrays in place; concurrent
+        # users of one trace must hold this while forwarding/analysing.
+        self.lock = threading.Lock()
 
     def _analyse_current(self) -> SignificanceReport:
         """Analyse whatever the compiled arrays currently hold."""
@@ -304,6 +324,10 @@ class TraceCache:
         self._c_replays = _obs_metrics.Counter("replays")
         self._c_divergences = _obs_metrics.Counter("divergences")
         self._c_validations = _obs_metrics.Counter("validations")
+        # _lock guards the trace map, the record-lock map and the stats
+        # counters; _record_locks serialises cold recording per key.
+        self._lock = threading.Lock()
+        self._record_locks: dict[Any, threading.Lock] = {}
 
     # Back-compat integer views (callers read cache.records directly).
     @property
@@ -340,6 +364,26 @@ class TraceCache:
             "traces": sum(1 for t in self._traces.values() if t is not None),
         }
 
+    def has(self, key: Any) -> bool:
+        """True when ``key`` holds a live cached trace (replay expected)."""
+        return self._traces.get(key) is not None
+
+    def _count(
+        self, local: _obs_metrics.Counter, total: _obs_metrics.Counter
+    ) -> None:
+        """Increment a per-cache counter and its process-wide twin."""
+        with self._lock:
+            local.inc()
+            total.inc()
+
+    def _record_lock(self, key: Any) -> threading.Lock:
+        with self._lock:
+            lock = self._record_locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._record_locks[key] = lock
+            return lock
+
     def _record(
         self,
         key: Any,
@@ -358,9 +402,11 @@ class TraceCache:
                 except ReplayError:
                     # Not a replayable trace; remember that and record
                     # forever.
-                    self._traces[key] = None
+                    with self._lock:
+                        self._traces[key] = None
                 else:
-                    self._traces[key] = trace
+                    with self._lock:
+                        self._traces[key] = trace
                     return trace._analyse_current()
             return analysis.analyse(simplify=simplify, compiled=True)
 
@@ -373,40 +419,66 @@ class TraceCache:
         simplify: bool = True,
     ) -> SignificanceReport:
         """Record-or-replay analysis of one item (see class docstring)."""
+        return self.analyse_outcome(key, recorder, inputs, simplify=simplify)[0]
+
+    def analyse_outcome(
+        self,
+        key: Any,
+        recorder: Callable[[Sequence[Interval]], Any],
+        inputs: Sequence[Any],
+        *,
+        simplify: bool = True,
+    ) -> tuple[SignificanceReport, str]:
+        """:meth:`analyse` plus what actually happened to serve it.
+
+        The second element is ``"record"`` (cache miss — a recording ran,
+        whether or not the trace was cacheable), ``"replay"`` (pure
+        vectorized replay of the cached trace) or ``"divergence"`` (the
+        inputs took another branch; recorded as fallback).  Lets callers
+        like :mod:`repro.serve` attribute each request exactly without
+        diffing shared counters under concurrency.
+        """
         inputs = [as_interval(iv) for iv in inputs]
-        if key not in self._traces:
-            self._c_records.inc()
-            _C_RECORDS.inc()
-            return self._record(key, recorder, inputs, simplify, cache_it=True)
-        trace = self._traces[key]
+        trace = self._traces.get(key, _MISSING)
+        if trace is _MISSING:
+            # Serialise cold recording per key: one thread records, any
+            # thread that raced it waits here and then replays.
+            with self._record_lock(key):
+                if key not in self._traces:
+                    self._count(self._c_records, _C_RECORDS)
+                    report = self._record(
+                        key, recorder, inputs, simplify, cache_it=True
+                    )
+                    return report, "record"
+            trace = self._traces[key]
         if trace is None:
             # Structure guard rejected this kernel once; keep recording.
-            self._c_records.inc()
-            _C_RECORDS.inc()
-            return self._record(
+            self._count(self._c_records, _C_RECORDS)
+            report = self._record(
                 key, recorder, inputs, simplify, cache_it=False
             )
+            return report, "record"
         if self.validate and not trace.validated:
-            self._c_validations.inc()
-            _C_VALIDATIONS.inc()
-            self._validate(trace, recorder, inputs)
+            self._count(self._c_validations, _C_VALIDATIONS)
+            with trace.lock:
+                self._validate(trace, recorder, inputs)
         try:
-            with _obs_span("trace_cache.replay") as sp:
-                sp.set(key=repr(key))
-                report = trace.analyse(inputs)
+            with trace.lock:
+                with _obs_span("trace_cache.replay") as sp:
+                    sp.set(key=repr(key))
+                    report = trace.analyse(inputs)
         except GuardDivergenceError:
             # These inputs take another branch; analyse them the slow way
             # but keep the cached trace for inputs that don't.  Counted as
             # a divergence, NOT as a record: stats() keeps the fallback
             # causes apart.
-            self._c_divergences.inc()
-            _C_DIVERGENCES.inc()
-            return self._record(
+            self._count(self._c_divergences, _C_DIVERGENCES)
+            report = self._record(
                 key, recorder, inputs, simplify, cache_it=False
             )
-        self._c_replays.inc()
-        _C_REPLAYS.inc()
-        return report
+            return report, "divergence"
+        self._count(self._c_replays, _C_REPLAYS)
+        return report, "replay"
 
     def _validate(
         self,

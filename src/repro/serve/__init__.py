@@ -1,0 +1,53 @@
+"""repro.serve — significance-analysis-as-a-service on the TraceCache.
+
+The paper's pitch is that interval-adjoint significance analysis is
+cheap enough to drive *runtime* decisions; a significance-aware runtime
+needs an online oracle answering "how much does this computation matter"
+per invocation.  This package is that oracle as a network service: a
+zero-dependency asyncio HTTP/JSON server exposing the repo's
+record-once → compile → replay-many pipeline.
+
+* :mod:`repro.serve.http` — minimal asyncio HTTP/1.1 (routing, JSON
+  bodies, keep-alive, timeouts, structured errors).
+* :mod:`repro.serve.kernels` — the registry mapping stable kernel ids
+  (dct, sobel, blackscholes, fisheye, nbody) to recorders, input
+  schemas, defaults and tuning setups.
+* :mod:`repro.serve.app` — the service itself: ``POST /analyse`` /
+  ``/advise`` / ``/tune``, ``GET /metrics`` / ``/healthz`` /
+  ``/kernels``; one :class:`~repro.scorpio.TraceCache` per kernel, cold
+  recording in a thread pool, warm requests served by vectorized replay.
+* :mod:`repro.serve.client` — a stdlib client used by the example
+  tenants, tests and the load generator.
+
+Start a server::
+
+    python -m repro serve --port 8077
+
+or in-process::
+
+    from repro.serve import ServiceThread
+
+    with ServiceThread() as service:
+        report = service.client().analyse("blackscholes")
+"""
+
+from .app import ServiceConfig, ServiceThread, SignificanceService
+from .client import ServiceClient, ServiceError
+from .http import HttpError, HttpServer, Request, Response, Router
+from .kernels import KernelEntry, default_registry, parse_intervals
+
+__all__ = [
+    "SignificanceService",
+    "ServiceConfig",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "KernelEntry",
+    "default_registry",
+    "parse_intervals",
+    "HttpServer",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+]

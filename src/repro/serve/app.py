@@ -1,0 +1,431 @@
+"""The significance-analysis service: routes, handlers, caches, workers.
+
+:class:`SignificanceService` wires the kernel registry
+(:mod:`repro.serve.kernels`) to the asyncio HTTP layer
+(:mod:`repro.serve.http`):
+
+* ``POST /analyse`` — kernel id + input ranges -> the full
+  :class:`~repro.scorpio.report.SignificanceReport` as JSON.  The body is
+  exactly ``repro.scorpio.serialize.report_to_json`` output, so a service
+  response is byte-identical to an in-process analysis; the
+  ``X-Repro-Cache`` header says whether it was served by recording,
+  replay or divergence fallback.
+* ``POST /advise`` — same analysis, answered with fastmath substitution
+  advice from :mod:`repro.scorpio.advisor`.
+* ``POST /tune`` — ratio-knob search via :mod:`repro.runtime.tuning`;
+  answers a ready-to-use ``taskwait(ratio=...)`` recommendation.
+* ``GET /metrics`` — Prometheus text exposition of the process-global
+  :mod:`repro.obs` registry (per-endpoint latency, cache hit/divergence
+  counters, and everything the pipeline itself counts).
+* ``GET /healthz`` / ``GET /kernels`` — liveness and discovery.
+
+Analysis work never runs on the event loop: every request's kernel work
+is shipped to a thread pool, so a cold recording (tens of milliseconds of
+operator-overloaded taping) does not stall concurrently arriving warm
+requests, which are pure vectorized replay.  Each kernel owns one
+:class:`~repro.scorpio.TraceCache` — kernel identity is the cache key —
+and the cache's own per-key record lock guarantees two racing cold
+requests record exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import __version__ as _VERSION
+from repro.obs import metrics as obs_metrics
+from repro.scorpio import TraceCache
+from repro.scorpio.serialize import report_to_json
+
+from .http import HttpError, HttpServer, Request, Response, Router, json_response
+from .kernels import KernelEntry, default_registry, parse_intervals, tune_setup
+
+__all__ = ["ServiceConfig", "SignificanceService", "ServiceThread"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    request_timeout: float = 30.0
+    max_body: int = 4 * 1024 * 1024
+    workers: int = 4  # analysis thread pool size
+    validate: bool = False  # TraceCache re-record validation
+
+
+# Per-endpoint observability: one latency histogram per route plus
+# request/error totals, all in the process-global obs registry so
+# GET /metrics exposes them alongside the pipeline's own counters.
+_H_LATENCY = {
+    name: obs_metrics.histogram(f"serve.latency_ms.{name}")
+    for name in ("analyse", "advise", "tune", "metrics", "healthz", "kernels")
+}
+_C_REQUESTS = obs_metrics.counter("serve.requests")
+_C_ERRORS = obs_metrics.counter("serve.errors")
+_C_HITS = obs_metrics.counter("serve.analyse.cache_hits")
+_C_MISSES = obs_metrics.counter("serve.analyse.cache_misses")
+_C_DIVERGENCES = obs_metrics.counter("serve.analyse.divergences")
+
+_OUTCOME_COUNTER = {
+    "replay": _C_HITS,
+    "record": _C_MISSES,
+    "divergence": _C_DIVERGENCES,
+}
+
+
+class SignificanceService:
+    """Significance-analysis-as-a-service over a kernel registry."""
+
+    def __init__(
+        self,
+        registry: dict[str, KernelEntry] | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.config = config or ServiceConfig()
+        self.caches: dict[str, TraceCache] = {
+            kid: TraceCache(validate=self.config.validate)
+            for kid in self.registry
+        }
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._started = time.time()
+        self.server = HttpServer(
+            self._build_router(),
+            host=self.config.host,
+            port=self.config.port,
+            request_timeout=self.config.request_timeout,
+            max_body=self.config.max_body,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound (host, port)."""
+        return await self.server.start()
+
+    async def serve_forever(self) -> None:
+        await self.server.serve_forever()
+
+    async def close(self) -> None:
+        await self.server.close()
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _build_router(self) -> Router:
+        router = Router()
+        router.get("/healthz", self._timed("healthz", self._handle_healthz))
+        router.get("/kernels", self._timed("kernels", self._handle_kernels))
+        router.get("/metrics", self._timed("metrics", self._handle_metrics))
+        router.post("/analyse", self._timed("analyse", self._handle_analyse))
+        router.post("/advise", self._timed("advise", self._handle_advise))
+        router.post("/tune", self._timed("tune", self._handle_tune))
+        return router
+
+    def _timed(
+        self,
+        name: str,
+        handler: Callable[[Request], Any],
+    ) -> Callable[[Request], Any]:
+        histogram = _H_LATENCY[name]
+
+        async def wrapped(request: Request) -> Response:
+            _C_REQUESTS.inc()
+            t0 = time.perf_counter()
+            try:
+                return await handler(request)
+            except Exception:
+                _C_ERRORS.inc()
+                raise
+            finally:
+                histogram.observe((time.perf_counter() - t0) * 1000.0)
+
+        return wrapped
+
+    async def _in_worker(self, fn: Callable[[], Any]) -> Any:
+        """Run blocking analysis work off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    def _entry(self, payload: dict) -> KernelEntry:
+        kernel_id = payload.get("kernel")
+        if not isinstance(kernel_id, str) or not kernel_id:
+            raise HttpError(400, "missing required field 'kernel'")
+        entry = self.registry.get(kernel_id)
+        if entry is None:
+            raise HttpError(
+                404,
+                f"unknown kernel {kernel_id!r}; "
+                f"known: {', '.join(sorted(self.registry))}",
+            )
+        return entry
+
+    def _intervals(self, payload: dict, entry: KernelEntry):
+        try:
+            return parse_intervals(payload.get("inputs"), entry)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+
+    def _analyse_entry(self, entry: KernelEntry, intervals) -> tuple[Any, str]:
+        """(report, cache outcome) through the kernel's TraceCache."""
+        cache = self.caches[entry.kernel_id]
+        report, outcome = cache.analyse_outcome(
+            entry.cache_key,
+            entry.recorder,
+            intervals,
+            simplify=entry.simplify,
+        )
+        counter = _OUTCOME_COUNTER.get(outcome)
+        if counter is not None:
+            counter.inc()
+        return report, outcome
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: Request) -> Response:
+        return json_response(
+            {
+                "status": "ok",
+                "version": _VERSION,
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "kernels": sorted(self.registry),
+            }
+        )
+
+    async def _handle_kernels(self, request: Request) -> Response:
+        kernels = []
+        for kid in sorted(self.registry):
+            entry = self.registry[kid]
+            kernels.append(
+                {
+                    "id": kid,
+                    "summary": entry.summary,
+                    "inputs": entry.n_inputs,
+                    "input_names": list(entry.input_names),
+                    "simplify": entry.simplify,
+                    "quality_metric": entry.quality_metric,
+                    "cache": self.caches[kid].stats(),
+                }
+            )
+        return json_response({"kernels": kernels})
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        return Response(
+            body=obs_metrics.to_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _handle_analyse(self, request: Request) -> Response:
+        payload = request.json()
+        entry = self._entry(payload)
+        intervals = self._intervals(payload, entry)
+        report, outcome = await self._in_worker(
+            lambda: self._analyse_entry(entry, intervals)
+        )
+        # The body is exactly the in-process serialisation — byte-identical
+        # to report_to_json of a local analysis of the same ranges.
+        body = report_to_json(report).encode("utf-8")
+        return Response(
+            body=body,
+            headers={
+                "X-Repro-Cache": outcome,
+                "X-Repro-Kernel": entry.kernel_id,
+            },
+        )
+
+    async def _handle_advise(self, request: Request) -> Response:
+        from repro.scorpio.advisor import render_advice, suggest_approximations
+
+        payload = request.json()
+        entry = self._entry(payload)
+        intervals = self._intervals(payload, entry)
+        threshold = payload.get("threshold", 0.25)
+        if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool
+        ):
+            raise HttpError(400, "'threshold' must be a number")
+
+        def work():
+            report, outcome = self._analyse_entry(entry, intervals)
+            return suggest_approximations(report, float(threshold)), outcome
+
+        suggestions, outcome = await self._in_worker(work)
+        return json_response(
+            {
+                "kernel": entry.kernel_id,
+                "threshold": float(threshold),
+                "suggestions": [
+                    {
+                        "node_id": s.node_id,
+                        "op": s.op,
+                        "replacement": s.replacement,
+                        "significance": s.significance,
+                        "cost_saving": s.cost_saving,
+                        "score": s.score,
+                    }
+                    for s in suggestions
+                ],
+                "advice": render_advice(suggestions),
+            },
+            headers={"X-Repro-Cache": outcome},
+        )
+
+    async def _handle_tune(self, request: Request) -> Response:
+        from repro.runtime.tuning import (
+            best_quality_under_energy,
+            min_ratio_for_quality,
+        )
+
+        payload = request.json()
+        entry = self._entry(payload)
+        target_quality = payload.get("target_quality")
+        energy_budget = payload.get("energy_budget")
+        if (target_quality is None) == (energy_budget is None):
+            raise HttpError(
+                400,
+                "provide exactly one of 'target_quality' (min ratio "
+                "meeting a quality floor) or 'energy_budget' (best "
+                "quality within a budget)",
+            )
+        size = payload.get("size")
+        if size is not None and (
+            not isinstance(size, int) or isinstance(size, bool) or size < 2
+        ):
+            raise HttpError(400, "'size' must be an integer >= 2")
+
+        def work():
+            setup = tune_setup(entry.kernel_id, size)
+            if target_quality is not None:
+                result = min_ratio_for_quality(
+                    setup.evaluate,
+                    float(target_quality),
+                    higher_is_better=setup.higher_is_better,
+                )
+                mode = "target_quality"
+            else:
+                result = best_quality_under_energy(
+                    setup.evaluate,
+                    float(energy_budget),
+                    higher_is_better=setup.higher_is_better,
+                )
+                mode = "energy_budget"
+            return setup, result, mode
+
+        setup, result, mode = await self._in_worker(work)
+        return json_response(
+            {
+                "kernel": entry.kernel_id,
+                "mode": mode,
+                "taskwait": {"ratio": result.ratio},
+                "ratio": result.ratio,
+                "quality": result.quality,
+                "quality_metric": setup.quality_metric,
+                "energy": result.energy,
+                "satisfied": result.satisfied,
+                "workload": setup.workload,
+                "probes": {
+                    f"{ratio:.6g}": {"quality": q, "energy": e}
+                    for ratio, (q, e) in sorted(result.probes.items())
+                },
+            }
+        )
+
+
+class ServiceThread:
+    """Run a :class:`SignificanceService` on a background thread.
+
+    The in-process deployment used by the example tenants, the tests and
+    the load generator::
+
+        with ServiceThread() as service:
+            client = service.client()
+            report = client.analyse("blackscholes")
+
+    Binds port 0 by default (the OS picks a free port) and publishes the
+    bound address via :attr:`host`/:attr:`port` once :meth:`start`
+    returns.
+    """
+
+    def __init__(
+        self,
+        registry: dict[str, KernelEntry] | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        if config is None:
+            config = ServiceConfig(port=0)
+        self.service = SignificanceService(registry, config)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.host, self.port = await self.service.start()
+        except BaseException as exc:  # noqa: BLE001
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.close()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def client(self, timeout: float = 60.0):
+        from .client import ServiceClient
+
+        assert self.host is not None and self.port is not None
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

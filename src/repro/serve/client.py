@@ -1,0 +1,186 @@
+"""Stdlib client for the significance service.
+
+A thin, dependency-free wrapper around :mod:`http.client` used by the
+example tenants, the tests and the load generator — and a reference for
+what any other client (curl, a real service mesh) needs to send.
+
+One :class:`ServiceClient` holds one keep-alive connection and is **not**
+thread-safe; concurrent callers create one client per thread (see
+``benchmarks/bench_service.py``).  Interval inputs are ``[lo, hi]``
+pairs, ``{"lo": .., "hi": ..}`` objects or bare numbers, matching the
+server's :func:`repro.serve.kernels.parse_intervals`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Sequence
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the service, carrying its error JSON."""
+
+    def __init__(self, status: int, reason: str, detail: str = ""):
+        super().__init__(f"{status} {reason}: {detail}")
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
+class ServiceClient:
+    """Synchronous client for one service endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request_raw(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request; returns ``(status, headers, body)`` unparsed.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests).
+        """
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (
+                http.client.NotConnected,
+                http.client.CannotSendRequest,
+                http.client.BadStatusLine,
+                ConnectionError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def _request_json(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> Any:
+        status, _headers, data = self.request_raw(method, path, payload)
+        if status >= 400:
+            raise _as_service_error(status, data)
+        return json.loads(data.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request_json("GET", "/healthz")
+
+    def kernels(self) -> list[dict]:
+        return self._request_json("GET", "/kernels")["kernels"]
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the server's metrics."""
+        status, _headers, data = self.request_raw("GET", "/metrics")
+        if status >= 400:
+            raise _as_service_error(status, data)
+        return data.decode("utf-8")
+
+    def analyse_raw(
+        self, kernel: str, inputs: Sequence[Any] | None = None
+    ) -> tuple[bytes, str]:
+        """``(report JSON bytes, cache outcome)`` of one analysis.
+
+        The bytes are exactly ``report_to_json`` of the equivalent
+        in-process analysis; the outcome is the ``X-Repro-Cache`` header
+        (``record`` / ``replay`` / ``divergence``).
+        """
+        payload: dict[str, Any] = {"kernel": kernel}
+        if inputs is not None:
+            payload["inputs"] = list(inputs)
+        status, headers, data = self.request_raw("POST", "/analyse", payload)
+        if status >= 400:
+            raise _as_service_error(status, data)
+        return data, headers.get("x-repro-cache", "")
+
+    def analyse(
+        self, kernel: str, inputs: Sequence[Any] | None = None
+    ) -> dict:
+        """The significance report of one analysis, parsed."""
+        data, _outcome = self.analyse_raw(kernel, inputs)
+        return json.loads(data.decode("utf-8"))
+
+    def advise(
+        self,
+        kernel: str,
+        inputs: Sequence[Any] | None = None,
+        threshold: float | None = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"kernel": kernel}
+        if inputs is not None:
+            payload["inputs"] = list(inputs)
+        if threshold is not None:
+            payload["threshold"] = threshold
+        return self._request_json("POST", "/advise", payload)
+
+    def tune(
+        self,
+        kernel: str,
+        *,
+        target_quality: float | None = None,
+        energy_budget: float | None = None,
+        size: int | None = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"kernel": kernel}
+        if target_quality is not None:
+            payload["target_quality"] = target_quality
+        if energy_budget is not None:
+            payload["energy_budget"] = energy_budget
+        if size is not None:
+            payload["size"] = size
+        return self._request_json("POST", "/tune", payload)
+
+
+def _as_service_error(status: int, data: bytes) -> ServiceError:
+    try:
+        error = json.loads(data.decode("utf-8"))["error"]
+        return ServiceError(
+            int(error["status"]), str(error["reason"]), str(error["detail"])
+        )
+    except (ValueError, KeyError, TypeError):
+        return ServiceError(status, "Error", data.decode("utf-8", "replace"))

@@ -1,0 +1,330 @@
+"""Minimal asyncio HTTP/1.1 layer for :mod:`repro.serve`.
+
+Zero dependencies by design (the whole repo is stdlib + numpy): requests
+are parsed straight off an :class:`asyncio.StreamReader`, routed by exact
+``(method, path)`` match and answered with hand-rendered HTTP/1.1
+responses.  The subset implemented is exactly what a JSON analysis
+service needs — ``Content-Length`` bodies, keep-alive connections, a
+per-request read timeout, and structured JSON error responses — and
+nothing more (no chunked encoding, no TLS, no HTTP/2).
+
+Errors raised by handlers travel as :class:`HttpError` and render as::
+
+    {"error": {"status": 400, "reason": "Bad Request", "detail": "..."}}
+
+so clients can always ``json.loads`` a failure.  Unexpected handler
+exceptions become a 500 with the exception repr as detail — the server
+never drops a connection without answering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "json_response",
+    "Router",
+    "HttpServer",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+DEFAULT_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with a non-200 status."""
+
+    def __init__(self, status: int, detail: str = ""):
+        super().__init__(detail or _REASONS.get(status, "error"))
+        self.status = status
+        self.detail = detail
+
+    @property
+    def reason(self) -> str:
+        return _REASONS.get(self.status, "Error")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body as JSON; 400 on syntax errors or a non-object root."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return data
+
+
+@dataclass
+class Response:
+    """One response; handlers return these (or raise HttpError)."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def render(self, *, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "OK")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("ascii") + self.body
+
+
+def json_response(
+    payload: Any,
+    *,
+    status: int = 200,
+    headers: dict[str, str] | None = None,
+    indent: int | None = 2,
+) -> Response:
+    """A Response carrying ``payload`` serialised as JSON."""
+    body = json.dumps(payload, indent=indent).encode("utf-8")
+    return Response(status=status, body=body, headers=headers or {})
+
+
+def error_response(status: int, detail: str) -> Response:
+    reason = _REASONS.get(status, "Error")
+    return json_response(
+        {"error": {"status": status, "reason": reason, "detail": detail}},
+        status=status,
+    )
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Exact-match ``(method, path)`` routing table."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Handler] = {}
+
+    def add(self, method: str, path: str, handler: Handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    def get(self, path: str, handler: Handler) -> None:
+        self.add("GET", path, handler)
+
+    def post(self, path: str, handler: Handler) -> None:
+        self.add("POST", path, handler)
+
+    def resolve(self, method: str, path: str) -> Handler:
+        """The handler for a request; 404/405 via HttpError otherwise."""
+        handler = self._routes.get((method.upper(), path))
+        if handler is not None:
+            return handler
+        if any(p == path for _, p in self._routes):
+            raise HttpError(405, f"{method} not allowed on {path}")
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    def paths(self) -> list[str]:
+        return sorted({p for _, p in self._routes})
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = DEFAULT_MAX_BODY,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Request | None:
+    """Parse one request; ``None`` on clean EOF before any bytes.
+
+    Raises :class:`HttpError` on malformed input, oversized payloads and
+    timeouts — the connection loop renders those as error responses.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    except asyncio.TimeoutError as exc:
+        raise HttpError(408, "timed out reading request head") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head") from exc
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length: {length_header!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_header!r}")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds {max_body}")
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+        except asyncio.TimeoutError as exc:
+            raise HttpError(408, "timed out reading request body") from exc
+
+    return Request(
+        method=method, path=path, query=query, headers=headers, body=body
+    )
+
+
+class HttpServer:
+    """``asyncio.start_server`` wrapper running a :class:`Router`.
+
+    One instance serves many connections; each connection handles
+    requests sequentially with keep-alive until the client closes, sends
+    ``Connection: close``, or errors.  Handler concurrency comes from
+    asyncio itself — every connection is its own task, and handlers that
+    ``await`` (e.g. analysis work shipped to an executor) interleave.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = DEFAULT_TIMEOUT,
+        max_body: int = DEFAULT_MAX_BODY,
+    ):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_body = max_body
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _respond_once(
+        self, request: Request
+    ) -> tuple[Response, bool]:
+        """(response, keep_alive) for one parsed request."""
+        keep_alive = request.headers.get("connection", "").lower() != "close"
+        try:
+            handler = self.router.resolve(request.method, request.path)
+            response = await handler(request)
+        except HttpError as exc:
+            response = error_response(exc.status, exc.detail)
+        except Exception as exc:  # noqa: BLE001 - always answer
+            response = error_response(500, f"unhandled error: {exc!r}")
+        return response, keep_alive
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_body=self.max_body,
+                        timeout=self.request_timeout,
+                    )
+                except HttpError as exc:
+                    response = error_response(exc.status, exc.detail)
+                    writer.write(response.render(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response, keep_alive = await self._respond_once(request)
+                writer.write(response.render(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-write; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down with this connection idle
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -216,6 +216,87 @@ class TestTraceCache:
             cache.analyse(("flaky",), flaky, _ivs(0.4, 0.8))
 
 
+class TestAnalyseOutcome:
+    def test_outcomes_record_then_replay(self):
+        cache = TraceCache()
+        _, first = cache.analyse_outcome(("poly",), _record_poly, _ivs(0.7, 1.2))
+        _, second = cache.analyse_outcome(("poly",), _record_poly, _ivs(0.3, 0.9))
+        assert (first, second) == ("record", "replay")
+
+    def test_outcome_divergence(self):
+        cache = TraceCache()
+        cache.analyse_outcome(("br",), _record_branchy, _ivs(1.0, 3.0))
+        _, outcome = cache.analyse_outcome(("br",), _record_branchy, _ivs(5.0, 3.0))
+        assert outcome == "divergence"
+
+
+class TestConcurrency:
+    def test_cold_race_records_once(self):
+        """N threads race a cold key: one recording, the rest replay."""
+        import threading
+
+        cache = TraceCache()
+        n = 8
+        barrier = threading.Barrier(n)
+        results: list[tuple[str, int, str]] = []
+        lock = threading.Lock()
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            report, outcome = cache.analyse_outcome(
+                ("poly",), _record_poly, _ivs(0.5 + seed / 100.0, 1.2)
+            )
+            with lock:
+                results.append((outcome, seed, report_to_json(report)))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        outcomes = [o for o, _, _ in results]
+        assert outcomes.count("record") == 1
+        assert outcomes.count("replay") == n - 1
+        stats = cache.stats()
+        assert stats["records"] == 1
+        assert stats["replays"] == n - 1
+        assert stats["traces"] == 1
+        # Every thread still gets the byte-identical report for its inputs.
+        for _, seed, served in results:
+            ref = _direct(_record_poly, _ivs(0.5 + seed / 100.0, 1.2))
+            assert served == report_to_json(ref)
+
+    def test_threads_replay_byte_identical(self):
+        import threading
+
+        cache = TraceCache()
+        cache.analyse(("poly",), _record_poly, _ivs(0.7, 1.2))
+        inputs = [_ivs(0.4 + i / 50.0, 0.9) for i in range(6)]
+        served: dict[int, str] = {}
+        lock = threading.Lock()
+
+        def worker(i: int) -> None:
+            report = cache.analyse(("poly",), _record_poly, inputs[i])
+            with lock:
+                served[i] = report_to_json(report)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(inputs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for i, ivs in enumerate(inputs):
+            assert served[i] == report_to_json(_direct(_record_poly, ivs))
+        assert cache.stats()["replays"] == len(inputs)
+
+
 class TestOpSequenceHash:
     def test_same_code_same_hash_across_inputs(self):
         h1 = op_sequence_hash(_record_poly(_ivs(0.7, 1.2)).tape)

@@ -1,0 +1,106 @@
+"""Concurrent clients against one service: the cache records once.
+
+A fresh server per test (module-scoped fixtures would leak warm caches
+between tests and defeat the cold-start scenarios).
+"""
+
+import threading
+
+from repro.serve import ServiceThread
+
+
+def hammer(service: ServiceThread, n_threads: int, kernel: str, inputs_for):
+    """n threads, each with its own client, one analyse request each."""
+    barrier = threading.Barrier(n_threads)
+    results: list[tuple[int, bytes, str]] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(i: int) -> None:
+        try:
+            with service.client() as client:
+                barrier.wait()
+                body, outcome = client.analyse_raw(kernel, inputs_for(i))
+            with lock:
+                results.append((i, body, outcome))
+        except BaseException as exc:  # surfaced to the main thread below
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+class TestConcurrentClients:
+    def test_cold_kernel_records_once(self):
+        n = 8
+        with ServiceThread() as service:
+            results = hammer(
+                service,
+                n,
+                "sobel",
+                lambda i: [[float(j) + i / 10.0, float(j) + 1.0 + i / 10.0]
+                           for j in range(9)],
+            )
+            stats = service.service.caches["sobel"].stats()
+
+        outcomes = [outcome for _, _, outcome in results]
+        assert len(results) == n
+        assert outcomes.count("record") == 1
+        assert outcomes.count("replay") == n - 1
+        assert stats["records"] == 1
+        assert stats["replays"] == n - 1
+        assert stats["traces"] == 1
+
+    def test_identical_requests_identical_bytes(self):
+        n = 6
+        inputs = [[float(j), float(j) + 1.0] for j in range(9)]
+        with ServiceThread() as service:
+            results = hammer(service, n, "sobel", lambda i: inputs)
+
+        bodies = {body for _, body, _ in results}
+        assert len(bodies) == 1
+
+    def test_kernels_do_not_contend(self):
+        """Threads on different kernels each record their own trace."""
+        kernels = ["sobel", "blackscholes", "dct", "nbody"]
+        with ServiceThread() as service:
+            barrier = threading.Barrier(len(kernels))
+            outcomes: dict[str, str] = {}
+            errors: list[BaseException] = []
+            lock = threading.Lock()
+
+            def worker(kernel: str) -> None:
+                try:
+                    with service.client() as client:
+                        barrier.wait()
+                        _, outcome = client.analyse_raw(kernel)
+                    with lock:
+                        outcomes[kernel] = outcome
+                except BaseException as exc:
+                    with lock:
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(k,)) for k in kernels
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            stats = {
+                k: service.service.caches[k].stats() for k in kernels
+            }
+
+        assert all(outcome == "record" for outcome in outcomes.values())
+        for kernel in kernels:
+            assert stats[kernel]["records"] == 1
+            assert stats[kernel]["traces"] == 1

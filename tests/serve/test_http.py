@@ -1,0 +1,232 @@
+"""Unit tests for the asyncio HTTP layer (routing, parsing, errors)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    HttpServer,
+    Request,
+    Router,
+    json_response,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_router() -> Router:
+    router = Router()
+
+    async def hello(request: Request):
+        return json_response({"hello": "world"})
+
+    async def echo(request: Request):
+        return json_response({"echo": request.json()})
+
+    router.get("/hello", hello)
+    router.post("/echo", echo)
+    return router
+
+
+async def raw_exchange(server: HttpServer, payload: bytes) -> bytes:
+    """Send raw bytes to a started server, return the full response."""
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    writer.write(payload)
+    await writer.drain()
+    writer.write_eof()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return data
+
+
+def exchange(payload: bytes) -> bytes:
+    async def go():
+        server = HttpServer(make_router())
+        await server.start()
+        try:
+            return await raw_exchange(server, payload)
+        finally:
+            await server.close()
+
+    return run(go())
+
+
+def parse_response(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+class TestParsing:
+    def test_get_roundtrip(self):
+        raw = exchange(b"GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+        status, headers, body = parse_response(raw)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body) == {"hello": "world"}
+        assert int(headers["content-length"]) == len(body)
+
+    def test_post_json_body(self):
+        body = json.dumps({"a": 1}).encode()
+        raw = exchange(
+            b"POST /echo HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        status, _, out = parse_response(raw)
+        assert status == 200
+        assert json.loads(out) == {"echo": {"a": 1}}
+
+    def test_malformed_request_line(self):
+        status, _, body = parse_response(exchange(b"NONSENSE\r\n\r\n"))
+        assert status == 400
+        assert "malformed request line" in json.loads(body)["error"]["detail"]
+
+    def test_bad_content_length(self):
+        raw = exchange(
+            b"POST /echo HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        )
+        status, _, body = parse_response(raw)
+        assert status == 400
+        assert "Content-Length" in json.loads(body)["error"]["detail"]
+
+    def test_unknown_path_is_404(self):
+        status, _, body = parse_response(
+            exchange(b"GET /nope HTTP/1.1\r\n\r\n")
+        )
+        assert status == 404
+        assert "/nope" in json.loads(body)["error"]["detail"]
+
+    def test_wrong_method_is_405(self):
+        status, _, body = parse_response(
+            exchange(b"GET /echo HTTP/1.1\r\n\r\n")
+        )
+        assert status == 405
+
+    def test_invalid_json_body_is_400(self):
+        raw = exchange(
+            b"POST /echo HTTP/1.1\r\nContent-Length: 4\r\n\r\n{{{{"
+        )
+        status, _, body = parse_response(raw)
+        assert status == 400
+        assert "invalid JSON" in json.loads(body)["error"]["detail"]
+
+    def test_body_too_large_is_413(self):
+        async def go():
+            server = HttpServer(make_router(), max_body=64)
+            await server.start()
+            try:
+                return await raw_exchange(
+                    server,
+                    b"POST /echo HTTP/1.1\r\nContent-Length: 100000\r\n\r\n",
+                )
+            finally:
+                await server.close()
+
+        status, _, body = parse_response(run(go()))
+        assert status == 413
+
+    def test_keep_alive_serves_two_requests(self):
+        async def go():
+            server = HttpServer(make_router())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"GET /hello HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                first = await read_one_response(reader)
+                writer.write(b"GET /hello HTTP/1.1\r\nConnection: close\r\n\r\n")
+                await writer.drain()
+                second = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.close()
+
+        first, second = run(go())
+        assert parse_response(first)[0] == 200
+        status, headers, _ = parse_response(second)
+        assert status == 200
+        assert headers["connection"] == "close"
+
+
+async def read_one_response(reader: asyncio.StreamReader) -> bytes:
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.decode("latin-1").split("\r\n"):
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    body = await reader.readexactly(length)
+    return head + body
+
+
+class TestRouter:
+    def test_resolve_distinguishes_404_405(self):
+        router = make_router()
+        with pytest.raises(HttpError) as exc404:
+            router.resolve("GET", "/missing")
+        assert exc404.value.status == 404
+        with pytest.raises(HttpError) as exc405:
+            router.resolve("DELETE", "/hello")
+        assert exc405.value.status == 405
+
+    def test_paths_listing(self):
+        assert make_router().paths() == ["/echo", "/hello"]
+
+
+class TestHandlerErrors:
+    def test_handler_exception_becomes_500(self):
+        router = Router()
+
+        async def boom(request: Request):
+            raise RuntimeError("kaboom")
+
+        router.get("/boom", boom)
+
+        async def go():
+            server = HttpServer(router)
+            await server.start()
+            try:
+                return await raw_exchange(
+                    server, b"GET /boom HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+
+        status, _, body = parse_response(run(go()))
+        assert status == 500
+        assert "kaboom" in json.loads(body)["error"]["detail"]
+
+    def test_http_error_keeps_status(self):
+        router = Router()
+
+        async def teapot(request: Request):
+            raise HttpError(400, "not enough tea")
+
+        router.get("/tea", teapot)
+
+        async def go():
+            server = HttpServer(router)
+            await server.start()
+            try:
+                return await raw_exchange(server, b"GET /tea HTTP/1.1\r\n\r\n")
+            finally:
+                await server.close()
+
+        status, _, body = parse_response(run(go()))
+        assert status == 400
+        assert json.loads(body)["error"]["detail"] == "not enough tea"

@@ -61,6 +61,10 @@ class TestExamples:
         run_main(load_example("risk_engine"), ["--count", "1024"], monkeypatch)
         out = capsys.readouterr().out
         assert "ranking" in out and "selective run" in out
+        # Tenant behaviour: the repeat analysis must come from the cache
+        # and the pricing ratio must come from the service's tuner.
+        assert "repeat request served by: replay" in out
+        assert "tuned taskwait(ratio=" in out
 
     def test_streaming_pipeline(self, capsys, monkeypatch):
         run_main(
@@ -70,6 +74,10 @@ class TestExamples:
         )
         out = capsys.readouterr().out
         assert "streaming" in out and "mean energy" in out
+        # Tenant behaviour: start ratio tuned by the service, metrics
+        # scraped at the end of the run.
+        assert "service tuned start ratio" in out
+        assert "repro_serve_requests_total" in out
 
     def test_autotuning(self, capsys, monkeypatch):
         run_main(load_example("autotuning"), ["--size", "48"], monkeypatch)
