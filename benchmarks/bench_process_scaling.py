@@ -1,0 +1,104 @@
+"""Process-parallel lane-sweep scaling (:mod:`repro.mp`).
+
+One big BlackScholes lane sweep, sequential versus fanned out across
+worker processes over a shared frozen tape.  Records
+``runtime.process_scaling`` — the wall-clock speedup at the measured
+worker count — to ``BENCH_core.json`` and asserts the two paths are
+bitwise identical (the whole point of the chunk-invariant sweep design).
+
+The speedup is machine-honest: on a single-core box the process pool
+cannot win and the recorded value sits near (or below) 1.0x; the
+committed baseline reflects that, and CI's directional comparison only
+fails on a collapse, not on core-count differences.
+"""
+
+import time
+
+import numpy as np
+from record import record_value
+
+from repro.intervals import Interval
+from repro.mp import (
+    ProcessExecutor,
+    default_workers,
+    live_segments,
+    parallel_lane_significances,
+)
+from repro.scorpio import CachedTrace
+
+LANES = 20_000
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _blackscholes_case():
+    from repro.kernels.blackscholes.analysis import _record_option
+
+    centre = np.array([100.0, 105.0, 0.03, 0.25, 1.0])
+    ivs = [Interval.centered(p, 0.02 * p) for p in centre]
+    trace = CachedTrace(_record_option(ivs), simplify=False)
+    rng = np.random.default_rng(23)
+    jitter = 1.0 + 0.05 * rng.uniform(-1.0, 1.0, size=(5, LANES))
+    params = centre[:, None] * jitter
+    radius = 0.02 * params
+    return trace, params - radius, params + radius
+
+
+def test_process_scaling(benchmark):
+    """Speedup of the process fan-out over the sequential sweep."""
+    trace, lo, hi = _blackscholes_case()
+    workers = max(2, default_workers())
+
+    seq = trace.lane_significances(trace.forward_lanes(lo, hi))
+    with ProcessExecutor(max_workers=workers) as ex:
+        # Warm the pool and the per-worker tape caches outside the clock.
+        par = parallel_lane_significances(
+            trace, lo, hi, workers=workers, executor=ex
+        )
+        assert par.tobytes() == seq.tobytes()
+
+        t_seq = min(
+            _timed(
+                lambda: trace.lane_significances(trace.forward_lanes(lo, hi))
+            )[0]
+            for _ in range(3)
+        )
+        t_par = min(
+            _timed(
+                lambda: parallel_lane_significances(
+                    trace, lo, hi, workers=workers, executor=ex
+                )
+            )[0]
+            for _ in range(3)
+        )
+
+        benchmark.pedantic(
+            parallel_lane_significances,
+            args=(trace, lo, hi),
+            kwargs={"workers": workers, "executor": ex},
+            rounds=3,
+            iterations=1,
+        )
+    assert live_segments() == []
+
+    speedup = t_seq / t_par
+    benchmark.extra_info["sequential_seconds"] = round(t_seq, 3)
+    benchmark.extra_info["parallel_seconds"] = round(t_par, 3)
+    benchmark.extra_info["workers"] = workers
+    record_value(
+        "runtime.process_scaling",
+        speedup,
+        unit="x",
+        workers=workers,
+        lanes=LANES,
+    )
+    # Sanity floor, not a scaling target: even a one-core machine must
+    # not pay an order of magnitude for the process indirection.
+    assert speedup >= 0.2, (
+        f"process fan-out {speedup:.2f}x at {workers} workers "
+        f"({t_seq:.3f}s seq vs {t_par:.3f}s par)"
+    )

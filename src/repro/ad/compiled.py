@@ -193,6 +193,69 @@ class CompiledTape:
         """Freeze ``tape`` (alias of the constructor, for symmetry)."""
         return cls(tape)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        opcodes: np.ndarray,
+        op_names: Sequence[str],
+        value_lo: np.ndarray,
+        value_hi: np.ndarray,
+        value_is_interval: np.ndarray,
+        row_ptr: np.ndarray,
+        parent_idx: np.ndarray,
+        partial_lo: np.ndarray,
+        partial_hi: np.ndarray,
+        depth: np.ndarray | None = None,
+        labels: Mapping[int, str] | None = None,
+        guards: Sequence[tuple] = (),
+        aux: Mapping[int, Any] | None = None,
+    ) -> "CompiledTape":
+        """Rebuild a compiled tape directly from its frozen columns.
+
+        The inverse of freezing: a worker that receives a tape's
+        structure-of-arrays (e.g. zero-copy views over :mod:`repro.mp`
+        shared memory) reconstructs a fully functional ``CompiledTape``
+        without ever having seen the object tape.  ``guards`` and ``aux``
+        carry the only object-tape state replay needs — the recorded
+        comparison outcomes and the folded constants of constant-operand
+        binaries / clip bounds — installed on a minimal stub standing in
+        for the original :class:`~repro.ad.tape.Tape`.
+
+        Arrays are adopted, not copied.  Read-only views are fine for the
+        sweeps and for :meth:`forward_lanes` (which never writes the
+        tape); the in-place :meth:`forward` path needs writable
+        value/partial arrays.  Passing the precomputed ``depth`` column
+        skips the Python depth pass, leaving only vectorized schedule
+        construction on the worker side.
+        """
+        self = cls.__new__(cls)
+        n = int(opcodes.shape[0])
+        self.tape = _StubTape(guards, aux)
+        self.n = n
+        self.opcodes = opcodes
+        self.op_names = list(op_names)
+        self.labels = dict(labels) if labels else {}
+        self.value_lo = value_lo
+        self.value_hi = value_hi
+        self.value_is_interval = value_is_interval
+        self.interval_mode = bool(value_is_interval.any())
+        self.row_ptr = row_ptr
+        self.n_edges = int(row_ptr[n])
+        self.parent_idx = parent_idx
+        self.partial_lo = partial_lo
+        self.partial_hi = partial_hi
+        self._edge_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(row_ptr)
+        )
+        if depth is None:
+            self._build_schedule()
+        else:
+            self.depth = np.asarray(depth, dtype=np.int64)
+            self._finish_schedule()
+        self._fplan = None
+        return self
+
     def __len__(self) -> int:
         return self.n
 
@@ -218,6 +281,18 @@ class CompiledTape:
                 if depth[p] < dj1:
                     depth[p] = dj1
         self.depth = np.asarray(depth, dtype=np.int64)
+        self._finish_schedule()
+
+    def _finish_schedule(self) -> None:
+        """Everything after the depth column: level grouping + caches.
+
+        Split out so :meth:`from_arrays` can adopt a precomputed ``depth``
+        (shipped alongside the other frozen columns) and skip the Python
+        descending-depth loop above — this part is all vectorized.
+        """
+        n, e = self.n, self.n_edges
+        parent_idx = self.parent_idx
+        edge_src = self._edge_src
         n_levels = int(self.depth.max()) + 1 if n else 0
         self.n_levels = n_levels
         self._rank_cache: dict[int, list[np.ndarray]] = {}
@@ -920,3 +995,42 @@ class ReplayLanes:
             lo, hi, self.partial_lo, self.partial_hi, rnd=False, clean_nan=False
         )
         return lo, hi
+
+
+class _AuxNode:
+    """Stand-in for a tape node exposing only the ``aux`` payload."""
+
+    __slots__ = ("aux",)
+
+    def __init__(self, aux: Any):
+        self.aux = aux
+
+
+class _AuxNodes:
+    """Indexable node view backed by a sparse ``{index: aux}`` map.
+
+    :class:`~repro.ad.replay.ForwardPlan` reads ``tape.nodes[j].aux`` only
+    for constant-operand binaries and ``clip`` nodes, so a worker-side
+    tape only ships those entries; every other index resolves to a node
+    with ``aux=None`` (exactly what a plain recorded node carries).
+    """
+
+    __slots__ = ("_aux",)
+
+    def __init__(self, aux: Mapping[int, Any] | None):
+        self._aux = dict(aux) if aux else {}
+
+    def __getitem__(self, index: int) -> _AuxNode:
+        return _AuxNode(self._aux.get(index))
+
+
+class _StubTape:
+    """Minimal object standing in for a ``Tape`` behind a rebuilt
+    :meth:`CompiledTape.from_arrays` tape: recorded guards for replay
+    re-checks plus the sparse aux map the forward plan reads."""
+
+    __slots__ = ("guards", "nodes")
+
+    def __init__(self, guards: Sequence[tuple], aux: Mapping[int, Any] | None):
+        self.guards = list(guards)
+        self.nodes = _AuxNodes(aux)

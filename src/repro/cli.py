@@ -40,6 +40,31 @@ def _add_replay_flag(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_flags(
+    sub_parser: argparse.ArgumentParser, default: str | None = None
+) -> None:
+    sub_parser.add_argument(
+        "--executor",
+        choices=["seq", "thread", "process"],
+        default=default,
+        help=(
+            "where the heavy sweeps run: 'process' fans lane chunks out "
+            "across worker processes over shared-memory tapes "
+            "(repro.mp); 'seq'/'thread' keep everything in-process. "
+            "Results are bitwise identical either way."
+        ),
+    )
+    sub_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker count for --executor process/thread (default: "
+            "REPRO_MP_WORKERS or the CPU count)"
+        ),
+    )
+
+
 def _add_profile_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--profile",
@@ -77,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5 = sub.add_parser("figure5", help="InverseMapping significance map")
     p5.add_argument("--width", type=int, default=192)
     p5.add_argument("--height", type=int, default=144)
+    _add_executor_flags(p5)
 
     sub.add_parser("figure6", help="bicubic pixel-pair significances")
 
@@ -128,7 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="analysis thread-pool size (cold recordings and /tune runs)",
+        help="analysis thread/process pool size",
+    )
+    ps.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help=(
+            "/analyse backend: 'thread' (default) runs in the serving "
+            "process, 'process' ships analysis to a repro.mp worker "
+            "pool (responses byte-identical; /healthz reports the "
+            "active backend)"
+        ),
     )
     ps.add_argument(
         "--request-timeout",
@@ -181,7 +218,12 @@ def _cmd_figure4(args: argparse.Namespace) -> str:
 def _cmd_figure5(args: argparse.Namespace) -> str:
     from repro.experiments.figure5 import figure5
 
-    return figure5(width=args.width, height=args.height).to_text()
+    return figure5(
+        width=args.width,
+        height=args.height,
+        executor=args.executor,
+        workers=args.workers,
+    ).to_text()
 
 
 def _cmd_figure6(_args: argparse.Namespace) -> str:
@@ -294,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         workers=args.workers,
         request_timeout=args.request_timeout,
         validate=args.validate,
+        executor=args.executor,
     )
     service = SignificanceService(config=config)
 

@@ -54,13 +54,24 @@ def figure5(
     grid: tuple[int, int] = (9, 12),
     jitter_samples: int = 10,
     seed: int = 11,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> Figure5:
-    """Run the Figure 5 analysis (1280x960 in the paper, scaled here)."""
+    """Run the Figure 5 analysis (1280x960 in the paper, scaled here).
+
+    ``executor="process"`` replays the sampled pixels as lanes of one
+    frozen trace fanned out across ``workers`` processes (:mod:`repro.mp`).
+    """
     config = default_config(width, height)
     scene = radial_scene(width, height, seed=seed)
     input_image = make_fisheye_input(scene, config)
     analysis = analyse_inverse_mapping(
-        input_image, config, grid=grid, jitter_samples=jitter_samples
+        input_image,
+        config,
+        grid=grid,
+        jitter_samples=jitter_samples,
+        executor=executor,
+        workers=workers,
     )
     return Figure5(analysis=analysis, config=config)
 

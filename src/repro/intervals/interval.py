@@ -79,6 +79,12 @@ class Interval:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Interval is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks the default slot-setting unpickle path;
+        # rebuild through the constructor so intervals can cross process
+        # boundaries (repro.mp ships guard/aux intervals to workers).
+        return (Interval, (self.lo, self.hi))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

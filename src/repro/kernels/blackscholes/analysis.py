@@ -99,6 +99,9 @@ def analyse_option(
 def _replay_options(
     options: list[tuple[float, float, float, float, float]],
     relative_uncertainty: float = 0.02,
+    *,
+    executor=None,
+    workers: int | None = None,
 ) -> list[dict[str, float]] | None:
     """Per-option block significances via one lane-replayed trace.
 
@@ -107,8 +110,11 @@ def _replay_options(
     Each lane is bit-identical to :func:`analyse_option` on that option —
     the per-option replay of this ~40-node trace loses to the scalar
     recording on NumPy call overhead, but the lanes amortize it across
-    the whole batch.  Returns ``None`` when the trace cannot be replayed
-    (the caller falls back to the per-option path).
+    the whole batch.  With ``executor="process"`` the lane sweep is
+    chunked across worker processes via
+    :func:`repro.mp.parallel_lane_significances` — same bits, more cores.
+    Returns ``None`` when the trace cannot be replayed (the caller falls
+    back to the per-option path).
     """
     from repro.ad.replay import GuardDivergenceError, ReplayError
 
@@ -122,8 +128,13 @@ def _replay_options(
     params = np.asarray(options, dtype=np.float64).T
     radius = relative_uncertainty * params
     try:
-        lanes = trace.forward_lanes(params - radius, params + radius)
-        sig = trace.lane_significances(lanes)
+        sig = _lane_sig(
+            trace,
+            params - radius,
+            params + radius,
+            executor=executor,
+            workers=workers,
+        )
     except GuardDivergenceError:
         return None
     rows = {name: trace.label_index(name) for name in _BLOCKS}
@@ -131,6 +142,32 @@ def _replay_options(
         {name: float(sig[rows[name], j]) for name in _BLOCKS}
         for j in range(len(options))
     ]
+
+
+def _lane_sig(
+    trace: CachedTrace,
+    lanes_lo: np.ndarray,
+    lanes_hi: np.ndarray,
+    *,
+    executor=None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Eq. 11 matrix for lane bounds, sequential or process-parallel.
+
+    The two paths are bitwise identical (pinned by ``tests/mp``); the
+    process path only pays off for batches past a few hundred lanes.
+    """
+    if executor is not None:
+        from repro.mp import parallel_lane_significances, process_requested
+    if executor is not None and process_requested(executor):
+        return parallel_lane_significances(
+            trace,
+            lanes_lo,
+            lanes_hi,
+            workers=workers,
+            executor=None if isinstance(executor, str) else executor,
+        )
+    return trace.lane_significances(trace.forward_lanes(lanes_lo, lanes_hi))
 
 
 def analyse_portfolio_vec(
@@ -196,6 +233,8 @@ def analyse_blackscholes(
     seed: int = 5,
     vec: bool = False,
     replay: bool | None = None,
+    executor=None,
+    workers: int | None = None,
 ) -> BlackScholesAnalysis:
     """Averaged block significances over sampled options.
 
@@ -206,6 +245,9 @@ def analyse_blackscholes(
     replay setting) records the pricing trace on the first option and
     replays every sampled option as one lane of a single sweep —
     bit-identical per option to the recorded scalar analysis.
+    ``executor="process"`` additionally fans the replayed lanes out over
+    ``workers`` processes (:mod:`repro.mp`) without changing a single bit
+    of the result.
     """
     if portfolio is None:
         portfolio = make_portfolio(count=max(samples, 64), seed=seed)
@@ -239,7 +281,9 @@ def analyse_blackscholes(
             for i in chosen
         ]
         replayed = (
-            _replay_options(options) if replay_enabled(replay) else None
+            _replay_options(options, executor=executor, workers=workers)
+            if replay_enabled(replay)
+            else None
         )
         per_option = (
             replayed

@@ -5,6 +5,8 @@ from .analysis import (
     InverseMappingAnalysis,
     analyse_bicubic,
     analyse_inverse_mapping,
+    coordinate_significance_map,
+    coordinate_significance_vec,
 )
 from .bicubic import (
     PIXEL_PAIRS,
@@ -35,6 +37,8 @@ __all__ = [
     "block_significance",
     "analyse_inverse_mapping",
     "analyse_bicubic",
+    "coordinate_significance_map",
+    "coordinate_significance_vec",
     "InverseMappingAnalysis",
     "BicubicAnalysis",
 ]

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.scorpio import Analysis
+from repro.intervals import Interval
+from repro.scorpio import Analysis, CachedTrace
 
 from .bicubic import PIXEL_PAIRS, bicubic_interp
 from .geometry import LensConfig, inverse_map_point
@@ -33,6 +34,7 @@ __all__ = [
     "InverseMappingAnalysis",
     "analyse_inverse_mapping",
     "coordinate_significance_vec",
+    "coordinate_significance_map",
     "BicubicAnalysis",
     "analyse_bicubic",
 ]
@@ -112,24 +114,18 @@ def _pixel_significance(
     return sigs["x_frac"] + sigs["y_frac"]
 
 
-def coordinate_significance_vec(
+def _gather_windows(
     config: LensConfig,
     input_image: np.ndarray,
     xs: np.ndarray,
     ys: np.ndarray,
-    coord_uncertainty: float = 0.5,
-) -> np.ndarray:
-    """Batched coordinate-imprecision significance for many output pixels.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Profile pass shared by the batched engines: for every output pixel,
+    the fractional source coordinates and the (centred) 4x4 window.
 
-    Every ``(xs[k], ys[k])`` output pixel becomes one lane of a single
-    batched tape: the per-lane fractional source coordinates are the two
-    interval inputs, the per-lane (centred) 4x4 windows enter as passive
-    lane constants, and one reverse sweep yields the Figure 5 significance
-    of every sampled pixel at once.  Mirrors
-    :func:`_pixel_significance` lane-for-lane.
+    Returns ``(fx, fy, windows)`` with shapes ``(n,)``, ``(n,)`` and
+    ``(n, 4, 4)``.
     """
-    from repro.vec import IntervalArray, VAnalysis
-
     input_image = np.asarray(input_image, dtype=np.float64)
     h, w = input_image.shape
     xs = np.asarray(xs, dtype=np.float64).ravel()
@@ -157,7 +153,29 @@ def coordinate_significance_vec(
         windows[k] = win - win.mean()
         fx[k] = mx - ix
         fy[k] = my - iy
+    return fx, fy, windows
 
+
+def coordinate_significance_vec(
+    config: LensConfig,
+    input_image: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    coord_uncertainty: float = 0.5,
+) -> np.ndarray:
+    """Batched coordinate-imprecision significance for many output pixels.
+
+    Every ``(xs[k], ys[k])`` output pixel becomes one lane of a single
+    batched tape: the per-lane fractional source coordinates are the two
+    interval inputs, the per-lane (centred) 4x4 windows enter as passive
+    lane constants, and one reverse sweep yields the Figure 5 significance
+    of every sampled pixel at once.  Mirrors
+    :func:`_pixel_significance` lane-for-lane.
+    """
+    from repro.vec import IntervalArray, VAnalysis
+
+    fx, fy, windows = _gather_windows(config, input_image, xs, ys)
+    n = fx.size
     va = VAnalysis(lane_shape=(n,))
     with va:
         tx = va.input(
@@ -173,6 +191,111 @@ def coordinate_significance_vec(
     return sigs["x_frac"] + sigs["y_frac"]
 
 
+def _record_coordinate_pixel(
+    window: np.ndarray, fx: float, fy: float, coord_uncertainty: float
+) -> Analysis:
+    """Record one bicubic resample with the window pixels *as inputs*.
+
+    The 16 (centred) window values enter as degenerate-interval inputs
+    instead of folded constants, which is what makes the recorded trace
+    replayable across output pixels: every pixel's window and fractional
+    coordinates become one lane of the same 18-input tape.
+    """
+    an = Analysis()
+    with an:
+        taped = [
+            [
+                an.input(
+                    Interval(float(window[r, c]), float(window[r, c])),
+                    name=f"w_{r}_{c}",
+                )
+                for c in range(4)
+            ]
+            for r in range(4)
+        ]
+        tx = an.input(fx, width=2.0 * coord_uncertainty, name="x_frac")
+        ty = an.input(fy, width=2.0 * coord_uncertainty, name="y_frac")
+        value = bicubic_interp(taped, tx, ty)
+        an.output(value, name="pixel")
+    return an
+
+
+def coordinate_significance_map(
+    config: LensConfig,
+    input_image: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    coord_uncertainty: float = 0.5,
+    *,
+    executor=None,
+    workers: int | None = None,
+    chunk_lanes: int | None = None,
+) -> np.ndarray:
+    """Replay-many twin of :func:`coordinate_significance_vec`.
+
+    Records the 18-input per-pixel trace once (on the first sampled
+    pixel) and replays every other output pixel as one lane of a single
+    forward + adjoint sweep over that frozen tape.  With
+    ``executor="process"`` the lane sweep is chunked across ``workers``
+    processes against a shared-memory copy of the tape
+    (:func:`repro.mp.parallel_lane_significances`) — bitwise identical
+    to the sequential replay.  Falls back to
+    :func:`coordinate_significance_vec` if the trace cannot be replayed
+    for some lane (guard divergence).
+    """
+    from repro.ad.replay import GuardDivergenceError, ReplayError
+
+    fx, fy, windows = _gather_windows(config, input_image, xs, ys)
+    n = fx.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    try:
+        trace = CachedTrace(
+            _record_coordinate_pixel(
+                windows[0], float(fx[0]), float(fy[0]), coord_uncertainty
+            ),
+            simplify=False,
+        )
+    except ReplayError:
+        return coordinate_significance_vec(
+            config, input_image, xs, ys, coord_uncertainty
+        )
+    # Lane bounds in tape input order: w_0_0 .. w_3_3, x_frac, y_frac.
+    flat = windows.reshape(n, 16).T
+    lanes_lo = np.concatenate(
+        [flat, [fx - coord_uncertainty], [fy - coord_uncertainty]]
+    )
+    lanes_hi = np.concatenate(
+        [flat, [fx + coord_uncertainty], [fy + coord_uncertainty]]
+    )
+    try:
+        if executor is not None:
+            from repro.mp import (
+                parallel_lane_significances,
+                process_requested,
+            )
+        if executor is not None and process_requested(executor):
+            sig = parallel_lane_significances(
+                trace,
+                lanes_lo,
+                lanes_hi,
+                workers=workers,
+                chunk_lanes=chunk_lanes,
+                executor=None if isinstance(executor, str) else executor,
+            )
+        else:
+            sig = trace.lane_significances(
+                trace.forward_lanes(lanes_lo, lanes_hi)
+            )
+    except GuardDivergenceError:
+        return coordinate_significance_vec(
+            config, input_image, xs, ys, coord_uncertainty
+        )
+    return (
+        sig[trace.label_index("x_frac")] + sig[trace.label_index("y_frac")]
+    )
+
+
 def analyse_inverse_mapping(
     input_image: np.ndarray,
     config: LensConfig,
@@ -180,6 +303,8 @@ def analyse_inverse_mapping(
     jitter_samples: int = 4,
     seed: int = 17,
     vec: bool = False,
+    executor=None,
+    workers: int | None = None,
 ) -> InverseMappingAnalysis:
     """Figure 5: coordinate significance over a grid of output pixels.
 
@@ -189,7 +314,10 @@ def analyse_inverse_mapping(
 
     With ``vec=True`` all ``grid_h * grid_w * jitter_samples`` pixels are
     analysed as lanes of one batched tape (same jittered positions, one
-    reverse sweep total) instead of one scalar tape each.
+    reverse sweep total) instead of one scalar tape each.  With
+    ``executor="process"`` the pixels are lanes of one *replayed* trace
+    (:func:`coordinate_significance_map`) fanned out across ``workers``
+    processes.
     """
     input_image = np.asarray(input_image, dtype=np.float64)
     gh, gw = grid
@@ -217,7 +345,22 @@ def analyse_inverse_mapping(
                     margin,
                     config.out_height - 1 - margin,
                 )
-    if vec:
+    use_process = False
+    if executor is not None:
+        from repro.mp import process_requested
+
+        use_process = process_requested(executor)
+    if use_process:
+        lane_sig = coordinate_significance_map(
+            config,
+            input_image,
+            px_all.ravel(),
+            py_all.ravel(),
+            executor=executor,
+            workers=workers,
+        )
+        sig = lane_sig.reshape(gh, gw, jitter_samples).mean(axis=2)
+    elif vec:
         lane_sig = coordinate_significance_vec(
             config, input_image, px_all.ravel(), py_all.ravel()
         )

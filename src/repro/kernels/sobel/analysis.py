@@ -181,14 +181,15 @@ def _record_sobel_map(image: np.ndarray, pixel_uncertainty: float):
     return va.analyse()
 
 
-def _replay_sobel_lanes(
+def _sobel_lane_bounds(
     image: np.ndarray, pixel_uncertainty: float, delta: float = 1e-6
 ):
-    """Record the scalar pixel trace once, replay every pixel as a lane.
+    """Record the scalar pixel trace once; build every pixel's lane bounds.
 
-    Returns ``(trace, lanes)`` — a :class:`CachedTrace` of the 3x3 Sobel
-    pixel and the :class:`repro.ad.ReplayLanes` of its batched forward
-    replay over all H×W edge-padded windows.
+    Returns ``(trace, lanes_lo, lanes_hi)`` — a :class:`CachedTrace` of
+    the 3x3 Sobel pixel and the ``(9, H*W)`` input bounds of all
+    edge-padded windows, lanes ordered row-major so a ``(start, stop)``
+    lane chunk aligned to the image width is a whole band of rows.
     """
     image = np.asarray(image, dtype=np.float64)
     if image.ndim != 2 or min(image.shape) < 3:
@@ -211,7 +212,51 @@ def _replay_sobel_lanes(
             lanes_lo[row] = centre - pixel_uncertainty
             lanes_hi[row] = centre + pixel_uncertainty
             row += 1
+    return trace, lanes_lo, lanes_hi
+
+
+def _replay_sobel_lanes(
+    image: np.ndarray, pixel_uncertainty: float, delta: float = 1e-6
+):
+    """Record the scalar pixel trace once, replay every pixel as a lane.
+
+    Returns ``(trace, lanes)`` — a :class:`CachedTrace` of the 3x3 Sobel
+    pixel and the :class:`repro.ad.ReplayLanes` of its batched forward
+    replay over all H×W edge-padded windows.
+    """
+    trace, lanes_lo, lanes_hi = _sobel_lane_bounds(
+        image, pixel_uncertainty, delta
+    )
     return trace, trace.forward_lanes(lanes_lo, lanes_hi)
+
+
+def _lane_sig(
+    trace: CachedTrace,
+    lanes_lo: np.ndarray,
+    lanes_hi: np.ndarray,
+    *,
+    executor=None,
+    workers: int | None = None,
+    align: int = 1,
+) -> np.ndarray:
+    """Eq. 11 matrix for lane bounds, sequential or process-parallel.
+
+    ``executor="process"`` fans row-aligned lane chunks out over worker
+    processes against a shared frozen tape (:mod:`repro.mp`); both paths
+    are bitwise identical (pinned by ``tests/mp``).
+    """
+    if executor is not None:
+        from repro.mp import parallel_lane_significances, process_requested
+    if executor is not None and process_requested(executor):
+        return parallel_lane_significances(
+            trace,
+            lanes_lo,
+            lanes_hi,
+            workers=workers,
+            align=align,
+            executor=None if isinstance(executor, str) else executor,
+        )
+    return trace.lane_significances(trace.forward_lanes(lanes_lo, lanes_hi))
 
 
 def _block_maps_from_sig(
@@ -231,6 +276,8 @@ def analyse_sobel_map(
     image: np.ndarray,
     pixel_uncertainty: float = 0.5,
     replay: bool | None = None,
+    executor=None,
+    workers: int | None = None,
 ) -> dict[str, np.ndarray]:
     """Per-pixel block significance maps over the *whole* image.
 
@@ -242,13 +289,24 @@ def analyse_sobel_map(
     of a batched re-recording; the replayed maps are bit-identical to
     running :func:`analyse_sobel_pixel` at every pixel (the batched
     re-recording agrees with the scalar analysis only to ~1e-9 relative).
-    Returns ``{"A": map, "B": map, "C": map}`` with each map shaped like
-    ``image``.
+    ``executor="process"`` splits the replay into whole-row lane chunks
+    across ``workers`` processes (:mod:`repro.mp`) — same maps, bit for
+    bit.  Returns ``{"A": map, "B": map, "C": map}`` with each map shaped
+    like ``image``.
     """
     if replay_enabled(replay):
         image = np.asarray(image, dtype=np.float64)
-        trace, lanes = _replay_sobel_lanes(image, pixel_uncertainty)
-        sig = trace.lane_significances(lanes)
+        trace, lanes_lo, lanes_hi = _sobel_lane_bounds(
+            image, pixel_uncertainty
+        )
+        sig = _lane_sig(
+            trace,
+            lanes_lo,
+            lanes_hi,
+            executor=executor,
+            workers=workers,
+            align=image.shape[1],
+        )
         return _block_maps_from_sig(trace, sig, image.shape)
     sigs = _record_sobel_map(image, pixel_uncertainty).labelled_significances()
     return {
@@ -263,6 +321,8 @@ def analyse_sobel_scan_map(
     pixel_uncertainty: float = 0.5,
     delta: float = 1e-6,
     replay: bool | None = None,
+    executor=None,
+    workers: int | None = None,
 ) -> dict[str, "np.ndarray | Any"]:
     """Full per-pixel analysis of the whole image in one batched pass.
 
@@ -273,14 +333,26 @@ def analyse_sobel_scan_map(
     equivalent is one full :func:`analyse_sobel_pixel` run per pixel.
     With ``replay`` (default: the module replay setting), maps and scan
     both come from a forward replay of one recorded scalar-pixel trace —
-    bit-identical to the per-pixel scalar analysis.
+    bit-identical to the per-pixel scalar analysis; ``executor="process"``
+    computes the significance matrix in whole-row chunks across
+    ``workers`` processes with identical bits (the scan itself stays in
+    the parent — it is one cheap pass over the matrix).
 
     Returns ``{"A": map, "B": map, "C": map, "scan": LaneScanMap}``.
     """
     if replay_enabled(replay):
         image = np.asarray(image, dtype=np.float64)
-        trace, lanes = _replay_sobel_lanes(image, pixel_uncertainty, delta)
-        sig = trace.lane_significances(lanes)
+        trace, lanes_lo, lanes_hi = _sobel_lane_bounds(
+            image, pixel_uncertainty, delta
+        )
+        sig = _lane_sig(
+            trace,
+            lanes_lo,
+            lanes_hi,
+            executor=executor,
+            workers=workers,
+            align=image.shape[1],
+        )
         result: dict[str, Any] = _block_maps_from_sig(
             trace, sig, image.shape
         )

@@ -1,0 +1,40 @@
+"""repro.mp — multiprocess runtime with shared-memory compiled tapes.
+
+Breaks the GIL for the two places it hurts most:
+
+* **Task execution** — :class:`ProcessExecutor` satisfies the
+  :class:`repro.runtime.executor.Executor` protocol (dense,
+  submission-ordered results; dropped tasks never reach the pool) on a
+  real process pool, with crash/timeout fallback to sequential execution
+  and worker :mod:`repro.obs` metrics merged back into the parent.
+* **Lane sweeps** — :class:`SharedTape` freezes a compiled trace's
+  structure-of-arrays into :mod:`multiprocessing.shared_memory` once;
+  :func:`parallel_lane_significances` fans lane chunks out across
+  workers over zero-copy views, bit-identical to the sequential replay.
+
+This maps to the significance-aware task runtime the paper builds on
+(an OpenMP-style multicore task system): the significance-driven
+scheduler decides *what* runs, :mod:`repro.mp` decides *where*, and the
+shared tapes make the analysis itself scale with cores.
+
+Everything here is stdlib + NumPy; ``executor="process"`` knobs on
+:class:`repro.runtime.TaskRuntime`, the ``analyse_*`` entry points,
+``repro serve`` and the CLI all resolve through :func:`make_executor`.
+"""
+
+from .executor import ProcessExecutor, default_workers, make_executor
+from .drivers import lane_chunks, parallel_lane_significances, process_requested
+from .shared import SharedArray, SharedTape, live_segments, unlink_all
+
+__all__ = [
+    "ProcessExecutor",
+    "SharedArray",
+    "SharedTape",
+    "default_workers",
+    "lane_chunks",
+    "live_segments",
+    "make_executor",
+    "parallel_lane_significances",
+    "process_requested",
+    "unlink_all",
+]

@@ -1,0 +1,301 @@
+"""Process-pool task executor with the runtime's ordering contract.
+
+:class:`ProcessExecutor` is the multicore sibling of
+:class:`repro.runtime.executor.ThreadedExecutor`: it satisfies the same
+``Executor`` protocol (dense, submission-ordered results; DROPPED tasks
+never reach the pool) but runs task functions in worker *processes*, so
+pure-Python work actually scales past the GIL.
+
+The contract differs from the thread pool in one way that matters:
+**tasks must communicate through return values** (or shared memory, see
+:mod:`repro.mp.shared`).  A worker mutating an argument array mutates its
+own copy — the mutation never reaches the parent.  The bundled kernel
+task groups (Sobel, BlackScholes runners) rely on in-place writes to
+shared output arrays and therefore stay on the seq/thread executors; the
+process pool is for value-returning tasks and for the shared-tape lane
+drivers in :mod:`repro.mp.drivers`.
+
+Robustness: a worker crash (``BrokenProcessPool``), a per-task timeout or
+an unpicklable task falls back to running the affected tasks sequentially
+in the parent — the batch always completes with correct, ordered results;
+the fallback is counted in :mod:`repro.obs` metrics
+(``mp.fallbacks``).  Worker-side metric activity is snapshot-deltaed and
+merged back into the parent registry after every batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _obs_span
+from repro.runtime.executor import (
+    Executor,
+    SequentialExecutor,
+    ThreadedExecutor,
+    _run_one,
+)
+from repro.runtime.task import ExecutionMode, Task, TaskResult
+
+__all__ = ["ProcessExecutor", "make_executor", "default_workers"]
+
+_C_TASKS = _metrics.counter("mp.tasks")
+_C_BATCHES = _metrics.counter("mp.batches")
+_C_FALLBACKS = _metrics.counter("mp.fallbacks")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not pin one.
+
+    ``REPRO_MP_WORKERS`` (used by CI to force multi-worker runs on small
+    runners) wins over the CPU count.
+    """
+    env = os.environ.get("REPRO_MP_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _worker_run(
+    fn: Any, args: tuple, kwargs: dict, mode_name: str, label: str
+) -> tuple[Any, float, dict]:
+    """Run one task body in a worker; returns (value, elapsed, metrics Δ)."""
+    before = _metrics.snapshot()
+    with _obs_span("runtime.task") as sp:
+        sp.set(label=label, mode=mode_name, worker_pid=os.getpid())
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+    return value, elapsed, _metrics.snapshot_delta(before, _metrics.snapshot())
+
+
+class ProcessExecutor:
+    """Run tasks on a process pool; results dense and submission-ordered.
+
+    Parameters:
+        max_workers: pool size (default: :func:`default_workers`).
+        task_timeout: per-task seconds before giving up on the pool and
+            re-running the task (and all later unfinished ones) in the
+            parent; ``None`` waits forever.
+        mp_context: ``multiprocessing`` start-method name (``"fork"``,
+            ``"spawn"``, ...) or a context object; default is the
+            platform default.
+        fallback: when False, pool failures propagate instead of
+            triggering the sequential fallback (tests use this).
+
+    The pool is created lazily on the first batch and reused; ``close()``
+    (or use as a context manager) shuts it down.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        task_timeout: float | None = None,
+        mp_context: Any = None,
+        fallback: bool = True,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or default_workers()
+        self.task_timeout = task_timeout
+        self.fallback = fallback
+        self._mp_context = mp_context
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            ctx = self._mp_context
+            if isinstance(ctx, str):
+                import multiprocessing
+
+                ctx = multiprocessing.get_context(ctx)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=ctx
+            )
+        return self._pool
+
+    def _discard_pool(self, wait: bool = False) -> None:
+        # wait=False on the fallback path: a hung or dead worker must not
+        # block the parent, which is about to re-run the batch itself.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def warm(self) -> "ProcessExecutor":
+        """Create the worker pool now instead of on the first batch.
+
+        Callers that will ``run()`` from several threads (the serve
+        backend) warm the pool once up front so the lazy creation never
+        races.
+        """
+        self._ensure_pool()
+        return self
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent).
+
+        Waits for the pool's management thread so nothing races the
+        interpreter-exit hooks in ``concurrent.futures``.
+        """
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Executor protocol
+    # ------------------------------------------------------------------
+    def run(
+        self, tasks: Sequence[Task], modes: Sequence[ExecutionMode]
+    ) -> list[TaskResult]:
+        """Execute a batch; same result shape as the threaded executor."""
+        if len(tasks) != len(modes):
+            raise ValueError("tasks and modes must be parallel sequences")
+        _C_BATCHES.inc()
+        results: list[TaskResult | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for i, (task, mode) in enumerate(zip(tasks, modes)):
+            if mode is ExecutionMode.DROPPED:
+                results[i] = TaskResult(task, mode, None, 0.0)
+            else:
+                pending.append(i)
+        if pending:
+            try:
+                self._run_pool(tasks, modes, results, pending)
+            except _PoolFailure as failure:
+                if not self.fallback:
+                    raise failure.cause
+                _C_FALLBACKS.inc()
+                self._discard_pool()
+                for i in pending:
+                    if results[i] is None:
+                        results[i] = _run_one(tasks[i], modes[i])
+        if any(r is None for r in results):  # pragma: no cover - invariant
+            missing = [i for i, r in enumerate(results) if r is None]
+            raise RuntimeError(f"tasks {missing} produced no result")
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        tasks: Sequence[Task],
+        modes: Sequence[ExecutionMode],
+        results: list[TaskResult | None],
+        pending: Sequence[int],
+    ) -> None:
+        pool = self._ensure_pool()
+        futures = []
+        for i in pending:
+            task, mode = tasks[i], modes[i]
+            fn = task.fn if mode is ExecutionMode.ACCURATE else task.approx_fn
+            if fn is None:
+                raise ValueError(f"task {task.task_id} has no approximate version")
+            try:
+                future = pool.submit(
+                    _worker_run, fn, task.args, task.kwargs, mode.name,
+                    task.label,
+                )
+            except Exception as exc:
+                # A dead or shut-down pool cannot accept work; that is an
+                # infrastructure failure, not a task failure.
+                raise _PoolFailure(exc) from exc
+            futures.append((i, future))
+        try:
+            for i, future in futures:
+                try:
+                    value, elapsed, delta = future.result(self.task_timeout)
+                except FutureTimeoutError as exc:
+                    raise _PoolFailure(
+                        TimeoutError(
+                            f"task {tasks[i].task_id} exceeded "
+                            f"{self.task_timeout}s on the process pool"
+                        )
+                    ) from exc
+                except BrokenProcessPool as exc:
+                    raise _PoolFailure(exc) from exc
+                except Exception as exc:
+                    # A worker raising inside fn re-raises here with the
+                    # original type — that must propagate as-is, matching
+                    # the threaded executor.  Submission-side pickling
+                    # failures also surface through future.result() with
+                    # their own types; those are infrastructure and are
+                    # eligible for the sequential fallback (the task never
+                    # ran, so re-running it is safe).
+                    if _is_pickling_error(exc):
+                        raise _PoolFailure(exc) from exc
+                    raise
+                _C_TASKS.inc()
+                _metrics.registry().merge_snapshot(delta)
+                # Rebind the *parent's* task object: the worker ran a
+                # pickled copy, and callers identity-match results
+                # against their submitted tasks.
+                results[i] = TaskResult(tasks[i], modes[i], value, elapsed)
+        finally:
+            for _, future in futures:
+                future.cancel()
+
+
+class _PoolFailure(Exception):
+    """Internal: wraps an infrastructure error eligible for fallback."""
+
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+def _is_pickling_error(exc: BaseException) -> bool:
+    """Errors raised while shipping a task to a worker, not by the task.
+
+    Unpicklable callables raise ``PicklingError`` (lambdas) or
+    ``AttributeError``/``TypeError`` with a "pickle" message (local
+    objects, open handles) from the pool's feeder thread.
+    """
+    import pickle
+
+    if isinstance(exc, pickle.PickleError):
+        return True
+    if isinstance(exc, (TypeError, AttributeError)):
+        return "pickle" in str(exc).lower()
+    return False
+
+
+def make_executor(
+    spec: "str | Executor | None" = None, workers: int | None = None
+) -> Executor:
+    """Resolve an executor spec string (or pass an instance through).
+
+    ``"seq"``/``"sequential"`` → :class:`SequentialExecutor`;
+    ``"thread"``/``"threaded"`` → :class:`ThreadedExecutor`;
+    ``"process"`` → :class:`ProcessExecutor`; ``None`` → sequential.
+    This is the single knob behind ``--executor``/``--workers`` on the
+    CLI, ``TaskRuntime(executor="process")`` and the serve config.
+    """
+    if spec is None:
+        return SequentialExecutor()
+    if not isinstance(spec, str):
+        return spec
+    name = spec.strip().lower()
+    if name in ("seq", "sequential"):
+        return SequentialExecutor()
+    if name in ("thread", "threaded"):
+        return ThreadedExecutor(max_workers=workers or 4)
+    if name == "process":
+        return ProcessExecutor(max_workers=workers)
+    raise ValueError(
+        f"unknown executor spec {spec!r}; expected 'seq', 'thread' or 'process'"
+    )

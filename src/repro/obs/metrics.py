@@ -38,6 +38,8 @@ __all__ = [
     "gauge",
     "histogram",
     "snapshot",
+    "snapshot_delta",
+    "merge_snapshot",
     "reset_metrics",
     "to_prometheus",
     "to_json",
@@ -196,6 +198,67 @@ class MetricsRegistry:
         """Plain ``{name: {"type": ..., ...}}`` dict, names sorted."""
         return {name: m.describe() for name, m in self}
 
+    @staticmethod
+    def snapshot_delta(
+        before: dict[str, dict[str, Any]], after: dict[str, dict[str, Any]]
+    ) -> dict[str, dict[str, Any]]:
+        """What changed between two :meth:`snapshot` dicts.
+
+        Counters and histogram count/sum become differences; gauges carry
+        their latest value; untouched instruments are dropped.  This is
+        how a :mod:`repro.mp` worker describes the metrics it produced —
+        snapshot at batch start and end, ship the delta — so the parent
+        can fold worker activity into its own registry without double
+        counting anything the worker inherited from a fork.  Histogram
+        min/max are the worker's observed extremes (they cannot be
+        differenced), so the merged min/max stay valid bounds over all
+        observations, merely not tight to the delta window.
+        """
+        delta: dict[str, dict[str, Any]] = {}
+        for name, cur in after.items():
+            prev = before.get(name)
+            kind = cur["type"]
+            if kind == "counter":
+                d = cur["value"] - (prev["value"] if prev else 0.0)
+                if d:
+                    delta[name] = {"type": "counter", "value": d}
+            elif kind == "gauge":
+                if prev is None or cur["value"] != prev["value"]:
+                    delta[name] = {"type": "gauge", "value": cur["value"]}
+            else:  # histogram
+                d_count = cur["count"] - (prev["count"] if prev else 0)
+                if d_count:
+                    delta[name] = {
+                        "type": "histogram",
+                        "count": d_count,
+                        "sum": cur["sum"] - (prev["sum"] if prev else 0.0),
+                        "min": cur["min"],
+                        "max": cur["max"],
+                    }
+        return delta
+
+    def merge_snapshot(self, delta: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot_delta` dict into this registry.
+
+        Counter deltas add, gauge values overwrite, histogram deltas add
+        count/sum and widen min/max.  Get-or-create semantics apply, so a
+        metric only a worker touched still appears in the parent.
+        """
+        for name, entry in delta.items():
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(float(entry["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(entry["value"]))
+            else:
+                h = self.histogram(name)
+                h.count += int(entry["count"])
+                h.total += float(entry["sum"])
+                if entry["min"] is not None and entry["min"] < h.min:
+                    h.min = float(entry["min"])
+                if entry["max"] is not None and entry["max"] > h.max:
+                    h.max = float(entry["max"])
+
     def reset(self, *, drop: bool = False) -> None:
         """Zero every instrument (``drop=True`` forgets them entirely).
 
@@ -287,6 +350,18 @@ def histogram(name: str) -> Histogram:
 def snapshot() -> dict[str, dict[str, Any]]:
     """Snapshot of the global registry."""
     return _REGISTRY.snapshot()
+
+
+def snapshot_delta(
+    before: dict[str, dict[str, Any]], after: dict[str, dict[str, Any]]
+) -> dict[str, dict[str, Any]]:
+    """Difference of two snapshots (see ``MetricsRegistry.snapshot_delta``)."""
+    return MetricsRegistry.snapshot_delta(before, after)
+
+
+def merge_snapshot(delta: dict[str, dict[str, Any]]) -> None:
+    """Fold a worker's snapshot delta into the global registry."""
+    _REGISTRY.merge_snapshot(delta)
 
 
 def reset_metrics(*, drop: bool = False) -> None:

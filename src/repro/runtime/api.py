@@ -50,9 +50,19 @@ class TaskRuntime:
 
     def __init__(
         self,
-        executor: Executor | None = None,
+        executor: "Executor | str | None" = None,
         energy_model: EnergyModel | None = None,
+        *,
+        workers: int | None = None,
     ):
+        if isinstance(executor, str):
+            # Resolved lazily through repro.mp so plain sequential use
+            # never imports the multiprocessing machinery.  "process"
+            # tasks must return their results — in-place mutation of
+            # argument arrays does not cross process boundaries.
+            from repro.mp import make_executor
+
+            executor = make_executor(executor, workers)
         self.executor: Executor = executor or SequentialExecutor()
         self.energy_model: EnergyModel = energy_model or AnalyticEnergyModel()
         self._groups: dict[str, list[Task]] = {}

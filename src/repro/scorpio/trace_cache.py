@@ -41,6 +41,17 @@ place, so each :class:`CachedTrace` carries its own lock; the warm path
 costs one dict lookup and one uncontended lock acquisition on top of the
 replay itself.  The stats counters are guarded by a single cache-wide
 mutex.
+
+**Both classes are per-process.**  The record/replay locks are
+``threading`` locks, invisible to other processes: two processes sharing
+a pickled cache would happily mutate "the same" trace concurrently with
+no mutual exclusion whatsoever.  Pickling a :class:`TraceCache` or
+:class:`CachedTrace` therefore raises ``TypeError`` up front.  To hand a
+trace to worker processes, use :meth:`CachedTrace.share`: it freezes the
+compiled arrays into :class:`repro.mp.SharedTape` segments whose handles
+pickle by ``(segment name, shape, dtype)``, and each worker attaches its
+own private ``CompiledTape`` (own lock-free replay state, zero-copy
+structure) — see :mod:`repro.mp`.
 """
 
 from __future__ import annotations
@@ -188,6 +199,38 @@ class CachedTrace:
         # users of one trace must hold this while forwarding/analysing.
         self.lock = threading.Lock()
 
+    def __reduce__(self):
+        raise TypeError(
+            "CachedTrace is per-process (its replay lock is a threading "
+            "lock and replay mutates the tape in place); use "
+            "CachedTrace.share() to freeze the compiled arrays into a "
+            "picklable repro.mp.SharedTape instead"
+        )
+
+    def share(self, **meta: Any) -> "Any":
+        """Freeze this trace into a picklable :class:`repro.mp.SharedTape`.
+
+        The handle carries the analysis ids (inputs / intermediates /
+        outputs), ``delta`` and ``simplify`` in its metadata alongside
+        any extra ``meta`` keys, so a worker can rebuild the full
+        analysis context from the handle alone.  Workers attach their
+        own private ``CompiledTape`` views — the shared segments are
+        read-only tape structure; nothing synchronises with this
+        process's replay lock.
+        """
+        from repro.mp import SharedTape
+
+        return SharedTape.freeze(
+            self.ct,
+            input_ids=list(self.input_ids),
+            intermediate_ids=list(self.intermediate_ids),
+            output_ids=list(self.output_ids),
+            delta=self.delta,
+            simplify=self.simplify,
+            op_hash=self.op_hash,
+            **meta,
+        )
+
     def _analyse_current(self) -> SignificanceReport:
         """Analyse whatever the compiled arrays currently hold."""
         return analyse_compiled_tape(
@@ -328,6 +371,13 @@ class TraceCache:
         # counters; _record_locks serialises cold recording per key.
         self._lock = threading.Lock()
         self._record_locks: dict[Any, threading.Lock] = {}
+
+    def __reduce__(self):
+        raise TypeError(
+            "TraceCache is per-process (record/replay locks are threading "
+            "locks); give each process its own cache, or share individual "
+            "traces via CachedTrace.share()"
+        )
 
     # Back-compat integer views (callers read cache.records directly).
     @property

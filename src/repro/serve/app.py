@@ -56,8 +56,16 @@ class ServiceConfig:
     port: int = 8077
     request_timeout: float = 30.0
     max_body: int = 4 * 1024 * 1024
-    workers: int = 4  # analysis thread pool size
+    workers: int = 4  # analysis thread / process pool size
     validate: bool = False  # TraceCache re-record validation
+    # Analysis backend: "thread" ships /analyse work to the in-process
+    # thread pool (the default); "process" ships it to a
+    # :class:`repro.mp.ProcessExecutor` whose long-lived workers each
+    # keep their own per-process TraceCache (record once per worker,
+    # replay after — responses are byte-identical either way, which is
+    # the cache's pinned invariant).  /advise and /tune always run in
+    # the serving process (they need the live report object).
+    executor: str = "thread"
 
 
 # Per-endpoint observability: one latency histogram per route plus
@@ -79,6 +87,40 @@ _OUTCOME_COUNTER = {
     "divergence": _C_DIVERGENCES,
 }
 
+# Per-worker-process serving state for the "process" analysis backend:
+# each long-lived pool worker lazily builds the default registry and one
+# TraceCache per kernel, so it records a kernel's trace once and replays
+# it for every later request it handles.
+_WORKER_STATE: dict[str, Any] | None = None
+
+
+def _analyse_in_worker_process(
+    kernel_id: str, intervals: tuple, validate: bool
+) -> tuple[bytes, str]:
+    """Run one /analyse request inside a repro.mp pool worker.
+
+    Returns the serialized report body and the cache outcome.  The body
+    is byte-identical to the thread backend's response for the same
+    ranges — recording and replay serialize identically, so it does not
+    matter which worker (or how cold) answers.
+    """
+    global _WORKER_STATE
+    if _WORKER_STATE is None:
+        _WORKER_STATE = {"registry": default_registry(), "caches": {}}
+    entry = _WORKER_STATE["registry"][kernel_id]
+    cache = _WORKER_STATE["caches"].get(kernel_id)
+    if cache is None:
+        cache = _WORKER_STATE["caches"].setdefault(
+            kernel_id, TraceCache(validate=validate)
+        )
+    report, outcome = cache.analyse_outcome(
+        entry.cache_key,
+        entry.recorder,
+        list(intervals),
+        simplify=entry.simplify,
+    )
+    return report_to_json(report).encode("utf-8"), outcome
+
 
 class SignificanceService:
     """Significance-analysis-as-a-service over a kernel registry."""
@@ -90,6 +132,26 @@ class SignificanceService:
     ):
         self.registry = registry if registry is not None else default_registry()
         self.config = config or ServiceConfig()
+        backend = (self.config.executor or "thread").strip().lower()
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown serve executor {self.config.executor!r}; "
+                "expected 'thread' or 'process'"
+            )
+        self.config.executor = backend
+        self._mp = None
+        if backend == "process":
+            if registry is not None:
+                raise ValueError(
+                    "executor='process' serves the default registry only "
+                    "(pool workers rebuild it; a custom registry would "
+                    "not reach them)"
+                )
+            from repro.mp import ProcessExecutor
+
+            self._mp = ProcessExecutor(
+                max_workers=self.config.workers
+            ).warm()
         self.caches: dict[str, TraceCache] = {
             kid: TraceCache(validate=self.config.validate)
             for kid in self.registry
@@ -120,6 +182,8 @@ class SignificanceService:
     async def close(self) -> None:
         await self.server.close()
         self._executor.shutdown(wait=False)
+        if self._mp is not None:
+            self._mp.close()
 
     # ------------------------------------------------------------------
     # Routing
@@ -192,6 +256,28 @@ class SignificanceService:
             counter.inc()
         return report, outcome
 
+    def _mp_analyse_entry(
+        self, entry: KernelEntry, intervals
+    ) -> tuple[bytes, str]:
+        """(response body, cache outcome) via the process backend."""
+        from repro.runtime.task import ExecutionMode, Task
+
+        task = Task(
+            fn=_analyse_in_worker_process,
+            args=(
+                entry.kernel_id,
+                tuple(intervals),
+                self.config.validate,
+            ),
+            label="serve.analyse",
+        )
+        [result] = self._mp.run([task], [ExecutionMode.ACCURATE])
+        body, outcome = result.value
+        counter = _OUTCOME_COUNTER.get(outcome)
+        if counter is not None:
+            counter.inc()
+        return body, outcome
+
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
@@ -202,6 +288,10 @@ class SignificanceService:
                 "version": _VERSION,
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "kernels": sorted(self.registry),
+                # The analysis backend, so deploy smoke checks can assert
+                # which executor actually serves /analyse.
+                "executor": self.config.executor,
+                "workers": self.config.workers,
             }
         )
 
@@ -232,12 +322,18 @@ class SignificanceService:
         payload = request.json()
         entry = self._entry(payload)
         intervals = self._intervals(payload, entry)
-        report, outcome = await self._in_worker(
-            lambda: self._analyse_entry(entry, intervals)
-        )
-        # The body is exactly the in-process serialisation — byte-identical
-        # to report_to_json of a local analysis of the same ranges.
-        body = report_to_json(report).encode("utf-8")
+        if self._mp is not None:
+            body, outcome = await self._in_worker(
+                lambda: self._mp_analyse_entry(entry, intervals)
+            )
+        else:
+            report, outcome = await self._in_worker(
+                lambda: self._analyse_entry(entry, intervals)
+            )
+            # The body is exactly the in-process serialisation —
+            # byte-identical to report_to_json of a local analysis of
+            # the same ranges.
+            body = report_to_json(report).encode("utf-8")
         return Response(
             body=body,
             headers={

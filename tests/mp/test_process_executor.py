@@ -1,0 +1,196 @@
+"""ProcessExecutor: ordering, dropped tasks, fallback, metrics merging."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.mp import ProcessExecutor, default_workers, make_executor
+from repro.obs import metrics as obs_metrics
+from repro.runtime import (
+    ExecutionMode,
+    SequentialExecutor,
+    Task,
+    ThreadedExecutor,
+)
+
+
+def square(i):
+    return i * i
+
+
+def approx_square(i):
+    return i * i + 1
+
+
+def boom(msg):
+    raise ValueError(msg)
+
+
+def in_worker():
+    return multiprocessing.parent_process() is not None
+
+
+def die_in_worker(i):
+    if in_worker():
+        os._exit(3)
+    return i * 10
+
+
+def slow_in_worker(i):
+    if in_worker():
+        time.sleep(30.0)
+    return i + 100
+
+
+def count_in_worker(i):
+    obs_metrics.counter("test.mp.worker_count").inc()
+    obs_metrics.histogram("test.mp.worker_hist").observe(float(i))
+    return i
+
+
+@pytest.fixture
+def executor():
+    with ProcessExecutor(max_workers=2, mp_context="fork") as ex:
+        yield ex
+
+
+def make_tasks(n, fn=square, approx=None):
+    return [Task(fn=fn, args=(i,), approx_fn=approx, task_id=i) for i in range(n)]
+
+
+class TestOrderingContract:
+    def test_results_dense_and_submission_ordered(self, executor):
+        tasks = make_tasks(7)
+        results = executor.run(tasks, [ExecutionMode.ACCURATE] * 7)
+        assert [r.value for r in results] == [i * i for i in range(7)]
+
+    def test_result_binds_parent_task_object(self, executor):
+        tasks = make_tasks(3)
+        results = executor.run(tasks, [ExecutionMode.ACCURATE] * 3)
+        for task, result in zip(tasks, results):
+            assert result.task is task
+
+    def test_dropped_tasks_never_reach_the_pool(self, executor):
+        tasks = make_tasks(4)
+        modes = [
+            ExecutionMode.ACCURATE,
+            ExecutionMode.DROPPED,
+            ExecutionMode.ACCURATE,
+            ExecutionMode.DROPPED,
+        ]
+        results = executor.run(tasks, modes)
+        assert [r.value for r in results] == [0, None, 4, None]
+        assert [r.mode for r in results] == modes
+
+    def test_approximate_mode_runs_approx_fn(self, executor):
+        tasks = make_tasks(3, approx=approx_square)
+        modes = [
+            ExecutionMode.ACCURATE,
+            ExecutionMode.APPROXIMATE,
+            ExecutionMode.ACCURATE,
+        ]
+        results = executor.run(tasks, modes)
+        assert [r.value for r in results] == [0, 2, 4]
+
+    def test_mismatched_lengths_rejected(self, executor):
+        with pytest.raises(ValueError):
+            executor.run(make_tasks(2), [ExecutionMode.ACCURATE])
+
+    def test_matches_sequential_executor(self, executor):
+        tasks = make_tasks(5)
+        modes = [ExecutionMode.ACCURATE] * 5
+        seq = SequentialExecutor().run(make_tasks(5), modes)
+        par = executor.run(tasks, modes)
+        assert [r.value for r in par] == [r.value for r in seq]
+
+
+class TestFailureHandling:
+    def test_task_exception_propagates_with_type(self, executor):
+        tasks = [Task(fn=boom, args=("kaputt",))]
+        with pytest.raises(ValueError, match="kaputt"):
+            executor.run(tasks, [ExecutionMode.ACCURATE])
+
+    def test_worker_death_falls_back_sequentially(self):
+        before = obs_metrics.counter("mp.fallbacks").value
+        with ProcessExecutor(max_workers=2, mp_context="fork") as ex:
+            tasks = [Task(fn=die_in_worker, args=(i,)) for i in range(4)]
+            results = ex.run(tasks, [ExecutionMode.ACCURATE] * 4)
+        assert [r.value for r in results] == [0, 10, 20, 30]
+        assert obs_metrics.counter("mp.fallbacks").value == before + 1
+
+    def test_timeout_falls_back_sequentially(self):
+        with ProcessExecutor(
+            max_workers=1, mp_context="fork", task_timeout=0.5
+        ) as ex:
+            tasks = [Task(fn=slow_in_worker, args=(i,)) for i in range(2)]
+            results = ex.run(tasks, [ExecutionMode.ACCURATE] * 2)
+        assert [r.value for r in results] == [100, 101]
+
+    def test_fallback_disabled_raises(self):
+        with ProcessExecutor(
+            max_workers=1, mp_context="fork", fallback=False
+        ) as ex:
+            tasks = [Task(fn=die_in_worker, args=(0,))]
+            with pytest.raises(Exception):
+                ex.run(tasks, [ExecutionMode.ACCURATE])
+
+    def test_unpicklable_task_falls_back(self):
+        with ProcessExecutor(max_workers=1, mp_context="fork") as ex:
+            tasks = [Task(fn=lambda: 42)]
+            results = ex.run(tasks, [ExecutionMode.ACCURATE])
+        assert results[0].value == 42
+
+    def test_pool_survives_for_next_batch_after_fallback(self):
+        with ProcessExecutor(max_workers=1, mp_context="fork") as ex:
+            ex.run([Task(fn=die_in_worker, args=(1,))], [ExecutionMode.ACCURATE])
+            results = ex.run(make_tasks(3), [ExecutionMode.ACCURATE] * 3)
+            assert [r.value for r in results] == [0, 1, 4]
+
+
+class TestMetricsMerging:
+    def test_worker_counters_merge_into_parent(self, executor):
+        counter = obs_metrics.counter("test.mp.worker_count")
+        hist = obs_metrics.histogram("test.mp.worker_hist")
+        before = counter.value
+        hist_before = hist.count
+        tasks = [Task(fn=count_in_worker, args=(i,)) for i in range(5)]
+        executor.run(tasks, [ExecutionMode.ACCURATE] * 5)
+        assert counter.value == before + 5
+        assert hist.count == hist_before + 5
+
+
+class TestConfiguration:
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_MP_WORKERS", "bogus")
+        assert default_workers() >= 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+    def test_make_executor_resolution(self):
+        assert isinstance(make_executor(None), SequentialExecutor)
+        assert isinstance(make_executor("seq"), SequentialExecutor)
+        assert isinstance(make_executor("thread"), ThreadedExecutor)
+        process = make_executor("process", workers=2)
+        assert isinstance(process, ProcessExecutor)
+        assert process.max_workers == 2
+        process.close()
+        passthrough = SequentialExecutor()
+        assert make_executor(passthrough) is passthrough
+        with pytest.raises(ValueError):
+            make_executor("quantum")
+
+    def test_runtime_accepts_executor_spec(self):
+        from repro.runtime import TaskRuntime
+
+        rt = TaskRuntime(executor="process", workers=2)
+        for i in range(4):
+            rt.submit(square, args=(i,), significance=1.0)
+        group = rt.taskwait(ratio=1.0)
+        assert [r.value for r in group.results] == [0, 1, 4, 9]
+        rt.executor.close()

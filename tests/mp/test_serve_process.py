@@ -1,0 +1,55 @@
+"""The serve process backend: byte-identity and /healthz exposure."""
+
+import pytest
+
+from repro.serve import ServiceConfig, ServiceThread
+
+
+class TestServeProcessBackend:
+    @pytest.fixture(scope="class")
+    def service(self):
+        config = ServiceConfig(port=0, executor="process", workers=2)
+        with ServiceThread(config=config) as thread:
+            yield thread
+
+    def test_healthz_reports_backend(self, service):
+        health = service.client().healthz()
+        assert health["executor"] == "process"
+        assert health["workers"] == 2
+
+    def test_responses_byte_identical_to_thread_backend(self, service):
+        with ServiceThread(config=ServiceConfig(port=0)) as reference:
+            ref_body, _ = reference.client().analyse_raw("blackscholes")
+        client = service.client()
+        first, _ = client.analyse_raw("blackscholes")
+        second, _ = client.analyse_raw("blackscholes")
+        assert first == ref_body
+        assert second == ref_body
+
+    def test_custom_inputs_round_trip(self, service):
+        inputs = [[99.0, 101.0], [104.0, 106.0], 0.03, 0.25, 1.0]
+        report = service.client().analyse("blackscholes", inputs)
+        assert "graph" in report and "labelled_significances" in report
+
+
+class TestServeConfigValidation:
+    def test_unknown_backend_rejected(self):
+        from repro.serve.app import SignificanceService
+
+        with pytest.raises(ValueError, match="executor"):
+            SignificanceService(config=ServiceConfig(executor="fibers"))
+
+    def test_custom_registry_needs_thread_backend(self):
+        from repro.serve.app import SignificanceService
+        from repro.serve.kernels import default_registry
+
+        with pytest.raises(ValueError, match="default registry"):
+            SignificanceService(
+                registry=default_registry(),
+                config=ServiceConfig(executor="process"),
+            )
+
+    def test_thread_default_unchanged(self):
+        with ServiceThread() as thread:
+            health = thread.client().healthz()
+            assert health["executor"] == "thread"
