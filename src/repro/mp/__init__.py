@@ -23,13 +23,19 @@ Everything here is stdlib + NumPy; ``executor="process"`` knobs on
 """
 
 from .executor import ProcessExecutor, default_workers, make_executor
-from .drivers import lane_chunks, parallel_lane_significances, process_requested
+from .drivers import (
+    default_chunk_lanes,
+    lane_chunks,
+    parallel_lane_significances,
+    process_requested,
+)
 from .shared import SharedArray, SharedTape, live_segments, unlink_all
 
 __all__ = [
     "ProcessExecutor",
     "SharedArray",
     "SharedTape",
+    "default_chunk_lanes",
     "default_workers",
     "lane_chunks",
     "live_segments",

@@ -23,6 +23,7 @@ work.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Sequence
 
 import numpy as np
@@ -115,6 +116,47 @@ def process_requested(executor: Any) -> bool:
     return isinstance(executor, ProcessExecutor)
 
 
+#: Environment override for the default chunk size (lanes per task).
+CHUNK_ENV = "REPRO_MP_CHUNK"
+
+#: Below this many lanes a chunk's sweep is dominated by per-task
+#: dispatch overhead, so the default policy never goes finer (callers
+#: can still force smaller chunks explicitly).
+MIN_CHUNK_LANES = 32
+
+
+def default_chunk_lanes(n_lanes: int, workers: int) -> int:
+    """The workers-aware default chunk size for ``lane_chunks``.
+
+    Resolution order:
+
+    1. ``$REPRO_MP_CHUNK`` (a positive integer; anything else ignored) —
+       the deploy-time escape hatch for machines whose sweet spot the
+       heuristic misses;
+    2. otherwise target **four chunks per worker** — enough slack for the
+       executor to rebalance when chunks finish unevenly — but never
+       below :data:`MIN_CHUNK_LANES` lanes per chunk (clamped so tiny
+       batches still spread across all workers rather than landing on
+       one).
+    """
+    env = os.environ.get(CHUNK_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return value
+    workers = max(workers, 1)
+    target = -(-n_lanes // (4 * workers))
+    if target < MIN_CHUNK_LANES:
+        # Don't let the balancing target shatter small batches: floor at
+        # MIN_CHUNK_LANES, unless even one-chunk-per-worker is finer.
+        per_worker = -(-n_lanes // workers)
+        target = min(MIN_CHUNK_LANES, per_worker)
+    return max(1, target)
+
+
 def lane_chunks(
     n_lanes: int,
     workers: int,
@@ -124,16 +166,18 @@ def lane_chunks(
 ) -> list[tuple[int, int]]:
     """Split a lane axis into contiguous ``(start, stop)`` chunks.
 
-    Default chunk size targets two chunks per worker (cheap load
-    balancing without drowning in per-task overhead), rounded up to a
-    multiple of ``align`` — image drivers pass the row width so chunks
-    are whole rows/tiles.  The chunking never affects results (the sweeps
-    are chunk-invariant); it only shapes the schedule.
+    With ``chunk_lanes=None`` the size comes from
+    :func:`default_chunk_lanes` (``$REPRO_MP_CHUNK`` override, else a
+    four-chunks-per-worker heuristic floored at
+    :data:`MIN_CHUNK_LANES`), rounded up to a multiple of ``align`` —
+    image drivers pass the row width so chunks are whole rows/tiles.
+    The chunking never affects results (the sweeps are chunk-invariant);
+    it only shapes the schedule.
     """
     if n_lanes <= 0:
         return []
     if chunk_lanes is None:
-        chunk_lanes = -(-n_lanes // max(2 * workers, 1))
+        chunk_lanes = default_chunk_lanes(n_lanes, workers)
     chunk_lanes = max(1, chunk_lanes)
     if align > 1:
         chunk_lanes = -(-chunk_lanes // align) * align

@@ -16,8 +16,14 @@ from .ablation import SIGNIFICANCE_VARIANTS, score_tape
 from .advisor import Suggestion, render_advice, suggest_approximations
 from .api import Analysis, analyse_function
 from .compare import ReportDiff, compare_reports
-from .compiled import TraceStructure, analyse_compiled, analyse_compiled_tape
+from .compiled import (
+    TraceStructure,
+    analyse_compiled,
+    analyse_compiled_tape,
+    analyse_replay_lanes,
+)
 from .decorators import AnalysedFunction, significance
+from .tape_store import TapeStore, STORE_VERSION
 from .trace_cache import (
     CachedTrace,
     TraceCache,
@@ -50,8 +56,11 @@ __all__ = [
     "analyse_function",
     "analyse_compiled",
     "analyse_compiled_tape",
+    "analyse_replay_lanes",
     "TraceStructure",
     "CachedTrace",
+    "TapeStore",
+    "STORE_VERSION",
     "TraceCache",
     "TraceDivergenceError",
     "op_sequence_hash",

@@ -48,6 +48,7 @@ from .variance import VarianceScan
 __all__ = [
     "analyse_compiled",
     "analyse_compiled_tape",
+    "analyse_replay_lanes",
     "TraceStructure",
     "eq11_from_sweep",
     "eq11_vector",
@@ -719,18 +720,52 @@ def _analyse_compiled_tape(
                 for l, h in zip(hull_lo.tolist(), hull_hi.tolist())
             ]
 
-    sig_list = sig.tolist()
-    ops = structure.ops
-    labels = ct.labels
-    adjoint_memo: list[Any] = []
-    value_memo: list[Any] = []
     # Snapshot the value columns eagerly: a later `ct.forward` overwrites
     # them in place, and the report's lazy graph must keep showing the
     # values this analysis ran on.  (The adjoint arrays are fresh per
     # call, so closing over them is safe.)
-    vlo_snap = value_lo.tolist()
-    vhi_snap = value_hi.tolist()
-    is_iv_snap = ct.value_is_interval.tolist()
+    return _assemble_from_columns(
+        structure=structure,
+        sig_list=sig.tolist(),
+        vlo_snap=value_lo.tolist(),
+        vhi_snap=value_hi.tolist(),
+        is_iv_snap=ct.value_is_interval.tolist(),
+        build_adjoints=build_adjoints,
+        labels=ct.labels,
+        delta=delta,
+        simplify=simplify,
+        input_ids=input_ids,
+        intermediate_ids=intermediate_ids,
+        output_ids=output_ids,
+        n=n,
+    )
+
+
+def _assemble_from_columns(
+    *,
+    structure: TraceStructure,
+    sig_list: list,
+    vlo_snap: list,
+    vhi_snap: list,
+    is_iv_snap: list,
+    build_adjoints,
+    labels,
+    delta,
+    simplify,
+    input_ids,
+    intermediate_ids,
+    output_ids,
+    n,
+) -> SignificanceReport:
+    """Graphs + S5 + report from one analysis' scalar columns.
+
+    Shared verbatim by the scalar replay path and the per-lane slices of
+    a batched replay (:func:`analyse_replay_lanes`) — sharing the code is
+    what keeps a lane's report byte-identical to its scalar twin.
+    """
+    ops = structure.ops
+    adjoint_memo: list[Any] = []
+    value_memo: list[Any] = []
 
     def adjoints() -> list[Any]:
         if not adjoint_memo:
@@ -834,3 +869,129 @@ def analyse_compiled(
         delta=delta,
         simplify=simplify,
     )
+
+
+def analyse_replay_lanes(
+    ct: CompiledTape,
+    lanes: Any,
+    output_ids: Sequence[int],
+    *,
+    input_ids: Sequence[int] = (),
+    intermediate_ids: Sequence[int] = (),
+    delta: float = 1e-6,
+    simplify: bool = True,
+    structure: TraceStructure | None = None,
+) -> list[SignificanceReport]:
+    """Full ANALYSE of every lane of one batched replay: one sweep, L reports.
+
+    ``lanes`` is the :class:`repro.ad.compiled.ReplayLanes` of a
+    :meth:`CompiledTape.forward_lanes` call.  The expensive work — the
+    reverse adjoint sweep and Eq. 11 — runs once over the whole ``(n, L)``
+    lane block; the per-lane remainder (variance scan, lazy graphs,
+    report assembly) reuses the exact scalar assembly path on each lane's
+    columns.  Lane ``l``'s report is therefore byte-identical (through
+    ``report_to_json``) to a scalar replay — and hence to a fresh
+    recording — of lane ``l``'s inputs.  This is what lets
+    :mod:`repro.serve` coalesce concurrent requests into one sweep while
+    still answering each caller with the bytes it would have gotten
+    alone.
+    """
+    output_ids = list(output_ids)
+    if not output_ids:
+        raise ValueError("analyse_replay_lanes needs at least one output")
+    if structure is None:
+        structure = TraceStructure(ct, output_ids, simplify=simplify)
+    elif structure.simplified != simplify:
+        raise ValueError(
+            "TraceStructure was built with a different `simplify` setting"
+        )
+    n = ct.n
+    L = lanes.n_lanes
+    interval = ct.interval_mode
+    vlo = lanes.value_lo
+    vhi = lanes.value_hi
+    _C_ANALYSES.inc(L)
+    with _obs_span("scorpio.analyse_lanes") as span_:
+        span_.set(nodes=n, lanes=L, backend="compiled")
+        if len(output_ids) == 1:
+            alo, ahi = lanes.adjoint({output_ids[0]: 1.0})
+            with _obs_span("scorpio.eq11") as sp:
+                sig = eq11_from_sweep(
+                    vlo, vhi, alo, ahi, interval_mode=interval
+                )
+                sp.set(nodes=n, outputs=1, lanes=L)
+
+            def lane_sig(lane: int) -> list:
+                return sig[:, lane].tolist()
+
+            if interval:
+
+                def lane_adjoints(lane: int):
+                    def build() -> list[Any]:
+                        return [
+                            Interval(lo, hi)
+                            for lo, hi in zip(
+                                alo[:, lane].tolist(), ahi[:, lane].tolist()
+                            )
+                        ]
+
+                    return build
+
+            else:
+
+                def lane_adjoints(lane: int):
+                    def build() -> list[Any]:
+                        return alo[:, lane].tolist()
+
+                    return build
+
+        else:
+            lo, hi = lanes.adjoint_vector(output_ids)
+
+            def lane_sig(lane: int) -> list:
+                # Per-lane Eq. 11 over the (n, m) adjoint slice: the
+                # elementwise products and the axis-1 sum visit the same
+                # element sequence as the scalar path, so each lane's
+                # significances are bit-identical to it.
+                with _obs_span("scorpio.eq11") as sp:
+                    s = eq11_vector(
+                        vlo[:, lane],
+                        vhi[:, lane],
+                        lo[:, lane, :],
+                        hi[:, lane, :],
+                        interval_mode=interval,
+                    )
+                    sp.set(nodes=n, outputs=len(output_ids))
+                return s.tolist()
+
+            def lane_adjoints(lane: int):
+                def build() -> list[Any]:
+                    hull_lo = np.min(lo[:, lane, :], axis=1)
+                    hull_hi = np.max(hi[:, lane, :], axis=1)
+                    return [
+                        Interval(a, b)
+                        for a, b in zip(hull_lo.tolist(), hull_hi.tolist())
+                    ]
+
+                return build
+
+        reports = []
+        for lane in range(L):
+            reports.append(
+                _assemble_from_columns(
+                    structure=structure,
+                    sig_list=lane_sig(lane),
+                    vlo_snap=vlo[:, lane].tolist(),
+                    vhi_snap=vhi[:, lane].tolist(),
+                    is_iv_snap=ct.value_is_interval.tolist(),
+                    build_adjoints=lane_adjoints(lane),
+                    labels=ct.labels,
+                    delta=delta,
+                    simplify=simplify,
+                    input_ids=input_ids,
+                    intermediate_ids=intermediate_ids,
+                    output_ids=output_ids,
+                    n=n,
+                )
+            )
+    return reports

@@ -60,6 +60,8 @@ import hashlib
 import threading
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.ad.compiled import CompiledTape
 from repro.ad.replay import GuardDivergenceError, ReplayError
 from repro.ad.tape import Tape
@@ -67,7 +69,12 @@ from repro.intervals import Interval, as_interval
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import span as _obs_span
 
-from .compiled import TraceStructure, analyse_compiled_tape, eq11_from_sweep
+from .compiled import (
+    TraceStructure,
+    analyse_compiled_tape,
+    analyse_replay_lanes,
+    eq11_from_sweep,
+)
 from .report import SignificanceReport
 
 __all__ = [
@@ -199,6 +206,50 @@ class CachedTrace:
         # users of one trace must hold this while forwarding/analysing.
         self.lock = threading.Lock()
 
+    @classmethod
+    def from_compiled(
+        cls,
+        ct: CompiledTape,
+        *,
+        input_ids: Sequence[int],
+        intermediate_ids: Sequence[int],
+        output_ids: Sequence[int],
+        delta: float,
+        simplify: bool,
+        op_hash: str,
+    ) -> "CachedTrace":
+        """Rebuild a trace from an already-compiled tape (no recording).
+
+        This is how :class:`~repro.scorpio.tape_store.TapeStore` turns a
+        deserialized ``CompiledTape`` back into a live cache entry: the
+        analysis ids and hash come from the store header instead of an
+        ``Analysis`` object.  The same structure guard applies — a tape
+        whose forward plan disagrees with the registered inputs raises
+        :class:`~repro.ad.replay.ReplayError`.
+        """
+        plan = ct._forward_plan()
+        input_ids = [int(i) for i in input_ids]
+        if plan.input_nodes != input_ids:
+            raise ReplayError(
+                "stored tape's forward-plan inputs do not match its "
+                "recorded input ids"
+            )
+        self = object.__new__(cls)
+        self.ct = ct
+        self.input_ids = input_ids
+        self.intermediate_ids = list(intermediate_ids)
+        self.output_ids = list(output_ids)
+        self.delta = delta
+        self.simplify = simplify
+        self.structure = TraceStructure(
+            ct, self.output_ids, simplify=simplify
+        )
+        self.op_hash = op_hash
+        self.validated = False
+        self.replays = 0
+        self.lock = threading.Lock()
+        return self
+
     def __reduce__(self):
         raise TypeError(
             "CachedTrace is per-process (its replay lock is a threading "
@@ -315,6 +366,50 @@ class CachedTrace:
             exact_variance=exact_variance,
         )
 
+    def analyse_batch(
+        self, inputs_batch: Sequence[Sequence[Interval]]
+    ) -> list[SignificanceReport]:
+        """Analyse L input sets with ONE forward + ONE adjoint sweep.
+
+        Packs each input set as a lane of :meth:`forward_lanes` and runs
+        :func:`~repro.scorpio.compiled.analyse_replay_lanes` over the
+        block; element ``l`` of the result is byte-identical (through
+        ``report_to_json``) to ``self.analyse(inputs_batch[l])``.  This
+        is the primitive :mod:`repro.serve.batching` coalesces concurrent
+        requests onto.
+
+        Raises :class:`~repro.ad.replay.GuardDivergenceError` when *any*
+        lane takes a different branch than the recorded trace (the guard
+        check is all-lanes); callers fall back to per-item analysis.
+        The caller must hold :attr:`lock`.
+        """
+        L = len(inputs_batch)
+        n_in = len(self.input_ids)
+        lo = np.empty((n_in, L), dtype=np.float64)
+        hi = np.empty((n_in, L), dtype=np.float64)
+        for lane, inputs in enumerate(inputs_batch):
+            if len(inputs) != n_in:
+                raise ReplayError(
+                    f"batch lane {lane} has {len(inputs)} inputs; the "
+                    f"trace replays exactly {n_in}"
+                )
+            for j, iv in enumerate(inputs):
+                iv = as_interval(iv)
+                lo[j, lane] = iv.lo
+                hi[j, lane] = iv.hi
+        lanes = self.ct.forward_lanes(lo, hi)
+        self.replays += L
+        return analyse_replay_lanes(
+            self.ct,
+            lanes,
+            self.output_ids,
+            input_ids=self.input_ids,
+            intermediate_ids=self.intermediate_ids,
+            delta=self.delta,
+            simplify=self.simplify,
+            structure=self.structure,
+        )
+
     def lane_report(self, lanes, lane: int) -> SignificanceReport:
         """Full scalar report for one lane of a batched replay — the
         cached-trace twin of :func:`repro.vec.lane_report`.
@@ -357,9 +452,24 @@ class TraceCache:
     (:class:`TraceDivergenceError` on mismatch).
     """
 
-    def __init__(self, *, validate: bool = False):
+    def __init__(
+        self,
+        *,
+        validate: bool = False,
+        store_dir: "str | None" = None,
+    ):
         self._traces: dict[Any, CachedTrace | None] = {}
         self.validate = validate
+        # Optional persistent tape store: cold keys first try a disk
+        # load (restart warm-start — the first request replays instead
+        # of re-recording), and every freshly recorded trace is saved
+        # back best-effort.
+        if store_dir is not None:
+            from .tape_store import TapeStore
+
+            self.store: "Any | None" = TapeStore(store_dir)
+        else:
+            self.store = None
         # Per-instance obs.metrics counters — stats() is a thin view over
         # them; the module-level _C_* twins aggregate across every cache
         # for the ``repro profile`` metrics table.
@@ -495,11 +605,13 @@ class TraceCache:
             # thread that raced it waits here and then replays.
             with self._record_lock(key):
                 if key not in self._traces:
-                    self._count(self._c_records, _C_RECORDS)
-                    report = self._record(
-                        key, recorder, inputs, simplify, cache_it=True
-                    )
-                    return report, "record"
+                    if self._load_from_store(key, simplify) is None:
+                        self._count(self._c_records, _C_RECORDS)
+                        report = self._record(
+                            key, recorder, inputs, simplify, cache_it=True
+                        )
+                        self._save_to_store(key)
+                        return report, "record"
             trace = self._traces[key]
         if trace is None:
             # Structure guard rejected this kernel once; keep recording.
@@ -529,6 +641,116 @@ class TraceCache:
             return report, "divergence"
         self._count(self._c_replays, _C_REPLAYS)
         return report, "replay"
+
+    def _load_from_store(
+        self, key: Any, simplify: bool
+    ) -> "CachedTrace | None":
+        """Try the persistent store for a cold key (record lock held).
+
+        A hit installs the trace in the map and returns it, so the very
+        first call after a restart is served as a *replay* — the whole
+        point of :class:`~repro.scorpio.tape_store.TapeStore`.  Misses,
+        corrupt files and ``simplify`` mismatches all return None and
+        leave the map untouched (the caller records as usual).
+        """
+        if self.store is None:
+            return None
+        trace = self.store.load(key)
+        if trace is None or trace.simplify != simplify:
+            return None
+        with self._lock:
+            self._traces[key] = trace
+        return trace
+
+    def _save_to_store(self, key: Any) -> None:
+        """Best-effort persist of a freshly recorded trace (lock held)."""
+        if self.store is None:
+            return
+        with self._lock:
+            trace = self._traces.get(key)
+        if trace is not None:
+            self.store.save(key, trace)
+
+    def analyse_batch_outcome(
+        self,
+        key: Any,
+        recorder: Callable[[Sequence[Interval]], Any],
+        inputs_batch: Sequence[Sequence[Any]],
+        *,
+        simplify: bool = True,
+    ) -> list[tuple[SignificanceReport, str]]:
+        """Record-or-replay a whole batch of input sets in one sweep.
+
+        The batched twin of :meth:`analyse_outcome`: element ``i`` is
+        exactly the ``(report, outcome)`` a scalar call on
+        ``inputs_batch[i]`` would have produced — byte-identical reports
+        — but warm lanes share ONE ``forward_lanes`` replay and ONE
+        lane-batched adjoint sweep (:meth:`CachedTrace.analyse_batch`).
+
+        Cold keys route their first item through the scalar path (which
+        records, loads from the persistent store, or validates as
+        configured) and batch the remainder; guard divergence on any
+        lane falls back to per-item analysis so non-diverging lanes
+        still replay.  This is the entry point
+        :mod:`repro.serve.batching` dispatches coalesced requests to.
+        """
+        inputs_batch = [
+            [as_interval(iv) for iv in inputs] for inputs in inputs_batch
+        ]
+        if not inputs_batch:
+            return []
+        results: list[tuple[SignificanceReport, str]] = [None] * len(
+            inputs_batch
+        )
+
+        def scalar(i: int) -> None:
+            results[i] = self.analyse_outcome(
+                key, recorder, inputs_batch[i], simplify=simplify
+            )
+
+        start = 0
+        trace = self._traces.get(key, _MISSING)
+        if (
+            trace is _MISSING
+            or trace is None
+            or (self.validate and not trace.validated)
+        ):
+            # First item takes the scalar path: it records the trace,
+            # warm-starts from the store, or runs validation — whichever
+            # the cache state calls for.
+            scalar(0)
+            start = 1
+            trace = self._traces.get(key)
+        if trace is None:
+            # Structure guard rejected the kernel; everything records.
+            for i in range(start, len(inputs_batch)):
+                scalar(i)
+            return results
+        rest = inputs_batch[start:]
+        if not rest:
+            return results
+        if len(rest) == 1:
+            scalar(start)
+            return results
+        try:
+            with trace.lock:
+                with _obs_span("trace_cache.replay_batch") as sp:
+                    sp.set(key=repr(key), lanes=len(rest))
+                    reports = trace.analyse_batch(rest)
+        except GuardDivergenceError:
+            # check_guards accepts a batch only when EVERY lane
+            # reproduces the recorded outcomes, so one divergent request
+            # fails the whole sweep.  Degrade to per-item calls: the
+            # conforming lanes replay, the divergent ones re-record.
+            for i in range(start, len(inputs_batch)):
+                scalar(i)
+            return results
+        with self._lock:
+            self._c_replays.inc(len(rest))
+            _C_REPLAYS.inc(len(rest))
+        for offset, report in enumerate(reports):
+            results[start + offset] = (report, "replay")
+        return results
 
     def _validate(
         self,

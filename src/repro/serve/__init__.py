@@ -32,6 +32,7 @@ or in-process::
 """
 
 from .app import ServiceConfig, ServiceThread, SignificanceService
+from .batching import KernelBatcher
 from .client import ServiceClient, ServiceError
 from .http import HttpError, HttpServer, Request, Response, Router
 from .kernels import KernelEntry, default_registry, parse_intervals
@@ -40,6 +41,7 @@ __all__ = [
     "SignificanceService",
     "ServiceConfig",
     "ServiceThread",
+    "KernelBatcher",
     "ServiceClient",
     "ServiceError",
     "KernelEntry",

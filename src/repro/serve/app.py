@@ -31,6 +31,7 @@ requests record exactly once.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -42,6 +43,7 @@ from repro.obs import metrics as obs_metrics
 from repro.scorpio import TraceCache
 from repro.scorpio.serialize import report_to_json
 
+from .batching import KernelBatcher
 from .http import HttpError, HttpServer, Request, Response, Router, json_response
 from .kernels import KernelEntry, default_registry, parse_intervals, tune_setup
 
@@ -63,9 +65,21 @@ class ServiceConfig:
     # :class:`repro.mp.ProcessExecutor` whose long-lived workers each
     # keep their own per-process TraceCache (record once per worker,
     # replay after — responses are byte-identical either way, which is
-    # the cache's pinned invariant).  /advise and /tune always run in
-    # the serving process (they need the live report object).
+    # the cache's pinned invariant).  /advise and /tune bodies follow
+    # the same backend: thread pool by default, pool workers under
+    # executor="process".
     executor: str = "thread"
+    # Dynamic micro-batching of POST /analyse: concurrent requests for
+    # one kernel arriving within batch_window_ms of each other are
+    # coalesced into one lane-batched replay sweep of up to max_batch
+    # lanes (responses stay byte-identical to the unbatched path).
+    # max_batch=1 disables coalescing entirely.
+    batch_window_ms: float = 2.0
+    max_batch: int = 16
+    # Persistent tape store directory (None -> $REPRO_TAPE_DIR if set).
+    # With a store, a restarted service loads recorded tapes from disk
+    # and serves its very first request per kernel as a replay.
+    store_dir: str | None = None
 
 
 # Per-endpoint observability: one latency histogram per route plus
@@ -94,15 +108,15 @@ _OUTCOME_COUNTER = {
 _WORKER_STATE: dict[str, Any] | None = None
 
 
-def _analyse_in_worker_process(
-    kernel_id: str, intervals: tuple, validate: bool
-) -> tuple[bytes, str]:
-    """Run one /analyse request inside a repro.mp pool worker.
+def _worker_entry_cache(
+    kernel_id: str, validate: bool, store_dir: "str | None"
+) -> tuple[KernelEntry, TraceCache]:
+    """This worker's registry entry and TraceCache for one kernel.
 
-    Returns the serialized report body and the cache outcome.  The body
-    is byte-identical to the thread backend's response for the same
-    ranges — recording and replay serialize identically, so it does not
-    matter which worker (or how cold) answers.
+    With a ``store_dir`` every pool worker attaches the *persisted* tape
+    instead of re-recording its own copy: the first worker to record a
+    kernel saves the tape, and every other worker (and every restart)
+    warm-starts from disk.
     """
     global _WORKER_STATE
     if _WORKER_STATE is None:
@@ -111,8 +125,25 @@ def _analyse_in_worker_process(
     cache = _WORKER_STATE["caches"].get(kernel_id)
     if cache is None:
         cache = _WORKER_STATE["caches"].setdefault(
-            kernel_id, TraceCache(validate=validate)
+            kernel_id, TraceCache(validate=validate, store_dir=store_dir)
         )
+    return entry, cache
+
+
+def _analyse_in_worker_process(
+    kernel_id: str,
+    intervals: tuple,
+    validate: bool,
+    store_dir: "str | None" = None,
+) -> tuple[bytes, str]:
+    """Run one /analyse request inside a repro.mp pool worker.
+
+    Returns the serialized report body and the cache outcome.  The body
+    is byte-identical to the thread backend's response for the same
+    ranges — recording and replay serialize identically, so it does not
+    matter which worker (or how cold) answers.
+    """
+    entry, cache = _worker_entry_cache(kernel_id, validate, store_dir)
     report, outcome = cache.analyse_outcome(
         entry.cache_key,
         entry.recorder,
@@ -120,6 +151,134 @@ def _analyse_in_worker_process(
         simplify=entry.simplify,
     )
     return report_to_json(report).encode("utf-8"), outcome
+
+
+def _analyse_batch_in_worker_process(
+    kernel_id: str,
+    intervals_batch: tuple,
+    validate: bool,
+    store_dir: "str | None" = None,
+) -> list:
+    """Run one coalesced /analyse batch inside a repro.mp pool worker.
+
+    Returns one picklable tagged item per request (``("ok", body,
+    outcome)`` / ``("err", message)``), bodies byte-identical to what
+    the same requests would have answered unbatched.
+    """
+    entry, cache = _worker_entry_cache(kernel_id, validate, store_dir)
+    try:
+        outcomes = cache.analyse_batch_outcome(
+            entry.cache_key,
+            entry.recorder,
+            [list(intervals) for intervals in intervals_batch],
+            simplify=entry.simplify,
+        )
+        return [
+            ("ok", report_to_json(report).encode("utf-8"), outcome)
+            for report, outcome in outcomes
+        ]
+    except Exception:
+        # Batch-level failure (e.g. an ambiguous comparison poisoning
+        # the shared sweep): retry each request alone so only the
+        # culprits fail — identical outcome to unbatched dispatch.
+        items: list = []
+        for intervals in intervals_batch:
+            try:
+                report, outcome = cache.analyse_outcome(
+                    entry.cache_key,
+                    entry.recorder,
+                    list(intervals),
+                    simplify=entry.simplify,
+                )
+                items.append(
+                    ("ok", report_to_json(report).encode("utf-8"), outcome)
+                )
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                items.append(("err", f"{type(exc).__name__}: {exc}"))
+        return items
+
+
+def _advise_in_worker_process(
+    kernel_id: str,
+    intervals: tuple,
+    threshold: float,
+    validate: bool,
+    store_dir: "str | None" = None,
+) -> tuple[dict, str]:
+    """Run one /advise body inside a repro.mp pool worker."""
+    from repro.scorpio.advisor import render_advice, suggest_approximations
+
+    entry, cache = _worker_entry_cache(kernel_id, validate, store_dir)
+    report, outcome = cache.analyse_outcome(
+        entry.cache_key,
+        entry.recorder,
+        list(intervals),
+        simplify=entry.simplify,
+    )
+    suggestions = suggest_approximations(report, float(threshold))
+    return (
+        {
+            "kernel": kernel_id,
+            "threshold": float(threshold),
+            "suggestions": [
+                {
+                    "node_id": s.node_id,
+                    "op": s.op,
+                    "replacement": s.replacement,
+                    "significance": s.significance,
+                    "cost_saving": s.cost_saving,
+                    "score": s.score,
+                }
+                for s in suggestions
+            ],
+            "advice": render_advice(suggestions),
+        },
+        outcome,
+    )
+
+
+def _tune_in_worker_process(
+    kernel_id: str,
+    size: "int | None",
+    target_quality: "float | None",
+    energy_budget: "float | None",
+) -> dict:
+    """Run one /tune body inside a repro.mp pool worker."""
+    from repro.runtime.tuning import (
+        best_quality_under_energy,
+        min_ratio_for_quality,
+    )
+
+    setup = tune_setup(kernel_id, size)
+    if target_quality is not None:
+        result = min_ratio_for_quality(
+            setup.evaluate,
+            float(target_quality),
+            higher_is_better=setup.higher_is_better,
+        )
+        mode = "target_quality"
+    else:
+        result = best_quality_under_energy(
+            setup.evaluate,
+            float(energy_budget),
+            higher_is_better=setup.higher_is_better,
+        )
+        mode = "energy_budget"
+    return {
+        "kernel": kernel_id,
+        "mode": mode,
+        "taskwait": {"ratio": result.ratio},
+        "ratio": result.ratio,
+        "quality": result.quality,
+        "quality_metric": setup.quality_metric,
+        "energy": result.energy,
+        "satisfied": result.satisfied,
+        "workload": setup.workload,
+        "probes": {
+            f"{ratio:.6g}": {"quality": q, "energy": e}
+            for ratio, (q, e) in sorted(result.probes.items())
+        },
+    }
 
 
 class SignificanceService:
@@ -152,10 +311,32 @@ class SignificanceService:
             self._mp = ProcessExecutor(
                 max_workers=self.config.workers
             ).warm()
+        # Resolve the persistent tape store once so /healthz (and the
+        # pool workers) see the effective directory, env var included.
+        if self.config.store_dir is None:
+            self.config.store_dir = os.environ.get("REPRO_TAPE_DIR") or None
         self.caches: dict[str, TraceCache] = {
-            kid: TraceCache(validate=self.config.validate)
+            kid: TraceCache(
+                validate=self.config.validate,
+                store_dir=self.config.store_dir,
+            )
             for kid in self.registry
         }
+        if self.config.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        # One request coalescer per kernel (max_batch=1 -> none; the
+        # unbatched dispatch path is used verbatim).
+        self._batchers: dict[str, KernelBatcher] | None = None
+        if self.config.max_batch > 1:
+            window = max(0.0, self.config.batch_window_ms) / 1000.0
+            self._batchers = {
+                kid: KernelBatcher(
+                    window=window,
+                    max_batch=self.config.max_batch,
+                    dispatch=self._make_batch_dispatch(entry),
+                )
+                for kid, entry in self.registry.items()
+            }
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve",
@@ -181,6 +362,9 @@ class SignificanceService:
 
     async def close(self) -> None:
         await self.server.close()
+        if self._batchers is not None:
+            for batcher in self._batchers.values():
+                batcher.close()
         self._executor.shutdown(wait=False)
         if self._mp is not None:
             self._mp.close()
@@ -268,6 +452,7 @@ class SignificanceService:
                 entry.kernel_id,
                 tuple(intervals),
                 self.config.validate,
+                self.config.store_dir,
             ),
             label="serve.analyse",
         )
@@ -277,6 +462,83 @@ class SignificanceService:
         if counter is not None:
             counter.inc()
         return body, outcome
+
+    # ------------------------------------------------------------------
+    # Batched dispatch (micro-batching of POST /analyse)
+    # ------------------------------------------------------------------
+    def _make_batch_dispatch(self, entry: KernelEntry):
+        """The async dispatch a kernel's :class:`KernelBatcher` calls.
+
+        Ships the whole coalesced batch to the same executor the
+        unbatched path uses (thread pool, or one repro.mp pool worker),
+        where it runs as ONE lane-batched replay sweep.
+        """
+
+        async def dispatch(batch: list) -> list:
+            if self._mp is not None:
+                return await self._in_worker(
+                    lambda: self._mp_batch_analyse_entry(entry, batch)
+                )
+            return await self._in_worker(
+                lambda: self._batch_analyse_entry(entry, batch)
+            )
+
+        return dispatch
+
+    def _count_item(self, item: tuple) -> tuple:
+        if item[0] == "ok":
+            counter = _OUTCOME_COUNTER.get(item[2])
+            if counter is not None:
+                counter.inc()
+        return item
+
+    def _batch_analyse_entry(self, entry: KernelEntry, batch: list) -> list:
+        """Tagged per-request results of one coalesced batch (thread)."""
+        cache = self.caches[entry.kernel_id]
+        try:
+            outcomes = cache.analyse_batch_outcome(
+                entry.cache_key,
+                entry.recorder,
+                batch,
+                simplify=entry.simplify,
+            )
+            return [
+                self._count_item(
+                    ("ok", report_to_json(report).encode("utf-8"), outcome)
+                )
+                for report, outcome in outcomes
+            ]
+        except Exception:
+            # Batch-level failure: retry each request alone so only the
+            # culprits fail, exactly as if they had never been batched.
+            items = []
+            for intervals in batch:
+                try:
+                    report, outcome = self._analyse_entry(entry, intervals)
+                    body = report_to_json(report).encode("utf-8")
+                    items.append(("ok", body, outcome))
+                except Exception as exc:  # noqa: BLE001 - isolated per req
+                    items.append(("err", exc))
+            return items
+
+    def _mp_batch_analyse_entry(
+        self, entry: KernelEntry, batch: list
+    ) -> list:
+        """Tagged per-request results of one coalesced batch (process)."""
+        from repro.runtime.task import ExecutionMode, Task
+
+        task = Task(
+            fn=_analyse_batch_in_worker_process,
+            args=(
+                entry.kernel_id,
+                tuple(tuple(intervals) for intervals in batch),
+                self.config.validate,
+                self.config.store_dir,
+            ),
+            label="serve.analyse_batch",
+        )
+        [result] = self._mp.run([task], [ExecutionMode.ACCURATE])
+        return [self._count_item(item) for item in result.value]
 
     # ------------------------------------------------------------------
     # Handlers
@@ -292,6 +554,11 @@ class SignificanceService:
                 # which executor actually serves /analyse.
                 "executor": self.config.executor,
                 "workers": self.config.workers,
+                # Micro-batching + warm-start configuration, so deploys
+                # can assert the coalescer and tape store are live.
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch": self.config.max_batch,
+                "store_dir": self.config.store_dir,
             }
         )
 
@@ -322,10 +589,22 @@ class SignificanceService:
         payload = request.json()
         entry = self._entry(payload)
         intervals = self._intervals(payload, entry)
-        if self._mp is not None:
+        if self._batchers is not None:
+            item, size, index = await self._batchers[entry.kernel_id].submit(
+                intervals
+            )
+            if item[0] != "ok":
+                detail = item[1]
+                if isinstance(detail, BaseException):
+                    raise detail
+                raise HttpError(500, str(detail))
+            _, body, outcome = item
+            batch_header = f"{size}/{index}"
+        elif self._mp is not None:
             body, outcome = await self._in_worker(
                 lambda: self._mp_analyse_entry(entry, intervals)
             )
+            batch_header = "1/0"
         else:
             report, outcome = await self._in_worker(
                 lambda: self._analyse_entry(entry, intervals)
@@ -334,11 +613,16 @@ class SignificanceService:
             # byte-identical to report_to_json of a local analysis of
             # the same ranges.
             body = report_to_json(report).encode("utf-8")
+            batch_header = "1/0"
         return Response(
             body=body,
             headers={
                 "X-Repro-Cache": outcome,
                 "X-Repro-Kernel": entry.kernel_id,
+                # "<batch size>/<lane index>": how many requests shared
+                # this response's replay sweep and which lane this one
+                # was.  "1/0" means it rode alone.
+                "X-Repro-Batch": batch_header,
             },
         )
 
@@ -353,6 +637,35 @@ class SignificanceService:
             threshold, bool
         ):
             raise HttpError(400, "'threshold' must be a number")
+
+        if self._mp is not None:
+            # Like /analyse, the body runs in a pool worker (the worker
+            # analyses against its own cache and renders the advice
+            # there — the report object never crosses the pipe).
+            from repro.runtime.task import ExecutionMode, Task
+
+            def work():
+                task = Task(
+                    fn=_advise_in_worker_process,
+                    args=(
+                        entry.kernel_id,
+                        tuple(intervals),
+                        float(threshold),
+                        self.config.validate,
+                        self.config.store_dir,
+                    ),
+                    label="serve.advise",
+                )
+                [result] = self._mp.run([task], [ExecutionMode.ACCURATE])
+                return result.value
+
+            payload_out, outcome = await self._in_worker(work)
+            counter = _OUTCOME_COUNTER.get(outcome)
+            if counter is not None:
+                counter.inc()
+            return json_response(
+                payload_out, headers={"X-Repro-Cache": outcome}
+            )
 
         def work():
             report, outcome = self._analyse_entry(entry, intervals)
@@ -380,11 +693,6 @@ class SignificanceService:
         )
 
     async def _handle_tune(self, request: Request) -> Response:
-        from repro.runtime.tuning import (
-            best_quality_under_energy,
-            min_ratio_for_quality,
-        )
-
         payload = request.json()
         entry = self._entry(payload)
         target_quality = payload.get("target_quality")
@@ -402,42 +710,36 @@ class SignificanceService:
         ):
             raise HttpError(400, "'size' must be an integer >= 2")
 
-        def work():
-            setup = tune_setup(entry.kernel_id, size)
-            if target_quality is not None:
-                result = min_ratio_for_quality(
-                    setup.evaluate,
-                    float(target_quality),
-                    higher_is_better=setup.higher_is_better,
-                )
-                mode = "target_quality"
-            else:
-                result = best_quality_under_energy(
-                    setup.evaluate,
-                    float(energy_budget),
-                    higher_is_better=setup.higher_is_better,
-                )
-                mode = "energy_budget"
-            return setup, result, mode
+        if self._mp is not None:
+            # Ratio-search bodies follow the backend too: run the whole
+            # probe loop in a pool worker and relay its JSON payload.
+            from repro.runtime.task import ExecutionMode, Task
 
-        setup, result, mode = await self._in_worker(work)
-        return json_response(
-            {
-                "kernel": entry.kernel_id,
-                "mode": mode,
-                "taskwait": {"ratio": result.ratio},
-                "ratio": result.ratio,
-                "quality": result.quality,
-                "quality_metric": setup.quality_metric,
-                "energy": result.energy,
-                "satisfied": result.satisfied,
-                "workload": setup.workload,
-                "probes": {
-                    f"{ratio:.6g}": {"quality": q, "energy": e}
-                    for ratio, (q, e) in sorted(result.probes.items())
-                },
-            }
-        )
+            def work():
+                task = Task(
+                    fn=_tune_in_worker_process,
+                    args=(
+                        entry.kernel_id,
+                        size,
+                        None if target_quality is None else float(target_quality),
+                        None if energy_budget is None else float(energy_budget),
+                    ),
+                    label="serve.tune",
+                )
+                [result] = self._mp.run([task], [ExecutionMode.ACCURATE])
+                return result.value
+
+            return json_response(await self._in_worker(work))
+
+        def work():
+            return _tune_in_worker_process(
+                entry.kernel_id,
+                size,
+                None if target_quality is None else float(target_quality),
+                None if energy_budget is None else float(energy_budget),
+            )
+
+        return json_response(await self._in_worker(work))
 
 
 class ServiceThread:

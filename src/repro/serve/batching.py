@@ -1,0 +1,125 @@
+"""Dynamic micro-batching: coalesce concurrent /analyse calls per kernel.
+
+A warm ``/analyse`` request is one vectorized replay — a forward sweep,
+an adjoint sweep and Eq. 11 over the kernel's cached trace.  Those
+sweeps are *lane-batched* all the way down
+(:meth:`~repro.ad.compiled.CompiledTape.forward_lanes` →
+:func:`~repro.scorpio.compiled.analyse_replay_lanes`), so L concurrent
+requests for the same kernel can share ONE sweep at marginal cost per
+extra lane instead of L sweeps.  This module is the service-side
+coalescer that finds those L requests.
+
+:class:`KernelBatcher` lives on the event loop (one per kernel).  Each
+arriving request parks a future on the batcher; the first request of a
+quiet period starts the collection loop, which waits one *batch window*
+(``--batch-window-ms``) for companions, slices off up to ``--max-batch``
+requests, and ships them as a single batch to the service's dispatch
+(thread or process executor — the same pools the unbatched path uses, so
+lane fan-out still composes with :mod:`repro.mp`).  While a batch is in
+flight new arrivals keep queuing, so a saturated service coalesces
+naturally — the window only ever delays the *first* request of a batch.
+
+Responses are byte-identical to the unbatched path — that is the pinned
+contract of :meth:`TraceCache.analyse_batch_outcome
+<repro.scorpio.trace_cache.TraceCache.analyse_batch_outcome>` — and each
+carries ``X-Repro-Batch: <size>/<index>`` so callers (and the tests) can
+see the coalescing.  Batch sizes are observed in the ``serve.batch.size``
+histogram.
+
+Error isolation: the dispatch returns one *tagged item* per request —
+``("ok", body, outcome)`` or ``("err", exception)`` — so one bad request
+in a batch fails alone while its companions answer normally, exactly as
+if each had been dispatched by itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Sequence
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["KernelBatcher", "BATCH_SIZE_HISTOGRAM"]
+
+#: Lanes per dispatched sweep; scraped via GET /metrics.
+BATCH_SIZE_HISTOGRAM = obs_metrics.histogram("serve.batch.size")
+
+# One tagged item per request, in submission order.
+DispatchFn = Callable[[Sequence[Any]], Awaitable[list]]
+
+
+class KernelBatcher:
+    """Coalesce concurrent submissions into batched dispatch calls.
+
+    Single-threaded by construction: every method runs on the event
+    loop, so the pending list needs no lock.  ``submit`` resolves to
+    ``(item, batch_size, lane_index)`` where ``item`` is the dispatch's
+    tagged result for this request.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float,
+        max_batch: int,
+        dispatch: DispatchFn,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window = max(0.0, float(window))
+        self.max_batch = int(max_batch)
+        self._dispatch = dispatch
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._task: asyncio.Task | None = None
+
+    async def submit(self, request: Any) -> tuple[Any, int, int]:
+        """Queue one request; await its slice of a batched dispatch."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if self._task is None or self._task.done():
+            self._task = loop.create_task(self._run())
+        return await future
+
+    async def _run(self) -> None:
+        # Drain until quiet; the task dies when no requests are waiting
+        # and the next submission starts a fresh one.
+        while self._pending:
+            if self.window > 0.0 and len(self._pending) < self.max_batch:
+                # The batch window: wait for companions.  Only the head
+                # request of a quiet period pays it; requests arriving
+                # while a previous batch is in flight batch for free.
+                await asyncio.sleep(self.window)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            size = len(batch)
+            BATCH_SIZE_HISTOGRAM.observe(float(size))
+            requests = [request for request, _ in batch]
+            try:
+                items = await self._dispatch(requests)
+                if len(items) != size:
+                    raise RuntimeError(
+                        f"batch dispatch returned {len(items)} items "
+                        f"for {size} requests"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - fanned out
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                if isinstance(exc, (asyncio.CancelledError, SystemExit)):
+                    raise
+                continue
+            for index, ((_, future), item) in enumerate(zip(batch, items)):
+                if not future.done():
+                    future.set_result((item, size, index))
+
+    def close(self) -> None:
+        """Cancel the collection loop and fail anything still queued."""
+        if self._task is not None and not self._task.done():
+            self._task.cancel()
+        pending, self._pending = self._pending, []
+        for _, future in pending:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("service shut down with requests queued")
+                )

@@ -138,6 +138,30 @@ class ServiceClient:
             raise _as_service_error(status, data)
         return data, headers.get("x-repro-cache", "")
 
+    def analyse_detail(
+        self, kernel: str, inputs: Sequence[Any] | None = None
+    ) -> tuple[bytes, str, tuple[int, int]]:
+        """:meth:`analyse_raw` plus the micro-batching attribution.
+
+        Returns ``(report JSON bytes, cache outcome, (batch size, lane
+        index))`` — the third element decoded from the ``X-Repro-Batch``
+        header (``(1, 0)`` when the request rode a sweep alone or the
+        server predates batching).
+        """
+        payload: dict[str, Any] = {"kernel": kernel}
+        if inputs is not None:
+            payload["inputs"] = list(inputs)
+        status, headers, data = self.request_raw("POST", "/analyse", payload)
+        if status >= 400:
+            raise _as_service_error(status, data)
+        raw = headers.get("x-repro-batch", "1/0")
+        try:
+            size_s, index_s = raw.split("/", 1)
+            batch = (int(size_s), int(index_s))
+        except ValueError:
+            batch = (1, 0)
+        return data, headers.get("x-repro-cache", ""), batch
+
     def analyse(
         self, kernel: str, inputs: Sequence[Any] | None = None
     ) -> dict:

@@ -249,6 +249,50 @@ class TestLaneChunks:
         assert lane_chunks(10, 2, chunk_lanes=4) == [(0, 4), (4, 8), (8, 10)]
 
 
+class TestChunkPolicy:
+    def test_default_targets_four_chunks_per_worker(self):
+        from repro.mp import default_chunk_lanes
+
+        # 4096 lanes / 4 workers -> 16 chunks of 256.
+        assert default_chunk_lanes(4096, 4) == 256
+        chunks = lane_chunks(4096, 4)
+        assert len(chunks) == 16
+
+    def test_default_floors_at_min_chunk(self):
+        from repro.mp import default_chunk_lanes
+        from repro.mp.drivers import MIN_CHUNK_LANES
+
+        # 4-chunks-per-worker would want 300/16 ~ 19-lane chunks; the
+        # floor keeps per-task overhead bounded instead.
+        assert default_chunk_lanes(300, 4) == MIN_CHUNK_LANES
+
+    def test_tiny_batches_still_spread_across_workers(self):
+        from repro.mp import default_chunk_lanes
+
+        # 8 lanes, 4 workers: the MIN_CHUNK floor must not serialise
+        # everything onto one worker.
+        assert default_chunk_lanes(8, 4) == 2
+        assert len(lane_chunks(8, 4)) == 4
+
+    def test_env_override(self, monkeypatch):
+        from repro.mp import default_chunk_lanes
+
+        monkeypatch.setenv("REPRO_MP_CHUNK", "17")
+        assert default_chunk_lanes(4096, 4) == 17
+        assert lane_chunks(100, 4)[0] == (0, 17)
+
+    def test_env_override_invalid_ignored(self, monkeypatch):
+        from repro.mp import default_chunk_lanes
+
+        for bad in ("zero", "-3", "0", ""):
+            monkeypatch.setenv("REPRO_MP_CHUNK", bad)
+            assert default_chunk_lanes(4096, 4) == 256
+
+    def test_explicit_chunk_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CHUNK", "17")
+        assert lane_chunks(10, 2, chunk_lanes=4) == [(0, 4), (4, 8), (8, 10)]
+
+
 @given(
     chunk_lanes=st.integers(min_value=1, max_value=120),
     align=st.integers(min_value=1, max_value=16),
