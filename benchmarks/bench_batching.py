@@ -35,7 +35,7 @@ def _drive(service, n_clients: int, per_client: int):
                 barrier.wait()
                 local = []
                 for _ in range(per_client):
-                    _, _, (size, _) = client.analyse_detail(KERNEL)
+                    _, _, (size, _), _ = client.analyse_detail(KERNEL)
                     local.append(size)
             with lock:
                 sizes.extend(local)

@@ -17,7 +17,7 @@ from record import record_value
 from repro.ad import ADouble, Tape
 from repro.ad import intrinsics as op
 from repro.intervals import Interval
-from repro.obs import clear, set_enabled
+from repro.obs import clear, context, set_enabled
 
 
 def paper_fn(x):
@@ -65,3 +65,31 @@ def test_disabled_tracing_overhead(benchmark):
     # per-op work, so even the *enabled* run should stay close to the
     # untraced one.  Generous bound: timer noise dominates at this scale.
     assert ratio < 1.5, f"tracing overhead ratio {ratio:.3f} out of bounds"
+
+
+def test_context_propagation_overhead():
+    """Cost of trace-context stamping on top of enabled tracing.
+
+    With a :class:`~repro.obs.context.TraceContext` active, every span
+    additionally mints a child id (one ``os.urandom`` call) and
+    sets/resets one contextvar.  That work happens per *span* — a handful
+    per sweep — so the traced-with-context pipeline should be
+    indistinguishable from the traced-without-context one.
+    """
+    previous = set_enabled(True)
+    try:
+        uncontexted = _best_of(_pipeline)
+        with context.use(context.new_trace()):
+            contexted = _best_of(_pipeline)
+    finally:
+        set_enabled(previous)
+        clear()
+    ratio = contexted / uncontexted
+    record_value(
+        "obs.context_overhead_ratio",
+        ratio,
+        unit="ratio",
+        uncontexted_seconds=round(uncontexted, 6),
+        contexted_seconds=round(contexted, 6),
+    )
+    assert ratio < 1.5, f"context overhead ratio {ratio:.3f} out of bounds"

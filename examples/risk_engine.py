@@ -24,6 +24,7 @@ Run:  python examples/risk_engine.py [--count 8192]
 """
 
 import argparse
+import time
 
 import numpy as np
 
@@ -71,10 +72,22 @@ def main() -> None:
     with ServiceThread() as service:
         client = service.client()
 
+        # Every request carries an X-Repro-Trace id; remember each call's
+        # latency and id so the slowest one can be pulled apart below.
+        timings: list[tuple[str, float, str]] = []
+
+        def timed(label, fn, *fn_args, **fn_kwargs):
+            t0 = time.perf_counter()
+            result = fn(*fn_args, **fn_kwargs)
+            timings.append(
+                (label, time.perf_counter() - t0, client.last_trace_id)
+            )
+            return result
+
         # 1. Significance analysis, served.  Repeating the call shows the
         # record-once/replay-many serving core at work.
-        report = client.analyse("blackscholes")
-        _, outcome = client.analyse_raw("blackscholes")
+        report = timed("analyse", client.analyse, "blackscholes")
+        _, outcome = timed("analyse", client.analyse_raw, "blackscholes")
         sig = block_significances_from_report(report)
         print("block significances (normalised, served):")
         for name in BLOCKS:
@@ -84,11 +97,15 @@ def main() -> None:
         print(f"repeat request served by: {outcome}\n")
 
         # 2. Which math calls tolerate fastapprox substitutes?
-        advice = client.advise("blackscholes", threshold=0.25)
+        advice = timed(
+            "advise", client.advise, "blackscholes", threshold=0.25
+        )
         print(advice["advice"])
 
         # 3. The cheapest ratio holding the desk's error tolerance.
-        tuned = client.tune(
+        tuned = timed(
+            "tune",
+            client.tune,
             "blackscholes",
             target_quality=args.error_tolerance,
             size=min(args.count, 1024),
@@ -98,6 +115,21 @@ def main() -> None:
             f"\ntuned taskwait(ratio={ratio:.4f}) for rel. error <= "
             f"{args.error_tolerance:.4%} "
             f"(measured {tuned['quality']:.4%}, {len(tuned['probes'])} probes)"
+        )
+
+        # Which request cost the most, and where did its time go?  The
+        # trace id names the request on the server's debug surface too.
+        label, seconds, trace_id = max(timings, key=lambda t: t[1])
+        detail = client.debug_trace(trace_id)
+        stages = detail["request"]["stages_ms"]
+        print(
+            f"\nslowest request: {label} at {seconds * 1e3:.1f} ms "
+            f"(trace {trace_id})"
+        )
+        print(
+            f"  server-side: {detail['request']['duration_ms']:.1f} ms, "
+            f"{len(detail['spans'])} span tree(s)"
+            + (f", stages {stages}" if stages else "")
         )
 
     # --- Local pricing at the served recommendation -------------------

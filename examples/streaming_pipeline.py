@@ -102,6 +102,17 @@ def main() -> None:
             if line.startswith(interesting):
                 print(f"  {line}")
 
+        # The flight recorder keeps one summary per request; the slowest
+        # one's trace id is the handle for GET /debug/trace/<id>.
+        recorded = client.debug_requests()["requests"]
+        if recorded:
+            slowest = max(recorded, key=lambda r: r["duration_ms"])
+            print(
+                f"\nslowest request the service saw: {slowest['path']} at "
+                f"{slowest['duration_ms']:.1f} ms "
+                f"(trace {slowest['trace_id']})"
+            )
+
 
 if __name__ == "__main__":
     main()

@@ -75,7 +75,8 @@ def _add_profile_flag(sub_parser: argparse.ArgumentParser) -> None:
         help=(
             "trace this run with repro.obs: append the span-tree / "
             "metrics summary to the output and write obs.json + "
-            "metrics.prom to DIR (default: current directory)"
+            "metrics.prom + obs.trace.json (Chrome trace) to DIR "
+            "(default: current directory)"
         ),
     )
 
@@ -201,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
         "if set); recorded tapes are saved there and restarts replay "
         "them from disk instead of re-recording",
     )
+    ps.add_argument(
+        "--default-slo-ms",
+        type=float,
+        default=None,
+        help="per-kernel latency SLO in ms (kernels without their own "
+        "slo_ms); a kernel whose most recent request exceeds it turns "
+        "/healthz degraded until it recovers",
+    )
 
     pp = sub.add_parser(
         "profile",
@@ -219,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     pp.add_argument("--out-dir", default="profile")
+    pp.add_argument(
+        "--format",
+        choices=["text", "chrome"],
+        default="text",
+        help=(
+            "'text' prints the aggregated span tree; 'chrome' writes a "
+            "Chrome trace-event file (obs.trace.json) with real pids, "
+            "thread rows and cross-process flow arrows — load it at "
+            "https://ui.perfetto.dev or chrome://tracing"
+        ),
+    )
     _add_replay_flag(pp)
     return parser
 
@@ -362,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         batch_window_ms=args.batch_window_ms,
         max_batch=args.max_batch,
         store_dir=args.tape_dir,
+        default_slo_ms=args.default_slo_ms,
     )
     service = SignificanceService(config=config)
 
@@ -406,21 +427,37 @@ def _run_profile_target(experiment: str) -> None:
 
 
 def _cmd_profile(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
     from repro import obs
 
     obs.reset_metrics()
     obs.clear()
     previous = obs.set_enabled(True)
+    # One root trace context for the whole profiled run: every span
+    # carries its trace id, so the dump (and any worker-side spans merged
+    # back by repro.mp) re-link into one trace.
+    ctx = obs.new_trace()
     try:
-        with _replay_setting(args.replay):
+        with _replay_setting(args.replay), obs.context.use(ctx):
             _run_profile_target(args.experiment)
     finally:
         obs.set_enabled(previous)
-    body = obs.format_profile()
     json_path, prom_path = obs.dump_profile(args.out_dir)
+    chrome_path = obs.dump_chrome_trace(
+        Path(args.out_dir) / "obs.trace.json"
+    )
+    if args.format == "chrome":
+        return (
+            f"profiled: {args.experiment} (trace {ctx.trace_id})\n"
+            f"wrote {chrome_path} — open at https://ui.perfetto.dev "
+            "or chrome://tracing\n"
+            f"wrote {json_path}\nwrote {prom_path}"
+        )
+    body = obs.format_profile()
     return (
-        f"profiled: {args.experiment}\n\n{body}\n\n"
-        f"wrote {json_path}\nwrote {prom_path}"
+        f"profiled: {args.experiment} (trace {ctx.trace_id})\n\n{body}\n\n"
+        f"wrote {json_path}\nwrote {prom_path}\nwrote {chrome_path}"
     )
 
 
@@ -447,19 +484,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     if profile_dir is None:
         output = _COMMANDS[args.command](args)
     else:
+        from pathlib import Path
+
         from repro import obs
 
         obs.reset_metrics()
         obs.clear()
         previous = obs.set_enabled(True)
+        ctx = obs.new_trace()
         try:
-            output = _COMMANDS[args.command](args)
+            with obs.context.use(ctx):
+                output = _COMMANDS[args.command](args)
         finally:
             obs.set_enabled(previous)
         json_path, prom_path = obs.dump_profile(profile_dir)
+        chrome_path = obs.dump_chrome_trace(
+            Path(profile_dir) / "obs.trace.json"
+        )
         output = (
             f"{output}\n\n{obs.format_profile()}\n"
-            f"wrote {json_path}\nwrote {prom_path}"
+            f"trace: {ctx.trace_id}\n"
+            f"wrote {json_path}\nwrote {prom_path}\nwrote {chrome_path}"
         )
     print(output)
     return 0

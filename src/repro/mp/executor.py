@@ -31,7 +31,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Sequence
 
+from repro.obs import context as _context
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.obs.trace import span as _obs_span
 from repro.runtime.executor import (
     Executor,
@@ -64,16 +66,40 @@ def default_workers() -> int:
 
 
 def _worker_run(
-    fn: Any, args: tuple, kwargs: dict, mode_name: str, label: str
-) -> tuple[Any, float, dict]:
-    """Run one task body in a worker; returns (value, elapsed, metrics Δ)."""
+    fn: Any,
+    args: tuple,
+    kwargs: dict,
+    mode_name: str,
+    label: str,
+    ctx: "Any | None" = None,
+    tracing: bool = False,
+) -> tuple[Any, float, dict, list]:
+    """Run one task body in a worker.
+
+    Returns ``(value, elapsed, metrics Δ, spans)``.  ``ctx`` is the
+    submitting thread's :class:`~repro.obs.context.TraceContext`, pickled
+    across the boundary: activating it here makes every worker-side span
+    stamp the originating trace id and re-parent onto the submitting
+    span.  ``tracing`` mirrors the parent's flag (fork inherits it but
+    spawn does not); when set, the spans this task records are diverted
+    from the worker's ring into the returned list so the parent can
+    :func:`~repro.obs.trace.adopt` them.
+    """
     before = _metrics.snapshot()
-    with _obs_span("runtime.task") as sp:
-        sp.set(label=label, mode=mode_name, worker_pid=os.getpid())
-        start = time.perf_counter()
-        value = fn(*args, **kwargs)
-        elapsed = time.perf_counter() - start
-    return value, elapsed, _metrics.snapshot_delta(before, _metrics.snapshot())
+    captured: list = []
+    previous = _trace.set_enabled(True) if tracing else None
+    try:
+        with _context.use(ctx), _trace.collect(captured):
+            with _obs_span("runtime.task") as sp:
+                sp.set(label=label, mode=mode_name, worker_pid=os.getpid())
+                start = time.perf_counter()
+                value = fn(*args, **kwargs)
+                elapsed = time.perf_counter() - start
+    finally:
+        if previous is not None:
+            _trace.set_enabled(previous)
+    delta = _metrics.snapshot_delta(before, _metrics.snapshot())
+    return value, elapsed, delta, captured
 
 
 class ProcessExecutor:
@@ -199,6 +225,8 @@ class ProcessExecutor:
         pending: Sequence[int],
     ) -> None:
         pool = self._ensure_pool()
+        tracing = _trace.enabled()
+        ctx = _context.current()
         futures = []
         for i in pending:
             task, mode = tasks[i], modes[i]
@@ -208,7 +236,7 @@ class ProcessExecutor:
             try:
                 future = pool.submit(
                     _worker_run, fn, task.args, task.kwargs, mode.name,
-                    task.label,
+                    task.label, ctx, tracing,
                 )
             except Exception as exc:
                 # A dead or shut-down pool cannot accept work; that is an
@@ -218,7 +246,9 @@ class ProcessExecutor:
         try:
             for i, future in futures:
                 try:
-                    value, elapsed, delta = future.result(self.task_timeout)
+                    value, elapsed, delta, worker_spans = future.result(
+                        self.task_timeout
+                    )
                 except FutureTimeoutError as exc:
                     raise _PoolFailure(
                         TimeoutError(
@@ -241,6 +271,11 @@ class ProcessExecutor:
                     raise
                 _C_TASKS.inc()
                 _metrics.registry().merge_snapshot(delta)
+                if worker_spans:
+                    # Worker-side trees come home stamped with the
+                    # originating trace context; the parent ring is the
+                    # one place debug endpoints and exporters read.
+                    _trace.adopt(worker_spans)
                 # Rebind the *parent's* task object: the worker ran a
                 # pickled copy, and callers identity-match results
                 # against their submitted tasks.

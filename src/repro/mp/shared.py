@@ -37,6 +37,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.ad.compiled import CompiledTape, _AuxNodes
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["SharedArray", "SharedTape", "unlink_all", "live_segments"]
 
@@ -325,6 +326,11 @@ class SharedTape:
         the in-place :meth:`CompiledTape.forward` path works; structure
         stays zero-copy either way.
         """
+        with _obs_span("mp.shared.attach") as sp:
+            sp.set(writable_values=writable_values, columns=len(self.arrays))
+            return self._attach(writable_values=writable_values)
+
+    def _attach(self, *, writable_values: bool) -> CompiledTape:
         cols = {col: self.arrays[col].view() for col in _STRUCTURE_COLS}
         for col in _VALUE_COLS:
             handle = self.arrays[col]

@@ -14,6 +14,14 @@ shared observability layer for all of them:
 * :mod:`repro.obs.profile` — render span trees and metric tables for the
   ``repro profile`` CLI subcommand / ``--profile`` flag, and dump
   ``obs.json`` / ``metrics.prom`` artifacts.
+* :mod:`repro.obs.context` — the request-scoped
+  :class:`~repro.obs.context.TraceContext` (trace id / span id / parent
+  id) carried in a contextvar; spans stamp themselves from it so trees
+  recorded in different threads or processes re-link by id.
+* :mod:`repro.obs.export` — lower span forests to Chrome trace-event
+  JSON (Perfetto-loadable), real worker pids and flow arrows included.
+* :mod:`repro.obs.flight` — the always-on per-request flight recorder
+  behind the service's ``/debug/requests`` and ``/debug/trace/<id>``.
 
 Typical use::
 
@@ -25,6 +33,10 @@ Typical use::
     print(obs.format_profile(obs.spans(), obs.snapshot()))
 """
 
+from . import context
+from .context import TraceContext, new_trace, parse_header
+from .export import chrome_trace_events, dump_chrome_trace
+from .flight import FlightRecorder, RequestRecord
 from .metrics import (
     Counter,
     Gauge,
@@ -48,14 +60,18 @@ from .profile import (
 )
 from .trace import (
     Span,
+    adopt,
     clear,
+    collect,
     disable,
     enable,
     enabled,
+    manual_span,
     set_enabled,
     set_ring_capacity,
     span,
     spans,
+    spans_for_trace,
     traced,
 )
 
@@ -63,14 +79,29 @@ __all__ = [
     # trace
     "Span",
     "span",
+    "manual_span",
     "traced",
     "spans",
+    "spans_for_trace",
+    "adopt",
+    "collect",
     "clear",
     "enabled",
     "enable",
     "disable",
     "set_enabled",
     "set_ring_capacity",
+    # context
+    "context",
+    "TraceContext",
+    "new_trace",
+    "parse_header",
+    # export
+    "chrome_trace_events",
+    "dump_chrome_trace",
+    # flight
+    "FlightRecorder",
+    "RequestRecord",
     # metrics
     "Counter",
     "Gauge",

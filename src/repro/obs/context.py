@@ -1,0 +1,170 @@
+"""Trace context: request-scoped ids that flow across every boundary.
+
+A :class:`TraceContext` is the W3C-style identity triple of one unit of
+work — a 128-bit **trace id** naming the whole request, a 64-bit **span
+id** naming the current operation, and the parent operation's span id.
+It is carried in a :mod:`contextvars` variable, so it follows the work
+wherever Python's context does: through plain calls, through ``asyncio``
+tasks (each task snapshots the context at creation), and — with the
+explicit helpers here — across thread pools and process pools, where
+``contextvars`` alone stops.
+
+The span machinery (:mod:`repro.obs.trace`) integrates automatically:
+while a context is active, every :class:`~repro.obs.trace.Span` stamps
+itself with the trace id, mints a fresh span id, records the enclosing
+context's span id as its parent, and activates its own child context for
+the duration — so nested spans build a correctly-parented tree even when
+the pieces are recorded on different threads or in different *processes*
+and only meet again as ids.  With no active context (the default), spans
+carry no ids and the stamping costs one contextvar read.
+
+Wire format (the ``X-Repro-Trace`` HTTP header)::
+
+    <32 hex chars trace id>-<16 hex chars span id>
+
+:func:`parse_header` accepts a bare trace id too (a caller that only
+wants correlation, not parenting) and returns ``None`` for anything
+malformed — propagation must never make a request fail.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "TraceContext",
+    "new_trace",
+    "new_span_id",
+    "current",
+    "activate",
+    "restore",
+    "use",
+    "run_with",
+    "parse_header",
+]
+
+HEADER = "X-Repro-Trace"
+
+_TRACE_ID_LEN = 32  # 128-bit, hex
+_SPAN_ID_LEN = 16  # 64-bit, hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One (trace id, span id, parent span id) triple.
+
+    Immutable: derivation always goes through :meth:`child`, which keeps
+    the trace id, mints a fresh span id and records this context's span
+    id as the parent — the one rule that makes span forests re-linkable
+    after crossing a process boundary.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def child(self) -> "TraceContext":
+        """A new context one level below this one (same trace)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_id=self.span_id,
+        )
+
+    def to_header(self) -> str:
+        """The ``X-Repro-Trace`` header value for this context."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    def __str__(self) -> str:
+        return self.to_header()
+
+
+def new_span_id() -> str:
+    """A fresh random 64-bit span id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def new_trace() -> TraceContext:
+    """Mint a brand-new root context (fresh 128-bit trace id)."""
+    return TraceContext(trace_id=os.urandom(16).hex(), span_id=new_span_id())
+
+
+def parse_header(value: "str | None") -> "TraceContext | None":
+    """Parse an ``X-Repro-Trace`` header; ``None`` on anything malformed.
+
+    Accepts ``<trace>-<span>`` (full context: spans recorded under it
+    re-parent onto the caller's span) or a bare ``<trace>`` id (a new
+    span id is minted; correlation only).
+    """
+    if not value or not isinstance(value, str):
+        return None
+    value = value.strip().lower()
+    trace_id, _, span_id = value.partition("-")
+    if len(trace_id) != _TRACE_ID_LEN or not _is_hex(trace_id):
+        return None
+    if not span_id:
+        return TraceContext(trace_id=trace_id, span_id=new_span_id())
+    if len(span_id) != _SPAN_ID_LEN or not _is_hex(span_id):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def _is_hex(s: str) -> bool:
+    try:
+        int(s, 16)
+    except ValueError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The context variable
+# ----------------------------------------------------------------------
+_CURRENT: ContextVar["TraceContext | None"] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> "TraceContext | None":
+    """The active context on this thread/task, or ``None``."""
+    return _CURRENT.get()
+
+
+def activate(ctx: "TraceContext | None") -> Token:
+    """Make ``ctx`` current; returns the token for :func:`restore`."""
+    return _CURRENT.set(ctx)
+
+
+def restore(token: Token) -> None:
+    """Undo a matching :func:`activate`."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def use(ctx: "TraceContext | None") -> Iterator["TraceContext | None"]:
+    """Scoped :func:`activate`/:func:`restore` (``None`` detaches)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def run_with(ctx: "TraceContext | None", fn: Callable[[], Any]) -> Any:
+    """Call ``fn()`` with ``ctx`` active — the thread-pool shim.
+
+    ``loop.run_in_executor`` and ``concurrent.futures`` do not carry
+    ``contextvars`` onto their worker threads; wrapping the submitted
+    callable in ``run_with(current(), fn)`` is the explicit hop.
+    """
+    if ctx is None:
+        return fn()
+    token = _CURRENT.set(ctx)
+    try:
+        return fn()
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,157 @@
+"""Chrome trace-event export: span forests as ``chrome://tracing`` JSON.
+
+The span trees recorded by :mod:`repro.obs.trace` already carry wall
+clock timestamps (``start_epoch``), the recording process and thread
+(``pid`` / ``tid``) and — when a trace context was active — the id
+triple that survives process boundaries.  This module lowers a forest of
+those spans to the Chrome trace-event format (the JSON flavour loaded by
+Perfetto at https://ui.perfetto.dev and by ``chrome://tracing``):
+
+* each span becomes an ``"X"`` *complete* event on its real pid/tid row,
+  with microsecond ``ts``/``dur`` taken from the shared wall clock so
+  parent-process and worker-process events line up on one timeline;
+* cross-boundary edges (a span whose ``parent_id`` names a span recorded
+  in another process or thread) become ``"s"``/``"f"`` *flow* arrows, so
+  the client→server→worker hand-off is drawn as connected arcs;
+* ``"M"`` metadata events give every process a readable name.
+
+All timestamps come from ``time.time()`` at span entry — comparable
+across processes on one host, which is the deployment model of
+:mod:`repro.mp` (fork/spawn pools, never remote machines).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from . import trace as _trace
+
+__all__ = ["chrome_trace_events", "dump_chrome_trace"]
+
+
+def _span_args(sp: _trace.Span) -> dict[str, Any]:
+    args: dict[str, Any] = {}
+    for key, value in sp.attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            args[key] = value
+        else:
+            args[key] = repr(value)
+    if sp.trace_id:
+        args["trace_id"] = sp.trace_id
+        args["span_id"] = sp.span_id
+        if sp.parent_id:
+            args["parent_id"] = sp.parent_id
+    return args
+
+
+def chrome_trace_events(
+    roots: Iterable[_trace.Span],
+) -> list[dict[str, Any]]:
+    """Lower a span forest to a list of Chrome trace events.
+
+    Returns the event list only (no envelope) so callers can merge
+    forests from several sources before wrapping; use
+    :func:`dump_chrome_trace` for the ready-to-load file.
+    """
+    roots = [r for r in roots if isinstance(r, _trace.Span)]
+    events: list[dict[str, Any]] = []
+    # span_id -> span, across the whole forest, for flow binding.
+    by_id: dict[str, _trace.Span] = {}
+    for root in roots:
+        for sp in root.walk():
+            if sp.span_id:
+                by_id[sp.span_id] = sp
+
+    pids: dict[int, int] = {}
+
+    def emit(sp: _trace.Span, structural_parent: "_trace.Span | None") -> None:
+        if sp.elapsed_seconds is None:
+            return  # still open: nothing sensible to draw
+        ts = sp.start_epoch * 1e6
+        dur = sp.elapsed_seconds * 1e6
+        pids.setdefault(sp.pid, len(pids))
+        events.append(
+            {
+                "name": sp.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": sp.pid,
+                "tid": sp.tid,
+                "args": _span_args(sp),
+            }
+        )
+        # A span whose context parent is NOT its structural parent was
+        # re-parented across a boundary (another thread or process, or a
+        # manual/adopted root).  Draw the hand-off as a flow arrow from
+        # the parent span's start to this span's start.
+        parent = by_id.get(sp.parent_id) if sp.parent_id else None
+        if parent is not None and parent is not structural_parent:
+            flow_id = int(sp.span_id, 16) & 0x7FFFFFFF if sp.span_id else 0
+            events.append(
+                {
+                    "name": "trace",
+                    "cat": "repro.flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": parent.start_epoch * 1e6,
+                    "pid": parent.pid,
+                    "tid": parent.tid,
+                }
+            )
+            events.append(
+                {
+                    "name": "trace",
+                    "cat": "repro.flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": ts,
+                    "pid": sp.pid,
+                    "tid": sp.tid,
+                }
+            )
+        for child in sp.children:
+            emit(child, sp)
+
+    for root in roots:
+        emit(root, None)
+
+    # Name the processes: index 0 is whichever pid appeared first (the
+    # process doing the export, in practice the service/CLI parent).
+    for pid, index in pids.items():
+        label = "repro" if index == 0 else "repro worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label} (pid {pid})"},
+            }
+        )
+    return events
+
+
+def dump_chrome_trace(
+    path: str | Path,
+    roots: Sequence[_trace.Span] | None = None,
+) -> Path:
+    """Write a Perfetto-loadable ``.trace.json`` file; returns its path.
+
+    ``roots`` defaults to the live ring (:func:`repro.obs.trace.spans`).
+    """
+    roots = _trace.spans() if roots is None else list(roots)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+    }
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return out

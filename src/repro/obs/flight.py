@@ -1,0 +1,152 @@
+"""Flight recorder: an always-on ring of per-request summaries.
+
+Spans answer "where does time go, in aggregate"; the flight recorder
+answers "what happened to *this* request".  Every request the service
+finishes — success or failure, tracing enabled or not — deposits one
+small :class:`RequestRecord` (trace id, kernel, cache outcome, batch
+attribution, executor, per-stage latencies, error) into a lock-guarded
+bounded ring.  The service exposes the ring at ``GET /debug/requests``
+and one entry (joined with any retained span trees) at
+``GET /debug/trace/<id>``.
+
+The recorder also tracks per-kernel latency SLOs: a kernel whose most
+recent request blew its threshold is *degraded*, and the set of degraded
+kernels surfaces in ``/healthz``.  Recording is cheap (one dataclass,
+one lock acquisition) so it stays on unconditionally — the point of a
+flight recorder is that it was already running when the incident
+happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["RequestRecord", "FlightRecorder"]
+
+
+@dataclass
+class RequestRecord:
+    """One finished request, summarised for the debug endpoints."""
+
+    trace_id: str
+    path: str
+    kernel: str = ""
+    status: int = 200
+    outcome: str = ""  # record / replay / divergence ("" for non-analyse)
+    batch_size: int = 1
+    batch_index: int = 0
+    executor: str = "thread"
+    duration_seconds: float = 0.0
+    stages: dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    when: float = 0.0  # time.time() at completion
+    slo_ms: "float | None" = None
+    slo_violated: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "path": self.path,
+            "kernel": self.kernel,
+            "status": self.status,
+            "outcome": self.outcome,
+            "batch": {"size": self.batch_size, "index": self.batch_index},
+            "executor": self.executor,
+            "duration_ms": round(self.duration_seconds * 1e3, 3),
+            "stages_ms": {
+                name: round(seconds * 1e3, 3)
+                for name, seconds in self.stages.items()
+            },
+            "error": self.error,
+            "when": self.when,
+            "slo_ms": self.slo_ms,
+            "slo_violated": self.slo_violated,
+        }
+
+
+class FlightRecorder:
+    """Bounded, lock-guarded ring of :class:`RequestRecord` entries."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._ring: deque[RequestRecord] = deque(maxlen=capacity)
+        self._slos: dict[str, float] = {}
+        # kernel -> most recent record violated its SLO?
+        self._latest_violation: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # SLOs
+    # ------------------------------------------------------------------
+    def set_slo(self, kernel: str, slo_ms: "float | None") -> None:
+        """Set (or clear, with ``None``) one kernel's latency threshold."""
+        with self._lock:
+            if slo_ms is None:
+                self._slos.pop(kernel, None)
+                self._latest_violation.pop(kernel, None)
+            else:
+                self._slos[kernel] = float(slo_ms)
+
+    def slo_for(self, kernel: str) -> "float | None":
+        with self._lock:
+            return self._slos.get(kernel)
+
+    def degraded_kernels(self) -> list[str]:
+        """Kernels whose most recent request exceeded their SLO."""
+        with self._lock:
+            return sorted(
+                k for k, bad in self._latest_violation.items() if bad
+            )
+
+    # ------------------------------------------------------------------
+    # Recording / reading
+    # ------------------------------------------------------------------
+    def record(self, rec: RequestRecord) -> RequestRecord:
+        """Stamp SLO state onto ``rec`` and append it; returns ``rec``."""
+        if not rec.when:
+            rec.when = time.time()
+        with self._lock:
+            slo = self._slos.get(rec.kernel)
+            if slo is not None:
+                rec.slo_ms = slo
+                rec.slo_violated = rec.duration_seconds * 1e3 > slo
+                self._latest_violation[rec.kernel] = rec.slo_violated
+            self._ring.append(rec)
+        return rec
+
+    def requests(self, limit: int = 50) -> list[dict[str, Any]]:
+        """The newest ``limit`` records, newest first, as plain dicts."""
+        with self._lock:
+            items = list(self._ring)
+        items.reverse()
+        if limit > 0:
+            items = items[:limit]
+        return [rec.to_dict() for rec in items]
+
+    def for_trace(self, trace_id: str) -> "dict[str, Any] | None":
+        """The newest record carrying ``trace_id``, or ``None``."""
+        with self._lock:
+            items = list(self._ring)
+        for rec in reversed(items):
+            if rec.trace_id == trace_id:
+                return rec.to_dict()
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._latest_violation.clear()
+
+    def extend_slos(self, slos: Iterable[tuple[str, "float | None"]]) -> None:
+        """Bulk :meth:`set_slo` (used when registering a kernel table)."""
+        for kernel, slo_ms in slos:
+            self.set_slo(kernel, slo_ms)

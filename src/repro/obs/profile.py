@@ -146,16 +146,30 @@ def format_profile(
 
 
 def spans_to_dicts(roots: Iterable[_trace.Span]) -> list[dict[str, Any]]:
-    """Raw span forest as JSON-serialisable dicts."""
-    return [
-        {
+    """Raw span forest as JSON-serialisable dicts.
+
+    Trace-context stamps (trace/span/parent ids) and the recording
+    pid/tid are included only when present, so dumps from untraced runs
+    stay as small as before.
+    """
+    out: list[dict[str, Any]] = []
+    for sp in roots:
+        entry: dict[str, Any] = {
             "name": sp.name,
             "elapsed_seconds": sp.elapsed_seconds,
             "attrs": dict(sp.attrs),
             "children": spans_to_dicts(sp.children),
         }
-        for sp in roots
-    ]
+        if sp.trace_id:
+            entry["trace_id"] = sp.trace_id
+            entry["span_id"] = sp.span_id
+            entry["parent_id"] = sp.parent_id
+        if sp.pid:
+            entry["pid"] = sp.pid
+            entry["tid"] = sp.tid
+            entry["start_epoch"] = sp.start_epoch
+        out.append(entry)
+    return out
 
 
 def dump_profile(

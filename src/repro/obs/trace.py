@@ -23,16 +23,23 @@ lock-guarded, but the lock is only ever taken while tracing is enabled.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Callable, Iterable
+
+from . import context as _context
 
 __all__ = [
     "Span",
     "span",
+    "manual_span",
     "traced",
     "spans",
+    "spans_for_trace",
+    "adopt",
+    "collect",
     "clear",
     "enabled",
     "enable",
@@ -71,6 +78,14 @@ class _NullSpan:
     def set(self, **attrs: Any) -> "_NullSpan":
         return self
 
+    def finish(self) -> "_NullSpan":
+        return self
+
+    # Stamp fields read by callers that hold either kind of span.
+    trace_id = None
+    span_id = None
+    parent_id = None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<null span>"
 
@@ -87,16 +102,46 @@ class Span:
         elapsed_seconds: wall time between ``__enter__`` and ``__exit__``
             (``None`` while still open).
         children: spans opened (and closed) while this one was active.
+        trace_id / span_id / parent_id: trace-context stamps, set when a
+            :class:`~repro.obs.context.TraceContext` was active at entry
+            (``None`` otherwise).  ``parent_id`` names the enclosing
+            context's span — possibly in another thread or *process* —
+            which is what lets merged span forests re-link by id.
+        start_epoch: ``time.time()`` at entry (wall clock, comparable
+            across processes on one host; feeds the Chrome exporter).
+        pid / tid: recording process id and thread id.
     """
 
-    __slots__ = ("name", "attrs", "children", "elapsed_seconds", "_t0")
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "elapsed_seconds",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_epoch",
+        "pid",
+        "tid",
+        "_t0",
+        "_gen",
+        "_token",
+    )
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self.name = name
         self.attrs = attrs
         self.children: list[Span] = []
         self.elapsed_seconds: float | None = None
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self.start_epoch = 0.0
+        self.pid = 0
+        self.tid = 0
         self._t0 = 0.0
+        self._gen = 0
+        self._token: Any = None
 
     def set(self, **attrs: Any) -> "Span":
         """Attach/overwrite attributes; returns self for chaining."""
@@ -105,12 +150,26 @@ class Span:
 
     def __enter__(self) -> "Span":
         _LOCAL_STACK().append(self)
+        self._gen = _GENERATION
+        ctx = _context.current()
+        if ctx is not None:
+            child = ctx.child()
+            self.trace_id = child.trace_id
+            self.span_id = child.span_id
+            self.parent_id = child.parent_id
+            self._token = _context.activate(child)
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.start_epoch = time()
         self._t0 = perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
         elapsed = perf_counter() - self._t0
         self.elapsed_seconds = elapsed
+        if self._token is not None:
+            _context.restore(self._token)
+            self._token = None  # tokens must not outlive the scope
         stack = _LOCAL_STACK()
         # Tolerate out-of-order exits (an exception unwinding through
         # several spans): pop up to and including this span.
@@ -120,10 +179,23 @@ class Span:
                 break
         if stack:
             stack[-1].children.append(self)
-        else:
-            with _RING_LOCK:
+            return False
+        collector = getattr(_THREAD_LOCAL, "collector", None)
+        if collector is not None:
+            collector.append(self)
+            return False
+        with _RING_LOCK:
+            # A clear() since this span opened dropped the request it
+            # belongs to: discard instead of resurrecting a stale root.
+            if self._gen == _GENERATION:
                 _RING.append(self)
         return False
+
+    def finish(self) -> "Span":
+        """Close a :func:`manual_span` (idempotent); returns self."""
+        if self.elapsed_seconds is None:
+            self.elapsed_seconds = perf_counter() - self._t0
+        return self
 
     @property
     def self_seconds(self) -> float:
@@ -162,6 +234,32 @@ def _LOCAL_STACK() -> list[Span]:
 
 _RING_LOCK = threading.Lock()
 _RING: deque[Span] = deque(maxlen=_DEFAULT_RING_CAPACITY)
+# Bumped by clear() under _RING_LOCK.  A root span finishing after a
+# clear() that happened mid-flight compares its recorded generation and
+# drops itself instead of landing in the (conceptually fresh) ring.
+_GENERATION = 0
+
+
+def _after_fork_in_child() -> None:
+    """Reset span state inherited by a fork-started worker.
+
+    A fork taken while a span is open duplicates the parent's thread
+    stack, collector and ring into the child — all garbage there: those
+    spans belong to the parent, and a worker-side span closing onto the
+    inherited stack would silently attach to a tree nobody will ever
+    read (instead of the collector :func:`repro.mp._worker_run` set up).
+    Recording also restarts disabled; the pool carries the parent's flag
+    per task.
+    """
+    global _RING
+    _STATE.enabled = False
+    _THREAD_LOCAL.stack = []
+    _THREAD_LOCAL.collector = None
+    _RING = deque(maxlen=_RING.maxlen)
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; spawn starts clean
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +277,36 @@ def span(name: str, **attrs: Any) -> Any:
     if not _STATE.enabled:
         return _NULL_SPAN
     return Span(name, attrs)
+
+
+def manual_span(
+    name: str, ctx: "_context.TraceContext | None" = None, **attrs: Any
+) -> "Span | _NullSpan":
+    """A caller-managed span for async code, stamped from an explicit
+    context.
+
+    The stack-based ``with span(...)`` protocol assumes the span opens
+    and closes on one thread with nothing else interleaving — wrong for
+    an asyncio handler that awaits (other requests run on the same
+    thread meanwhile).  A manual span never touches the thread-local
+    stack: it starts timing immediately, is closed by :meth:`Span.finish`
+    and becomes visible only when handed to :func:`adopt`.  ``ctx`` is
+    the span's *own* context (its ``span_id`` is the span's id), so the
+    caller typically passes ``parent.child()``.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    sp = Span(name, attrs)
+    sp._gen = _GENERATION
+    if ctx is not None:
+        sp.trace_id = ctx.trace_id
+        sp.span_id = ctx.span_id
+        sp.parent_id = ctx.parent_id
+    sp.pid = os.getpid()
+    sp.tid = threading.get_ident()
+    sp.start_epoch = time()
+    sp._t0 = perf_counter()
+    return sp
 
 
 def traced(name: str | None = None) -> Callable:
@@ -231,10 +359,82 @@ def spans() -> list[Span]:
         return list(_RING)
 
 
-def clear() -> None:
-    """Drop all recorded spans (open span stacks are left alone)."""
+def spans_for_trace(trace_id: str) -> list[Span]:
+    """Ring roots whose subtree belongs to (or links to) one trace.
+
+    A root qualifies when any span in its walk carries ``trace_id``, or
+    carries it in a ``links`` attribute — the convention batch spans use
+    to reference the other requests that shared their sweep.
+    """
+    out: list[Span] = []
+    for root in spans():
+        for sp in root.walk():
+            if sp.trace_id == trace_id:
+                out.append(root)
+                break
+            links = sp.attrs.get("links")
+            if links and trace_id in links:
+                out.append(root)
+                break
+    return out
+
+
+def adopt(roots: Iterable[Span]) -> None:
+    """Append foreign completed root spans to the ring.
+
+    This is how cross-boundary spans come home: worker processes collect
+    their root spans (see :func:`collect`), ship them back pickled, and
+    the parent adopts them — already stamped with the originating trace
+    context, so id-based re-linking just works.  Null spans (from the
+    disabled path) are skipped.
+    """
     with _RING_LOCK:
-        _RING.clear()
+        for sp in roots:
+            if isinstance(sp, Span):
+                _RING.append(sp)
+
+
+class collect:
+    """Scoped redirect of this thread's finished root spans into a list.
+
+    Used by :mod:`repro.mp` workers to capture exactly the spans one task
+    produced without disturbing the worker's own ring::
+
+        captured: list[Span] = []
+        with collect(captured):
+            run_task()
+        ship(captured)
+    """
+
+    __slots__ = ("into", "_previous")
+
+    def __init__(self, into: list[Span]):
+        self.into = into
+        self._previous: Any = None
+
+    def __enter__(self) -> list[Span]:
+        self._previous = getattr(_THREAD_LOCAL, "collector", None)
+        _THREAD_LOCAL.collector = self.into
+        return self.into
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _THREAD_LOCAL.collector = self._previous
+        return False
+
+
+def clear() -> None:
+    """Drop all recorded spans — including the roots of spans still open.
+
+    The ring is swapped for a fresh one under the lock and the ring
+    *generation* is bumped: a root span that was open across the clear
+    discards itself at exit instead of reappearing in the new ring, so a
+    clear racing an in-flight request neither orphans a half-done tree
+    into the fresh ring nor (via the swap) duplicates anything.
+    """
+    global _RING, _GENERATION
+    with _RING_LOCK:
+        _RING = deque(maxlen=_RING.maxlen)
+        _GENERATION += 1
 
 
 def ring_capacity() -> int:

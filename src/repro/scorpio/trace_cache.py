@@ -627,7 +627,7 @@ class TraceCache:
         try:
             with trace.lock:
                 with _obs_span("trace_cache.replay") as sp:
-                    sp.set(key=repr(key))
+                    sp.set(key=repr(key), outcome="replay")
                     report = trace.analyse(inputs)
         except GuardDivergenceError:
             # These inputs take another branch; analyse them the slow way
@@ -735,7 +735,7 @@ class TraceCache:
         try:
             with trace.lock:
                 with _obs_span("trace_cache.replay_batch") as sp:
-                    sp.set(key=repr(key), lanes=len(rest))
+                    sp.set(key=repr(key), lanes=len(rest), outcome="replay")
                     reports = trace.analyse_batch(rest)
         except GuardDivergenceError:
             # check_guards accepts a batch only when EVERY lane

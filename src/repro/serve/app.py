@@ -35,11 +35,16 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro import __version__ as _VERSION
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.flight import FlightRecorder, RequestRecord
 from repro.scorpio import TraceCache
 from repro.scorpio.serialize import report_to_json
 
@@ -80,6 +85,20 @@ class ServiceConfig:
     # With a store, a restarted service loads recorded tapes from disk
     # and serves its very first request per kernel as a replay.
     store_dir: str | None = None
+    # Span recording for the service's lifetime.  The service enables the
+    # process-global obs tracing flag on construction and restores the
+    # previous value on close(), so embedding a service (tests, examples)
+    # never leaks the flag.  The flight recorder below is independent of
+    # this and always on.
+    tracing: bool = True
+    # Per-request flight recorder: ring size of retained request
+    # summaries served at GET /debug/requests and /debug/trace/<id>.
+    flight_capacity: int = 256
+    # Blanket per-kernel latency SLO in ms applied to every kernel whose
+    # KernelEntry does not pin its own slo_ms (None = no objective).  A
+    # kernel whose most recent request exceeded its SLO turns /healthz
+    # "degraded".
+    default_slo_ms: float | None = None
 
 
 # Per-endpoint observability: one latency histogram per route plus
@@ -87,7 +106,9 @@ class ServiceConfig:
 # GET /metrics exposes them alongside the pipeline's own counters.
 _H_LATENCY = {
     name: obs_metrics.histogram(f"serve.latency_ms.{name}")
-    for name in ("analyse", "advise", "tune", "metrics", "healthz", "kernels")
+    for name in (
+        "analyse", "advise", "tune", "metrics", "healthz", "kernels", "debug",
+    )
 }
 _C_REQUESTS = obs_metrics.counter("serve.requests")
 _C_ERRORS = obs_metrics.counter("serve.errors")
@@ -100,6 +121,52 @@ _OUTCOME_COUNTER = {
     "record": _C_MISSES,
     "divergence": _C_DIVERGENCES,
 }
+
+# Per-request flight-record scratch, set by _timed() for the duration of
+# one handler invocation.  A contextvar (not an attribute on the request)
+# because handlers fan work out through closures; anything running in the
+# request's asyncio context can annotate the record via _request_info().
+_REQ_INFO: ContextVar["dict[str, Any] | None"] = ContextVar(
+    "repro_serve_request_info", default=None
+)
+
+
+def _request_info() -> "dict[str, Any] | None":
+    """The in-flight request's flight-record scratch dict (or None)."""
+    return _REQ_INFO.get()
+
+
+def _assemble_trace(trace_id: str) -> list[dict[str, Any]]:
+    """One trace's span forest, re-linked across recording boundaries.
+
+    Root spans reach the ring separately (the request's manual span, the
+    batch span, spans adopted from pool workers); each still carries its
+    context's ``parent_id``, so any root whose parent is present in the
+    same trace is re-attached as a child — the returned forest shows the
+    HTTP handling, the batch gather window and the worker-side replay as
+    one tree whenever the ids connect.
+    """
+    dicts = obs_profile.spans_to_dicts(obs_trace.spans_for_trace(trace_id))
+    by_id: dict[str, dict[str, Any]] = {}
+
+    def index(node: dict[str, Any]) -> None:
+        span_id = node.get("span_id")
+        if span_id:
+            by_id[span_id] = node
+        for child in node["children"]:
+            index(child)
+
+    for node in dicts:
+        index(node)
+    forest: list[dict[str, Any]] = []
+    for node in dicts:
+        parent = by_id.get(node.get("parent_id") or "")
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            forest.append(node)
+    forest.sort(key=lambda node: node.get("start_epoch") or 0.0)
+    return forest
 
 # Per-worker-process serving state for the "process" analysis backend:
 # each long-lived pool worker lazily builds the default registry and one
@@ -334,6 +401,7 @@ class SignificanceService:
                     window=window,
                     max_batch=self.config.max_batch,
                     dispatch=self._make_batch_dispatch(entry),
+                    name=kid,
                 )
                 for kid, entry in self.registry.items()
             }
@@ -341,6 +409,17 @@ class SignificanceService:
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve",
         )
+        # The always-on flight recorder behind GET /debug/requests and
+        # /debug/trace/<id>, with the per-kernel latency SLOs.
+        self.flight = FlightRecorder(capacity=self.config.flight_capacity)
+        for kid, entry in self.registry.items():
+            slo = (
+                entry.slo_ms
+                if entry.slo_ms is not None
+                else self.config.default_slo_ms
+            )
+            if slo is not None:
+                self.flight.set_slo(kid, slo)
         self._started = time.time()
         self.server = HttpServer(
             self._build_router(),
@@ -349,6 +428,13 @@ class SignificanceService:
             request_timeout=self.config.request_timeout,
             max_body=self.config.max_body,
         )
+        # Last: turn on span recording for the service's lifetime (the
+        # pool, if any, was warmed above, so fork-started workers do not
+        # inherit the flag — _worker_run carries it per task instead).
+        # close() restores the caller's flag.
+        self._prev_tracing: "bool | None" = None
+        if self.config.tracing:
+            self._prev_tracing = obs_trace.set_enabled(True)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -368,6 +454,9 @@ class SignificanceService:
         self._executor.shutdown(wait=False)
         if self._mp is not None:
             self._mp.close()
+        if self._prev_tracing is not None:
+            obs_trace.set_enabled(self._prev_tracing)
+            self._prev_tracing = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -380,6 +469,14 @@ class SignificanceService:
         router.post("/analyse", self._timed("analyse", self._handle_analyse))
         router.post("/advise", self._timed("advise", self._handle_advise))
         router.post("/tune", self._timed("tune", self._handle_tune))
+        router.get(
+            "/debug/requests",
+            self._timed("debug", self._handle_debug_requests),
+        )
+        router.get_prefix(
+            "/debug/trace/",
+            self._timed("debug", self._handle_debug_trace),
+        )
         return router
 
     def _timed(
@@ -387,25 +484,94 @@ class SignificanceService:
         name: str,
         handler: Callable[[Request], Any],
     ) -> Callable[[Request], Any]:
+        """Wrap a handler with latency metrics, trace context and the
+        flight recorder.
+
+        Each request's ``X-Repro-Trace`` header is parsed (or a fresh
+        trace minted), a manual request span is opened under it — manual
+        because the handler awaits, so a stack-based span would mis-nest
+        concurrently interleaving requests — and the span's own context
+        is made current for the handler, parenting everything downstream
+        (batcher, thread pool, process workers).  The span's context is
+        stamped back onto the response so callers can fetch
+        ``/debug/trace/<id>``; one :class:`RequestRecord` lands in the
+        flight recorder whatever the outcome.
+        """
         histogram = _H_LATENCY[name]
 
         async def wrapped(request: Request) -> Response:
             _C_REQUESTS.inc()
+            ctx_in = obs_context.parse_header(
+                request.headers.get("x-repro-trace")
+            )
+            if ctx_in is None:
+                ctx_in = obs_context.new_trace()
+            own = ctx_in.child()
+            sp = obs_trace.manual_span(
+                f"serve.{name}", own, method=request.method, path=request.path
+            )
+            info: dict[str, Any] = {"stages": {}}
+            info_token = _REQ_INFO.set(info)
+            status = 200
+            error = ""
             t0 = time.perf_counter()
             try:
-                return await handler(request)
-            except Exception:
+                with obs_context.use(own):
+                    response = await handler(request)
+                status = response.status
+                response.headers.setdefault(
+                    obs_context.HEADER, own.to_header()
+                )
+                return response
+            except HttpError as exc:
+                status = exc.status
+                error = exc.detail or exc.reason
+                _C_ERRORS.inc()
+                raise
+            except Exception as exc:
+                status = 500
+                error = f"{type(exc).__name__}: {exc}"
                 _C_ERRORS.inc()
                 raise
             finally:
-                histogram.observe((time.perf_counter() - t0) * 1000.0)
+                elapsed = time.perf_counter() - t0
+                histogram.observe(elapsed * 1000.0)
+                _REQ_INFO.reset(info_token)
+                sp.set(status=status)
+                if error:
+                    sp.set(error=error)
+                obs_trace.adopt([sp.finish()])
+                if name not in ("metrics", "healthz", "debug"):
+                    self.flight.record(
+                        RequestRecord(
+                            trace_id=own.trace_id,
+                            path=request.path,
+                            kernel=info.get("kernel", ""),
+                            status=status,
+                            outcome=info.get("outcome", ""),
+                            batch_size=info.get("batch_size", 1),
+                            batch_index=info.get("batch_index", 0),
+                            executor=self.config.executor,
+                            duration_seconds=elapsed,
+                            stages=info["stages"],
+                            error=error,
+                        )
+                    )
 
         return wrapped
 
     async def _in_worker(self, fn: Callable[[], Any]) -> Any:
-        """Run blocking analysis work off the event loop."""
+        """Run blocking analysis work off the event loop.
+
+        ``run_in_executor`` does not carry contextvars onto the pool
+        thread; :func:`repro.obs.context.run_with` is the explicit hop
+        that keeps the request's trace context attached to its work.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, fn)
+        ctx = obs_context.current()
+        return await loop.run_in_executor(
+            self._executor, lambda: obs_context.run_with(ctx, fn)
+        )
 
     def _entry(self, payload: dict) -> KernelEntry:
         kernel_id = payload.get("kernel")
@@ -544,6 +710,7 @@ class SignificanceService:
     # Handlers
     # ------------------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> Response:
+        degraded = self.flight.degraded_kernels()
         return json_response(
             {
                 "status": "ok",
@@ -559,6 +726,12 @@ class SignificanceService:
                 "batch_window_ms": self.config.batch_window_ms,
                 "max_batch": self.config.max_batch,
                 "store_dir": self.config.store_dir,
+                # Observability: span recording state and the flight
+                # recorder's SLO verdict.  "degraded" means at least one
+                # kernel's most recent request exceeded its latency SLO.
+                "tracing": obs_trace.enabled(),
+                "degraded": bool(degraded),
+                "degraded_kernels": degraded,
             }
         )
 
@@ -585,14 +758,56 @@ class SignificanceService:
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
+    async def _handle_debug_requests(self, request: Request) -> Response:
+        try:
+            limit = int(request.query.get("limit", "50"))
+        except ValueError as exc:
+            raise HttpError(400, "'limit' must be an integer") from exc
+        return json_response(
+            {
+                "requests": self.flight.requests(limit=limit),
+                "recorded": len(self.flight),
+                "degraded_kernels": self.flight.degraded_kernels(),
+            }
+        )
+
+    async def _handle_debug_trace(self, request: Request) -> Response:
+        trace_id = request.path.removeprefix("/debug/trace/").strip("/")
+        if obs_context.parse_header(trace_id) is None:
+            raise HttpError(
+                400, f"{trace_id!r} is not a trace id (32 hex chars)"
+            )
+        record = self.flight.for_trace(trace_id)
+        spans = _assemble_trace(trace_id)
+        if record is None and not spans:
+            raise HttpError(
+                404,
+                f"trace {trace_id} not found (flight recorder keeps the "
+                f"last {self.config.flight_capacity} requests; span "
+                "recording requires tracing)",
+            )
+        return json_response(
+            {"trace_id": trace_id, "request": record, "spans": spans}
+        )
+
     async def _handle_analyse(self, request: Request) -> Response:
         payload = request.json()
         entry = self._entry(payload)
         intervals = self._intervals(payload, entry)
+        info = _request_info()
+        if info is not None:
+            info["kernel"] = entry.kernel_id
+        t_dispatch = time.perf_counter()
         if self._batchers is not None:
             item, size, index = await self._batchers[entry.kernel_id].submit(
                 intervals
             )
+            if info is not None:
+                info["stages"]["dispatch"] = time.perf_counter() - t_dispatch
+                info["batch_size"] = size
+                info["batch_index"] = index
+                if item[0] == "ok":
+                    info["outcome"] = item[2]
             if item[0] != "ok":
                 detail = item[1]
                 if isinstance(detail, BaseException):
@@ -614,6 +829,11 @@ class SignificanceService:
             # the same ranges.
             body = report_to_json(report).encode("utf-8")
             batch_header = "1/0"
+        if info is not None:
+            info["outcome"] = outcome
+            info["stages"].setdefault(
+                "dispatch", time.perf_counter() - t_dispatch
+            )
         return Response(
             body=body,
             headers={

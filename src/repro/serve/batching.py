@@ -37,7 +37,9 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable, Sequence
 
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["KernelBatcher", "BATCH_SIZE_HISTOGRAM"]
 
@@ -63,20 +65,31 @@ class KernelBatcher:
         window: float,
         max_batch: int,
         dispatch: DispatchFn,
+        name: str = "",
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.window = max(0.0, float(window))
         self.max_batch = int(max_batch)
+        self.name = name
         self._dispatch = dispatch
-        self._pending: list[tuple[Any, asyncio.Future]] = []
+        # (request, future, submitter's TraceContext or None)
+        self._pending: list[
+            tuple[Any, asyncio.Future, "obs_context.TraceContext | None"]
+        ] = []
         self._task: asyncio.Task | None = None
 
     async def submit(self, request: Any) -> tuple[Any, int, int]:
-        """Queue one request; await its slice of a batched dispatch."""
+        """Queue one request; await its slice of a batched dispatch.
+
+        The submitter's trace context is captured here — the collection
+        task is long-lived and must not inherit whichever request
+        happened to start it, so each batch re-derives its identity from
+        its *members'* contexts at dispatch time.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future))
+        self._pending.append((request, future, obs_context.current()))
         if self._task is None or self._task.done():
             self._task = loop.create_task(self._run())
         return await future
@@ -94,22 +107,44 @@ class KernelBatcher:
             del self._pending[: len(batch)]
             size = len(batch)
             BATCH_SIZE_HISTOGRAM.observe(float(size))
-            requests = [request for request, _ in batch]
+            requests = [request for request, _, _ in batch]
+            # One shared span for the whole coalesced sweep.  It joins
+            # the *head* member's trace (its context parents the span)
+            # and carries every member's trace id in ``links``/``lanes``,
+            # so GET /debug/trace/<id> resolves the batch for each of
+            # the requests that rode it, not just the first.
+            contexts = [ctx for _, _, ctx in batch]
+            head_ctx = next((c for c in contexts if c is not None), None)
+            batch_ctx = head_ctx.child() if head_ctx is not None else None
+            sp = obs_trace.manual_span("serve.batch", batch_ctx)
+            sp.set(
+                kernel=self.name,
+                size=size,
+                links=[c.trace_id for c in contexts if c is not None],
+                lanes=[
+                    c.to_header() if c is not None else None
+                    for c in contexts
+                ],
+            )
             try:
-                items = await self._dispatch(requests)
+                with obs_context.use(batch_ctx):
+                    items = await self._dispatch(requests)
                 if len(items) != size:
                     raise RuntimeError(
                         f"batch dispatch returned {len(items)} items "
                         f"for {size} requests"
                     )
             except BaseException as exc:  # noqa: BLE001 - fanned out
-                for _, future in batch:
+                sp.set(error=f"{type(exc).__name__}: {exc}")
+                obs_trace.adopt([sp.finish()])
+                for _, future, _ in batch:
                     if not future.done():
                         future.set_exception(exc)
                 if isinstance(exc, (asyncio.CancelledError, SystemExit)):
                     raise
                 continue
-            for index, ((_, future), item) in enumerate(zip(batch, items)):
+            obs_trace.adopt([sp.finish()])
+            for index, ((_, future, _), item) in enumerate(zip(batch, items)):
                 if not future.done():
                     future.set_result((item, size, index))
 
@@ -118,7 +153,7 @@ class KernelBatcher:
         if self._task is not None and not self._task.done():
             self._task.cancel()
         pending, self._pending = self._pending, []
-        for _, future in pending:
+        for _, future, _ in pending:
             if not future.done():
                 future.set_exception(
                     RuntimeError("service shut down with requests queued")

@@ -17,6 +17,8 @@ import http.client
 import json
 from typing import Any, Sequence
 
+from repro.obs import context as obs_context
+
 __all__ = ["ServiceError", "ServiceClient"]
 
 
@@ -31,7 +33,16 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Synchronous client for one service endpoint."""
+    """Synchronous client for one service endpoint.
+
+    Every request carries an ``X-Repro-Trace`` header — the active
+    :class:`repro.obs.context.TraceContext` when there is one (so a
+    traced tenant's spans and the server's spans share a trace), a
+    freshly minted trace id otherwise.  The server stamps the id it
+    actually served under back onto the response; :attr:`last_trace_id`
+    always holds the trace id of the most recent request, ready to be
+    logged or fed to ``GET /debug/trace/<id>``.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
@@ -39,6 +50,9 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Trace id of the most recent request (server-stamped when the
+        #: server echoes one, else the id this client sent).
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -74,6 +88,8 @@ class ServiceClient:
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
         headers = {"Content-Type": "application/json"} if body else {}
+        ctx = obs_context.current() or obs_context.new_trace()
+        headers[obs_context.HEADER] = ctx.to_header()
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -90,11 +106,16 @@ class ServiceClient:
                 if attempt:
                     raise
                 continue
-            return (
-                response.status,
-                {k.lower(): v for k, v in response.getheaders()},
-                data,
+            response_headers = {
+                k.lower(): v for k, v in response.getheaders()
+            }
+            stamped = obs_context.parse_header(
+                response_headers.get("x-repro-trace")
             )
+            self.last_trace_id = (
+                stamped.trace_id if stamped is not None else ctx.trace_id
+            )
+            return response.status, response_headers, data
         raise RuntimeError("unreachable")  # pragma: no cover
 
     def _request_json(
@@ -140,13 +161,15 @@ class ServiceClient:
 
     def analyse_detail(
         self, kernel: str, inputs: Sequence[Any] | None = None
-    ) -> tuple[bytes, str, tuple[int, int]]:
-        """:meth:`analyse_raw` plus the micro-batching attribution.
+    ) -> tuple[bytes, str, tuple[int, int], str]:
+        """:meth:`analyse_raw` plus micro-batching and trace attribution.
 
         Returns ``(report JSON bytes, cache outcome, (batch size, lane
-        index))`` — the third element decoded from the ``X-Repro-Batch``
-        header (``(1, 0)`` when the request rode a sweep alone or the
-        server predates batching).
+        index), trace id)`` — the batch tuple decoded from the
+        ``X-Repro-Batch`` header (``(1, 0)`` when the request rode a
+        sweep alone or the server predates batching), the trace id from
+        the server-stamped ``X-Repro-Trace`` header (``""`` against a
+        server that predates tracing), ready for ``GET /debug/trace/<id>``.
         """
         payload: dict[str, Any] = {"kernel": kernel}
         if inputs is not None:
@@ -160,7 +183,27 @@ class ServiceClient:
             batch = (int(size_s), int(index_s))
         except ValueError:
             batch = (1, 0)
-        return data, headers.get("x-repro-cache", ""), batch
+        stamped = obs_context.parse_header(headers.get("x-repro-trace"))
+        trace_id = stamped.trace_id if stamped is not None else ""
+        return data, headers.get("x-repro-cache", ""), batch, trace_id
+
+    def debug_requests(self, limit: int | None = None) -> dict:
+        """The flight recorder's newest request summaries."""
+        path = "/debug/requests"
+        if limit is not None:
+            path += f"?limit={limit}"
+        return self._request_json("GET", path)
+
+    def debug_trace(self, trace_id: str | None = None) -> dict:
+        """One trace's flight record + span forest.
+
+        ``trace_id`` defaults to :attr:`last_trace_id` — "show me what
+        just happened" is the common call.
+        """
+        trace_id = trace_id or self.last_trace_id
+        if not trace_id:
+            raise ValueError("no trace id (make a request first)")
+        return self._request_json("GET", f"/debug/trace/{trace_id}")
 
     def analyse(
         self, kernel: str, inputs: Sequence[Any] | None = None

@@ -133,13 +133,25 @@ Handler = Callable[[Request], Awaitable[Response]]
 
 
 class Router:
-    """Exact-match ``(method, path)`` routing table."""
+    """Exact-match ``(method, path)`` routing table with prefix routes.
+
+    Exact entries win; a *prefix* route (``add_prefix``) catches every
+    path under it and is how parameterised endpoints like
+    ``/debug/trace/<id>`` are served — the handler reads the tail off
+    ``request.path`` itself (longest registered prefix wins).
+    """
 
     def __init__(self) -> None:
         self._routes: dict[tuple[str, str], Handler] = {}
+        self._prefixes: list[tuple[str, str, Handler]] = []
 
     def add(self, method: str, path: str, handler: Handler) -> None:
         self._routes[(method.upper(), path)] = handler
+
+    def add_prefix(self, method: str, prefix: str, handler: Handler) -> None:
+        self._prefixes.append((method.upper(), prefix, handler))
+        # Longest prefix first, so overlapping prefixes nest sensibly.
+        self._prefixes.sort(key=lambda entry: -len(entry[1]))
 
     def get(self, path: str, handler: Handler) -> None:
         self.add("GET", path, handler)
@@ -147,17 +159,28 @@ class Router:
     def post(self, path: str, handler: Handler) -> None:
         self.add("POST", path, handler)
 
+    def get_prefix(self, prefix: str, handler: Handler) -> None:
+        self.add_prefix("GET", prefix, handler)
+
     def resolve(self, method: str, path: str) -> Handler:
         """The handler for a request; 404/405 via HttpError otherwise."""
-        handler = self._routes.get((method.upper(), path))
+        method_u = method.upper()
+        handler = self._routes.get((method_u, path))
         if handler is not None:
             return handler
-        if any(p == path for _, p in self._routes):
+        for m, prefix, prefix_handler in self._prefixes:
+            if m == method_u and path.startswith(prefix):
+                return prefix_handler
+        if any(p == path for _, p in self._routes) or any(
+            path.startswith(prefix) for _, prefix, _ in self._prefixes
+        ):
             raise HttpError(405, f"{method} not allowed on {path}")
         raise HttpError(404, f"no such endpoint: {path}")
 
     def paths(self) -> list[str]:
-        return sorted({p for _, p in self._routes})
+        exact = {p for _, p in self._routes}
+        exact.update(f"{prefix}*" for _, prefix, _ in self._prefixes)
+        return sorted(exact)
 
 
 async def read_request(

@@ -53,6 +53,11 @@ class KernelEntry:
     defaults: Callable[[], list[Interval]]
     simplify: bool
     quality_metric: str
+    # Per-kernel latency SLO in milliseconds (None = no objective).  The
+    # service's flight recorder compares every finished /analyse request
+    # against it and surfaces kernels whose latest request blew the
+    # threshold as "degraded" in /healthz.
+    slo_ms: "float | None" = None
 
     @property
     def n_inputs(self) -> int:

@@ -65,9 +65,10 @@ class TestServeProcessBackend:
         for t in threads:
             t.join()
         assert not errors, errors
-        for body, outcome, (size, index) in results:
+        for body, outcome, (size, index), trace_id in results:
             assert body == expect
             assert 1 <= size <= 16 and 0 <= index < size
+            assert len(trace_id) == 32
 
     def test_advise_and_tune_run_in_pool(self, service):
         client = service.client()
@@ -88,7 +89,9 @@ class TestWorkerTapeStore:
         with ServiceThread(
             config=ServiceConfig(port=0, store_dir=store)
         ) as seeder:
-            body, outcome, _ = seeder.client().analyse_detail("blackscholes")
+            body, outcome, _, _ = seeder.client().analyse_detail(
+                "blackscholes"
+            )
             assert outcome == "record"
 
         config = ServiceConfig(
@@ -97,7 +100,7 @@ class TestWorkerTapeStore:
         with ServiceThread(config=config) as service:
             client = service.client()
             for _ in range(3):
-                got, outcome, _ = client.analyse_detail("blackscholes")
+                got, outcome, _, _ = client.analyse_detail("blackscholes")
                 assert outcome == "replay"
                 assert got == body
 

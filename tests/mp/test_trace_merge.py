@@ -1,0 +1,152 @@
+"""Property: merged span forests stay coherent across pool boundaries.
+
+For *any* chunking of a request's tasks into batches and *any* worker
+count, the spans that come home from the pool must merge back into
+exactly one root per request — the request's own span, with every
+worker-side ``runtime.task`` span re-linkable under it by parent id and
+stamped with the originating trace id.  This is the invariant the
+``/debug/trace/<id>`` endpoint's forest assembly relies on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mp import ProcessExecutor
+from repro.obs import context, trace
+from repro.runtime import ExecutionMode, Task, ThreadedExecutor
+
+
+def square(i):
+    return i * i
+
+
+@pytest.fixture(scope="module")
+def tracing():
+    previous = trace.set_enabled(True)
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """One process pool per worker count, shared across examples."""
+    cache = {}
+
+    def get(workers):
+        if workers not in cache:
+            cache[workers] = ProcessExecutor(
+                max_workers=workers, mp_context="fork"
+            )
+        return cache[workers]
+
+    yield get
+    for pool in cache.values():
+        pool.close()
+
+
+def _chunks(items, size):
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _run_request(executor, n_tasks, chunk_size):
+    """One traced 'request': n_tasks squares, submitted in chunks."""
+    ctx = context.new_trace()
+    values = []
+    with context.use(ctx):
+        with trace.span("mp.request"):
+            tasks = [Task(fn=square, args=(i,), task_id=i) for i in range(n_tasks)]
+            for chunk in _chunks(tasks, chunk_size):
+                results = executor.run(
+                    chunk, [ExecutionMode.ACCURATE] * len(chunk)
+                )
+                values.extend(r.value for r in results)
+    assert values == [i * i for i in range(n_tasks)]
+    return ctx.trace_id
+
+
+def _assert_one_root_per_request(trace_id, n_tasks, expect_worker_spans):
+    matching = trace.spans_for_trace(trace_id)
+    by_id = {}
+    for root in matching:
+        for sp in root.walk():
+            assert sp.trace_id == trace_id  # no foreign spans leak in
+            if sp.span_id:
+                by_id[sp.span_id] = sp
+
+    # Re-link adopted roots by parent id (what _assemble_trace does).
+    merged_roots = [
+        root
+        for root in matching
+        if not root.parent_id or root.parent_id not in by_id
+    ]
+    assert len(merged_roots) == 1, (
+        f"expected exactly one root, got "
+        f"{[(r.name, r.parent_id) for r in merged_roots]}"
+    )
+    assert merged_roots[0].name == "mp.request"
+
+    if expect_worker_spans:
+        workers = [
+            sp
+            for root in matching
+            for sp in root.walk()
+            if sp.name == "runtime.task"
+        ]
+        assert len(workers) == n_tasks
+        for sp in workers:
+            assert sp.trace_id == trace_id
+            assert sp.attrs["worker_pid"] == sp.pid
+            # Every worker span's parent is present in the same forest.
+            assert sp.parent_id in by_id
+
+
+class TestMergedForestProperty:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        workers=st.integers(min_value=1, max_value=3),
+        n_tasks=st.integers(min_value=1, max_value=6),
+        chunk_size=st.integers(min_value=1, max_value=6),
+        n_requests=st.integers(min_value=1, max_value=3),
+    )
+    def test_process_pool_any_chunking(
+        self, tracing, pools, workers, n_tasks, chunk_size, n_requests
+    ):
+        trace.clear()
+        executor = pools(workers)
+        trace_ids = [
+            _run_request(executor, n_tasks, chunk_size)
+            for _ in range(n_requests)
+        ]
+        assert len(set(trace_ids)) == n_requests
+        for trace_id in trace_ids:
+            _assert_one_root_per_request(
+                trace_id, n_tasks, expect_worker_spans=True
+            )
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        n_tasks=st.integers(min_value=1, max_value=8),
+        chunk_size=st.integers(min_value=1, max_value=8),
+    )
+    def test_thread_pool_any_chunking(
+        self, tracing, workers, n_tasks, chunk_size
+    ):
+        """The threaded executor upholds the same invariant (its task
+        spans root on worker threads and re-link by id the same way)."""
+        trace.clear()
+        executor = ThreadedExecutor(max_workers=workers)
+        trace_id = _run_request(executor, n_tasks, chunk_size)
+        _assert_one_root_per_request(
+            trace_id, n_tasks, expect_worker_spans=False
+        )

@@ -1,0 +1,176 @@
+"""Trace context (:mod:`repro.obs.context`): ids, headers, propagation."""
+
+import threading
+
+import pytest
+
+from repro.obs import context, trace
+
+
+@pytest.fixture
+def tracing():
+    previous = trace.set_enabled(True)
+    trace.clear()
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+class TestIds:
+    def test_new_trace_shape(self):
+        ctx = context.new_trace()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        int(ctx.trace_id, 16)  # all hex
+        int(ctx.span_id, 16)
+
+    def test_trace_ids_unique(self):
+        ids = {context.new_trace().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_child_keeps_trace_and_reparents(self):
+        root = context.new_trace()
+        child = root.child()
+        grand = child.child()
+        assert child.trace_id == root.trace_id == grand.trace_id
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert len({root.span_id, child.span_id, grand.span_id}) == 3
+
+    def test_context_is_immutable(self):
+        ctx = context.new_trace()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "0" * 32
+
+
+class TestHeader:
+    def test_round_trip(self):
+        ctx = context.new_trace()
+        parsed = context.parse_header(ctx.to_header())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_bare_trace_id_mints_span(self):
+        ctx = context.new_trace()
+        parsed = context.parse_header(ctx.trace_id)
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert len(parsed.span_id) == 16
+        assert parsed.span_id != ctx.span_id
+
+    def test_case_and_whitespace_tolerated(self):
+        ctx = context.new_trace()
+        parsed = context.parse_header(f"  {ctx.to_header().upper()}  ")
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "not-a-trace",
+            "zz" * 16,  # right length, not hex
+            "ab" * 15,  # short trace id
+            "ab" * 17,  # long trace id
+            ("ab" * 16) + "-dead",  # short span id
+            ("ab" * 16) + "-" + ("zz" * 8),  # non-hex span id
+            123,  # not a string at all
+        ],
+    )
+    def test_malformed_returns_none(self, bad):
+        assert context.parse_header(bad) is None
+
+
+class TestPropagation:
+    def test_no_context_by_default(self):
+        assert context.current() is None
+
+    def test_use_scopes_activation(self):
+        ctx = context.new_trace()
+        with context.use(ctx) as active:
+            assert active is ctx
+            assert context.current() is ctx
+            inner = ctx.child()
+            with context.use(inner):
+                assert context.current() is inner
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_use_none_detaches(self):
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with context.use(None):
+                assert context.current() is None
+            assert context.current() is ctx
+
+    def test_run_with_crosses_threads(self):
+        ctx = context.new_trace()
+        seen = []
+
+        def worker():
+            # A plain thread does not inherit the contextvar...
+            seen.append(context.current())
+            # ...but run_with carries it explicitly.
+            context.run_with(ctx, lambda: seen.append(context.current()))
+
+        t = threading.Thread(target=worker)
+        with context.use(ctx):
+            t.start()
+            t.join()
+        assert seen == [None, ctx]
+
+    def test_run_with_none_is_plain_call(self):
+        assert context.run_with(None, lambda: 41 + 1) == 42
+
+
+class TestSpanStamping:
+    def test_spans_unstamped_without_context(self, tracing):
+        with trace.span("bare") as sp:
+            pass
+        assert sp.trace_id is None
+        assert sp.span_id is None
+        assert sp.parent_id is None
+
+    def test_spans_stamp_and_chain_under_context(self, tracing):
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("outer") as outer:
+                with trace.span("inner") as inner:
+                    pass
+        assert outer.trace_id == ctx.trace_id
+        assert outer.parent_id == ctx.span_id
+        assert inner.trace_id == ctx.trace_id
+        # The inner span parents on the outer *span*, not on ctx.
+        assert inner.parent_id == outer.span_id
+
+    def test_span_restores_context_on_exit(self, tracing):
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("op"):
+                assert context.current() is not ctx
+                assert context.current().trace_id == ctx.trace_id
+            assert context.current() is ctx
+
+    def test_manual_span_uses_explicit_context(self, tracing):
+        parent = context.new_trace()
+        own = parent.child()
+        sp = trace.manual_span("async.op", own, lane=3)
+        assert sp.trace_id == parent.trace_id
+        assert sp.span_id == own.span_id
+        assert sp.parent_id == parent.span_id
+        assert sp.elapsed_seconds is None
+        sp.finish()
+        first = sp.elapsed_seconds
+        assert first is not None and first >= 0.0
+        sp.finish()  # idempotent: a second finish keeps the first timing
+        assert sp.elapsed_seconds == first
+        assert sp.attrs == {"lane": 3}
+
+    def test_manual_span_disabled_is_null(self):
+        assert trace.enabled() is False
+        sp = trace.manual_span("nope", context.new_trace())
+        assert sp.finish() is sp
+        assert sp.trace_id is None

@@ -1,0 +1,146 @@
+"""Chrome trace export (:mod:`repro.obs.export`): events, flows, files."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import context, export, trace
+
+
+@pytest.fixture
+def tracing():
+    previous = trace.set_enabled(True)
+    trace.clear()
+    yield
+    trace.set_enabled(previous)
+    trace.clear()
+
+
+def _events(kind, events):
+    return [e for e in events if e["ph"] == kind]
+
+
+class TestCompleteEvents:
+    def test_span_becomes_x_event(self, tracing):
+        with trace.span("stage", nodes=5) as sp:
+            with trace.span("leaf"):
+                pass
+        events = export.chrome_trace_events(trace.spans())
+        xs = {e["name"]: e for e in _events("X", events)}
+        assert set(xs) == {"stage", "leaf"}
+        stage = xs["stage"]
+        assert stage["ph"] == "X" and stage["cat"] == "repro"
+        assert stage["pid"] == os.getpid()
+        assert stage["tid"] == threading.get_ident()
+        assert stage["ts"] == pytest.approx(sp.start_epoch * 1e6)
+        assert stage["dur"] == pytest.approx(sp.elapsed_seconds * 1e6)
+        assert stage["args"]["nodes"] == 5
+        # The leaf sits inside the stage on the timeline.
+        leaf = xs["leaf"]
+        assert leaf["ts"] >= stage["ts"]
+        assert leaf["ts"] + leaf["dur"] <= stage["ts"] + stage["dur"] + 1.0
+
+    def test_trace_ids_land_in_args(self, tracing):
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("op"):
+                pass
+        (event,) = _events("X", export.chrome_trace_events(trace.spans()))
+        assert event["args"]["trace_id"] == ctx.trace_id
+        assert event["args"]["parent_id"] == ctx.span_id
+        assert len(event["args"]["span_id"]) == 16
+
+    def test_non_primitive_attrs_are_repred(self, tracing):
+        with trace.span("op") as sp:
+            sp.set(lanes=[1, 2], note="plain")
+        (event,) = _events("X", export.chrome_trace_events(trace.spans()))
+        assert event["args"]["lanes"] == "[1, 2]"
+        assert event["args"]["note"] == "plain"
+
+    def test_open_and_null_spans_are_skipped(self, tracing):
+        open_span = trace.manual_span("still.open")  # never finished
+        trace.disable()
+        null = trace.span("ignored")
+        trace.enable()
+        assert export.chrome_trace_events([open_span, null]) == []
+
+
+class TestFlowArrows:
+    def test_structural_children_draw_no_flow(self, tracing):
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        events = export.chrome_trace_events(trace.spans())
+        assert _events("s", events) == []
+        assert _events("f", events) == []
+
+    def test_cross_boundary_parent_draws_flow_pair(self, tracing):
+        """A separately-adopted root whose parent_id names a span in
+        another tree gets an s→f arrow pair binding the two."""
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("http") as http:
+                pass
+        worker_ctx = context.TraceContext(
+            trace_id=ctx.trace_id,
+            span_id=context.new_span_id(),
+            parent_id=http.span_id,
+        )
+        worker = trace.manual_span("runtime.task", worker_ctx).finish()
+        trace.adopt([worker])
+        events = export.chrome_trace_events(trace.spans())
+        starts = _events("s", events)
+        finishes = _events("f", events)
+        assert len(starts) == 1 and len(finishes) == 1
+        (s,), (f,) = starts, finishes
+        assert s["id"] == f["id"]
+        assert s["id"] == int(worker_ctx.span_id, 16) & 0x7FFFFFFF
+        assert s["ts"] == pytest.approx(http.start_epoch * 1e6)
+        assert f["ts"] == pytest.approx(worker.start_epoch * 1e6)
+
+    def test_unresolvable_parent_draws_nothing(self, tracing):
+        orphan_ctx = context.TraceContext(
+            trace_id="a" * 32,
+            span_id=context.new_span_id(),
+            parent_id="b" * 16,  # no such span in the forest
+        )
+        orphan = trace.manual_span("orphan", orphan_ctx).finish()
+        events = export.chrome_trace_events([orphan])
+        assert _events("s", events) == []
+        assert len(_events("X", events)) == 1
+
+
+class TestDumpFile:
+    def test_dump_is_loadable_json_with_envelope(self, tracing, tmp_path):
+        with trace.span("a"):
+            pass
+        out = export.dump_chrome_trace(tmp_path / "sub" / "t.trace.json")
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "a" in names
+
+    def test_process_metadata_names_every_pid(self, tracing):
+        with trace.span("local"):
+            pass
+        (root,) = trace.spans()
+        foreign = trace.manual_span("remote").finish()
+        foreign.pid = root.pid + 1  # simulate a worker process
+        metas = _events("M", export.chrome_trace_events([root, foreign]))
+        by_pid = {e["pid"]: e["args"]["name"] for e in metas}
+        assert by_pid[root.pid].startswith("repro (")
+        assert by_pid[foreign.pid].startswith("repro worker")
+
+    def test_explicit_roots_override_ring(self, tracing, tmp_path):
+        with trace.span("in.ring"):
+            pass
+        solo = trace.manual_span("solo").finish()
+        out = export.dump_chrome_trace(tmp_path / "t.json", roots=[solo])
+        payload = json.loads(out.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert names == {"solo"}

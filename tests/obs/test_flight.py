@@ -1,0 +1,128 @@
+"""Flight recorder (:mod:`repro.obs.flight`): ring, SLOs, lookups."""
+
+import pytest
+
+from repro.obs import FlightRecorder, RequestRecord
+
+
+def _rec(trace_id="ab" * 16, kernel="dct", seconds=0.01, **kw):
+    return RequestRecord(
+        trace_id=trace_id,
+        path="/analyse/" + kernel,
+        kernel=kernel,
+        duration_seconds=seconds,
+        **kw,
+    )
+
+
+class TestRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_eviction_keeps_newest(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(6):
+            fr.record(_rec(trace_id=f"{i:032x}"))
+        assert len(fr) == 3
+        ids = [r["trace_id"] for r in fr.requests()]
+        assert ids == [f"{i:032x}" for i in (5, 4, 3)]
+
+    def test_requests_newest_first_with_limit(self):
+        fr = FlightRecorder()
+        for i in range(5):
+            fr.record(_rec(trace_id=f"{i:032x}"))
+        ids = [r["trace_id"] for r in fr.requests(limit=2)]
+        assert ids == [f"{4:032x}", f"{3:032x}"]
+        assert len(fr.requests(limit=0)) == 5  # non-positive = everything
+
+    def test_record_stamps_completion_time(self):
+        fr = FlightRecorder()
+        rec = fr.record(_rec())
+        assert rec.when > 0
+
+    def test_to_dict_shape(self):
+        fr = FlightRecorder()
+        fr.record(
+            _rec(
+                seconds=0.0125,
+                outcome="replay",
+                batch_size=4,
+                batch_index=1,
+                stages={"dispatch": 0.01},
+            )
+        )
+        (d,) = fr.requests()
+        assert d["kernel"] == "dct"
+        assert d["outcome"] == "replay"
+        assert d["batch"] == {"size": 4, "index": 1}
+        assert d["duration_ms"] == pytest.approx(12.5)
+        assert d["stages_ms"] == {"dispatch": 10.0}
+        assert d["slo_ms"] is None and d["slo_violated"] is False
+
+    def test_clear(self):
+        fr = FlightRecorder()
+        fr.set_slo("dct", 0.001)
+        fr.record(_rec(seconds=1.0))
+        assert fr.degraded_kernels() == ["dct"]
+        fr.clear()
+        assert len(fr) == 0
+        assert fr.degraded_kernels() == []
+
+
+class TestTraceLookup:
+    def test_for_trace_returns_newest_match(self):
+        fr = FlightRecorder()
+        fr.record(_rec(trace_id="aa" * 16, outcome="record"))
+        fr.record(_rec(trace_id="bb" * 16))
+        fr.record(_rec(trace_id="aa" * 16, outcome="replay"))
+        match = fr.for_trace("aa" * 16)
+        assert match is not None and match["outcome"] == "replay"
+        assert fr.for_trace("ff" * 16) is None
+
+
+class TestSlos:
+    def test_violation_marks_kernel_degraded(self):
+        fr = FlightRecorder()
+        fr.set_slo("dct", 5.0)
+        rec = fr.record(_rec(seconds=0.5))  # 500 ms >> 5 ms
+        assert rec.slo_ms == 5.0 and rec.slo_violated is True
+        assert fr.degraded_kernels() == ["dct"]
+
+    def test_recovery_clears_degraded(self):
+        fr = FlightRecorder()
+        fr.set_slo("dct", 5.0)
+        fr.record(_rec(seconds=0.5))
+        fr.record(_rec(seconds=0.001))  # back under the threshold
+        assert fr.degraded_kernels() == []
+
+    def test_only_latest_request_counts(self):
+        fr = FlightRecorder()
+        fr.set_slo("dct", 5.0)
+        fr.set_slo("sobel", 5.0)
+        fr.record(_rec(kernel="dct", seconds=0.001))
+        fr.record(_rec(kernel="sobel", seconds=0.5))
+        fr.record(_rec(kernel="dct", seconds=0.5))
+        fr.record(_rec(kernel="dct", seconds=0.001))
+        assert fr.degraded_kernels() == ["sobel"]
+
+    def test_no_slo_means_no_verdict(self):
+        fr = FlightRecorder()
+        rec = fr.record(_rec(seconds=10.0))
+        assert rec.slo_ms is None and rec.slo_violated is False
+        assert fr.degraded_kernels() == []
+
+    def test_clearing_slo_forgets_violations(self):
+        fr = FlightRecorder()
+        fr.set_slo("dct", 5.0)
+        fr.record(_rec(seconds=0.5))
+        fr.set_slo("dct", None)
+        assert fr.slo_for("dct") is None
+        assert fr.degraded_kernels() == []
+
+    def test_extend_slos(self):
+        fr = FlightRecorder()
+        fr.extend_slos([("dct", 5.0), ("sobel", None), ("nbody", 2.5)])
+        assert fr.slo_for("dct") == 5.0
+        assert fr.slo_for("sobel") is None
+        assert fr.slo_for("nbody") == 2.5

@@ -136,3 +136,127 @@ class TestRing:
         assert trace.spans()
         trace.clear()
         assert trace.spans() == []
+
+
+class TestClearRace:
+    """clear() racing an in-flight request must not orphan or duplicate
+    root spans: the ring swap plus generation bump drops the stale root
+    on the floor instead of resurrecting it into the fresh ring."""
+
+    def test_clear_during_live_nested_span_drops_stale_root(self, tracing):
+        with trace.span("request") as root:
+            with trace.span("stage"):
+                # A debugger clears the ring while the request is live.
+                trace.clear()
+            with trace.span("stage2"):
+                pass
+        # The stale root neither orphans into the fresh ring...
+        assert trace.spans() == []
+        # ...nor was its tree corrupted: it closed coherently off-ring.
+        assert [c.name for c in root.children] == ["stage", "stage2"]
+        assert all(s.elapsed_seconds is not None for s in root.walk())
+        # And spans started after the clear record normally.
+        with trace.span("fresh"):
+            pass
+        assert [s.name for s in trace.spans()] == ["fresh"]
+
+    def test_clear_between_siblings_drops_only_stale_root(self, tracing):
+        with trace.span("before"):
+            pass
+        with trace.span("during") as during:
+            trace.clear()
+        with trace.span("after"):
+            pass
+        names = [s.name for s in trace.spans()]
+        assert names == ["after"]
+        assert during.elapsed_seconds is not None
+
+    def test_resize_keeps_live_span_recordable(self, tracing):
+        """set_ring_capacity is not a clear: it keeps the generation, so
+        a span that was open across the resize still lands in the ring."""
+        original = trace.ring_capacity()
+        try:
+            with trace.span("live"):
+                trace.set_ring_capacity(8)
+            assert [s.name for s in trace.spans()] == ["live"]
+        finally:
+            trace.set_ring_capacity(original)
+
+    def test_concurrent_clear_never_duplicates(self, tracing):
+        """Hammer clear() against span recording; every surviving ring
+        entry is unique and fully closed."""
+        stop = threading.Event()
+
+        def clearer():
+            while not stop.is_set():
+                trace.clear()
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        try:
+            for i in range(200):
+                with trace.span(f"r{i}"):
+                    with trace.span("child"):
+                        pass
+        finally:
+            stop.set()
+            t.join()
+        survivors = trace.spans()
+        names = [s.name for s in survivors]
+        assert len(names) == len(set(names)), "duplicated root spans"
+        assert all(s.elapsed_seconds is not None for s in survivors)
+
+
+class TestCollectAdopt:
+    def test_collect_diverts_roots_from_ring(self, tracing):
+        captured = []
+        with trace.collect(captured):
+            with trace.span("task"):
+                with trace.span("step"):
+                    pass
+        assert trace.spans() == []
+        (root,) = captured
+        assert root.name == "task"
+        assert [c.name for c in root.children] == ["step"]
+
+    def test_collect_restores_previous_collector(self, tracing):
+        outer, inner = [], []
+        with trace.collect(outer):
+            with trace.collect(inner):
+                with trace.span("deep"):
+                    pass
+            with trace.span("shallow"):
+                pass
+        assert [s.name for s in inner] == ["deep"]
+        assert [s.name for s in outer] == ["shallow"]
+
+    def test_adopt_appends_roots(self, tracing):
+        captured = []
+        with trace.collect(captured):
+            with trace.span("worker.task"):
+                pass
+        trace.adopt(captured)
+        assert [s.name for s in trace.spans()] == ["worker.task"]
+
+    def test_adopt_skips_null_spans(self, tracing):
+        trace.disable()
+        null = trace.manual_span("nope")
+        trace.enable()
+        trace.adopt([null])
+        assert trace.spans() == []
+
+    def test_spans_for_trace_matches_walk_and_links(self, tracing):
+        from repro.obs import context
+
+        ctx = context.new_trace()
+        with context.use(ctx):
+            with trace.span("mine"):
+                pass
+        with trace.span("unrelated"):
+            pass
+        # A batch-style span references the trace only via `links`.
+        batch = trace.manual_span("batch", links=[ctx.trace_id]).finish()
+        trace.adopt([batch])
+        matched = trace.spans_for_trace(ctx.trace_id)
+        assert sorted(s.name for s in matched) == ["batch", "mine"]
+        assert trace.spans_for_trace("f" * 32) == []

@@ -81,10 +81,11 @@ class TestBatchedByteIdentity:
                 client.analyse(kernel, inputs_list[0])
             results = _parallel(service, kernel, inputs_list)
 
-        for i, (body, outcome, (size, index)) in enumerate(results):
+        for i, (body, outcome, (size, index), trace_id) in enumerate(results):
             assert body == expect[i], f"lane {i} not byte-identical"
             assert outcome == "replay"
             assert 1 <= size <= 16 and 0 <= index < size
+            assert len(trace_id) == 32
 
     def test_concurrent_requests_coalesce(self):
         registry = default_registry()
@@ -95,10 +96,10 @@ class TestBatchedByteIdentity:
             with service.client() as client:
                 client.analyse("sobel", inputs_list[0])
             results = _parallel(service, "sobel", inputs_list)
-        sizes = [size for _, _, (size, _) in results]
+        sizes = [size for _, _, (size, _), _ in results]
         assert max(sizes) > 1, f"nothing coalesced: {sizes}"
         indices = [
-            (size, index) for _, _, (size, index) in results if size > 1
+            (size, index) for _, _, (size, index), _ in results if size > 1
         ]
         # Lane indices within one batch size are distinct per batch.
         assert all(0 <= index < size for size, index in indices)
@@ -124,9 +125,9 @@ class TestConfigSurface:
             config=ServiceConfig(port=0, max_batch=1)
         ) as service:
             with service.client() as client:
-                _, _, batch = client.analyse_detail("blackscholes")
+                _, _, batch, _ = client.analyse_detail("blackscholes")
                 assert batch == (1, 0)
-                _, _, batch = client.analyse_detail("blackscholes")
+                _, _, batch, _ = client.analyse_detail("blackscholes")
                 assert batch == (1, 0)
 
     def test_store_dir_from_environment(self, tmp_path, monkeypatch):
@@ -142,13 +143,13 @@ class TestWarmStart:
         config = lambda: ServiceConfig(port=0, store_dir=str(tmp_path))
         with ServiceThread(config=config()) as service:
             with service.client() as client:
-                body, outcome, _ = client.analyse_detail("blackscholes")
+                body, outcome, _, _ = client.analyse_detail("blackscholes")
                 assert outcome == "record"
 
         # A brand-new server over the same store: no recording at all.
         with ServiceThread(config=config()) as service:
             with service.client() as client:
-                body2, outcome2, _ = client.analyse_detail("blackscholes")
+                body2, outcome2, _, _ = client.analyse_detail("blackscholes")
             stats = service.service.caches["blackscholes"].stats()
         assert outcome2 == "replay"
         assert body2 == body
